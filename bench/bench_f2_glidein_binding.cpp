@@ -1,0 +1,158 @@
+// F2 — behavioural validation of Fig. 2 / §5's delayed-binding claim:
+// "glide-ins ... allow the Condor-G agent to delay the binding of an
+// application to a resource until the instant when the remote resource
+// manager decides to allocate the resource(s) to the user. By doing so,
+// the Condor-G agent minimizes queuing delays by preventing a job from
+// waiting at one remote resource while another resource capable of serving
+// the job is available."
+//
+// Setup: three sites with very different (and fluctuating) local load.
+// Strategy A (early binding): jobs are round-robined to sites via plain
+// GRAM and wait in whatever remote queue they landed in. Strategy B (late
+// binding): glide-ins are flooded to all sites; jobs are matched only when
+// a glided-in slot is actually free. We compare per-job wait (submit ->
+// first execution) and campaign makespan.
+#include <cstdio>
+
+#include "condorg/core/agent.h"
+#include "condorg/core/broker.h"
+#include "condorg/util/stats.h"
+#include "condorg/util/strings.h"
+#include "condorg/util/table.h"
+#include "condorg/workloads/grid_builder.h"
+
+namespace core = condorg::core;
+namespace cw = condorg::workloads;
+namespace cu = condorg::util;
+
+namespace {
+
+constexpr int kJobs = 120;
+constexpr double kJobSeconds = 1800.0;
+
+std::unique_ptr<cw::GridTestbed> make_testbed(std::uint64_t seed) {
+  auto testbed = std::make_unique<cw::GridTestbed>(seed);
+  struct Def {
+    const char* name;
+    int cpus;
+    double interarrival;  // background load pressure
+  };
+  // One lightly loaded, one moderately loaded, one hammered site — the
+  // imbalance early binding cannot see.
+  for (const Def& def : {Def{"light.site.edu", 32, 2400.0},
+                         Def{"busy.site.edu", 32, 480.0},
+                         Def{"slammed.site.edu", 32, 120.0}}) {
+    cw::SiteSpec spec;
+    spec.name = def.name;
+    spec.cpus = def.cpus;
+    spec.background_load = true;
+    spec.background.mean_interarrival_seconds = def.interarrival;
+    spec.background.mean_runtime_seconds = 5400.0;
+    spec.background.max_cpus_per_job = 4;
+    testbed->add_site(spec);
+  }
+  testbed->add_submit_host("submit.wisc.edu");
+  // Let the local load reach steady state before the campaign arrives —
+  // the slammed site accumulates the deep queue early binding cannot see.
+  testbed->world().sim().run_until(86400.0);
+  return testbed;
+}
+
+struct Outcome {
+  cu::Samples waits;
+  double makespan = 0;
+  int completed = 0;
+};
+
+Outcome measure(core::CondorGAgent& agent, cw::GridTestbed& testbed,
+                const std::vector<std::uint64_t>& ids) {
+  Outcome o;
+  while (!agent.schedd().all_terminal() &&
+         testbed.world().now() < 14 * 86400.0) {
+    testbed.world().sim().run_until(testbed.world().now() + 600.0);
+  }
+  o.makespan = testbed.world().now();
+  for (const auto id : ids) {
+    const auto job = agent.query(id);
+    if (job->status == core::JobStatus::kCompleted) {
+      ++o.completed;
+      if (job->first_execute_time >= 0) {
+        o.waits.add(job->first_execute_time - job->submit_time);
+      }
+    }
+  }
+  return o;
+}
+
+Outcome run_early_binding(std::uint64_t seed) {
+  auto testbed = make_testbed(seed);
+  core::CondorGAgent agent(testbed->world(), "submit.wisc.edu");
+  agent.set_site_chooser(core::make_static_chooser(testbed->gatekeepers()));
+  agent.start();
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < kJobs; ++i) {
+    core::JobDescription job;
+    job.universe = core::Universe::kGrid;
+    job.runtime_seconds = kJobSeconds;
+    job.notify_email = false;
+    ids.push_back(agent.submit(job));
+  }
+  return measure(agent, *testbed, ids);
+}
+
+Outcome run_late_binding(std::uint64_t seed) {
+  auto testbed = make_testbed(seed);
+  core::CondorGAgent agent(testbed->world(), "submit.wisc.edu");
+  core::GlideInOptions options;
+  options.walltime = 12 * 3600.0;
+  options.idle_timeout = 1800.0;
+  options.tick_interval = 300.0;
+  auto& glideins = agent.enable_glideins(options);
+  for (std::size_t i = 0; i < testbed->sites().size(); ++i) {
+    glideins.add_site(core::GlideInSite{
+        testbed->site(i).spec.name, testbed->site(i).gatekeeper_address(),
+        testbed->site(i).cluster, 32, 1});
+  }
+  agent.start();
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < kJobs; ++i) {
+    core::JobDescription job;
+    job.universe = core::Universe::kVanilla;
+    job.runtime_seconds = kJobSeconds;
+    job.notify_email = false;
+    ids.push_back(agent.submit(job));
+  }
+  return measure(agent, *testbed, ids);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "F2 (Fig. 2 behaviour): early vs late binding on an imbalanced grid\n"
+      "%d x 30-minute jobs; three 32-CPU sites with light/busy/slammed "
+      "local load.\n", kJobs);
+
+  cu::Table table({"strategy", "completed", "wait p50", "wait p90",
+                   "wait max", "makespan"});
+  const Outcome early = run_early_binding(31);
+  const Outcome late = run_late_binding(31);
+  for (const auto& [name, o] :
+       {std::pair<const char*, const Outcome&>{"early binding (plain GRAM)",
+                                               early},
+        std::pair<const char*, const Outcome&>{"late binding (GlideIn)",
+                                               late}}) {
+    table.add_row({name, cu::format("%d/%d", o.completed, kJobs),
+                   cu::format_duration(o.waits.percentile(50)),
+                   cu::format_duration(o.waits.percentile(90)),
+                   cu::format_duration(o.waits.max()),
+                   cu::format_duration(o.makespan)});
+  }
+  std::fputs(table.render("F2: delayed binding via GlideIn").c_str(),
+             stdout);
+  std::printf(
+      "\npaper claim preserved when late binding's tail waits (p90/max) and "
+      "makespan\nbeat early binding's: no job waits at a busy site while "
+      "another site is free.\n");
+  return (early.completed == kJobs && late.completed == kJobs) ? 0 : 1;
+}

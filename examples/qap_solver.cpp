@@ -1,0 +1,114 @@
+// Master-worker QAP branch-and-bound on a multi-site grid — a scaled-down
+// version of the paper's flagship computation (§6): the master enumerates
+// branch-and-bound subtrees, each subtree is an independent grid job, and
+// the incumbent tightens as workers report back. The instance is solved to
+// *proven optimality* and cross-checked against a direct sequential solve.
+#include <cstdio>
+#include <map>
+
+#include "condorg/core/agent.h"
+#include "condorg/core/broker.h"
+#include "condorg/util/strings.h"
+#include "condorg/workloads/grid_builder.h"
+#include "condorg/workloads/qap.h"
+#include "condorg/workloads/qap_master.h"
+
+namespace core = condorg::core;
+namespace cw = condorg::workloads;
+
+namespace {
+
+/// Simulated seconds a worker needs per B&B node (models the LAP-heavy
+/// inner loop on turn-of-the-millennium hardware).
+constexpr double kSecondsPerNode = 0.4;
+
+}  // namespace
+
+int main() {
+  // --- instance ---
+  condorg::util::Rng instance_rng(7);
+  const auto instance = cw::QapInstance::random(9, instance_rng);
+  cw::QapMaster master(instance, /*branch_depth=*/2);
+  std::printf("QAP n=%d: %zu independent subtree work units\n", instance.n,
+              master.total_units());
+
+  // --- grid: four sites of varying size ---
+  cw::GridTestbed testbed(7);
+  for (const auto& [name, cpus] :
+       std::map<std::string, int>{{"condor.wisc.edu", 24},
+                                  {"pbs.anl.gov", 16},
+                                  {"lsf.ncsa.edu", 8},
+                                  {"condor.iastate.edu", 12}}) {
+    cw::SiteSpec spec;
+    spec.name = name;
+    spec.cpus = cpus;
+    testbed.add_site(spec);
+  }
+  testbed.add_submit_host("master.mcs.anl.gov");
+  core::CondorGAgent agent(testbed.world(), "master.mcs.anl.gov");
+  agent.set_site_chooser(core::make_static_chooser(testbed.gatekeepers()));
+  agent.start();
+
+  // --- drive: each work unit becomes one grid job. The unit is solved
+  //     when its job completes; its simulated runtime reflects the real
+  //     number of B&B nodes the subtree needed. ---
+  std::map<std::uint64_t, cw::QapWorkUnit> in_flight;  // job id -> unit
+  std::map<std::uint64_t, cw::QapResult> results;
+  std::size_t max_parallel = 48;
+
+  std::function<void()> pump = [&] {
+    while (in_flight.size() < max_parallel) {
+      auto unit = master.next_unit();
+      if (!unit) break;
+      // Solve eagerly (cheap at this scale) to derive the job's true cost;
+      // the *grid* work is modelled by the job's simulated runtime.
+      const auto result =
+          cw::solve_qap_subtree(instance, unit->prefix, unit->upper_bound);
+      core::JobDescription job;
+      job.universe = core::Universe::kGrid;
+      job.runtime_seconds =
+          std::max(30.0, static_cast<double>(result.nodes) * kSecondsPerNode);
+      job.tag = "qap-unit-" + std::to_string(unit->id);
+      const auto job_id = agent.submit(job);
+      in_flight.emplace(job_id, *unit);
+      results.emplace(job_id, result);
+    }
+  };
+  agent.schedd().add_queue_listener([&](const core::Job& job) {
+    const auto it = in_flight.find(job.id);
+    if (it == in_flight.end()) return;
+    if (job.status == core::JobStatus::kCompleted) {
+      master.complete_unit(it->second.id, results.at(job.id));
+      in_flight.erase(it);
+      results.erase(job.id);
+      pump();
+    }
+  });
+  pump();
+
+  while (!master.done() && testbed.world().now() < 30 * 86400.0) {
+    testbed.world().sim().run_until(testbed.world().now() + 600.0);
+    pump();
+  }
+
+  // --- verify against a direct solve ---
+  const auto direct = cw::solve_qap(instance);
+  std::printf("\ngrid solve:   optimum %lld after %llu LAPs, %llu nodes\n",
+              static_cast<long long>(master.incumbent()),
+              static_cast<unsigned long long>(master.total_laps()),
+              static_cast<unsigned long long>(master.total_nodes()));
+  std::printf("direct solve: optimum %lld\n",
+              static_cast<long long>(direct.best_cost));
+  std::printf("wall time on the grid: %s\n",
+              condorg::util::format_duration(testbed.world().now()).c_str());
+  std::printf("permutation: ");
+  for (const int loc : master.best_perm()) std::printf("%d ", loc);
+  std::printf("\n");
+
+  if (master.incumbent() != direct.best_cost) {
+    std::printf("MISMATCH — grid result is wrong!\n");
+    return 1;
+  }
+  std::printf("results agree: the grid computation is correct.\n");
+  return 0;
+}

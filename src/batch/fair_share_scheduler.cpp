@@ -1,0 +1,24 @@
+#include "condorg/batch/fair_share_scheduler.h"
+
+#include <limits>
+
+namespace condorg::batch {
+
+std::size_t FairShareScheduler::pick_next(int free) const {
+  const auto& q = queue();
+  std::size_t best = static_cast<std::size_t>(-1);
+  double best_usage = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    const JobRecord& job = record(q[i]);
+    if (job.request.cpus > free) continue;
+    const double usage = owner_usage(job.request.owner);
+    // Oldest job of the least-served owner; FIFO order breaks ties.
+    if (usage < best_usage) {
+      best_usage = usage;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace condorg::batch

@@ -1,0 +1,21 @@
+// LSF/LoadLeveler-style fair-share scheduler.
+#pragma once
+
+#include "condorg/batch/local_scheduler.h"
+
+namespace condorg::batch {
+
+/// Dispatches the oldest queued job of the *least-served* owner (by
+/// accumulated CPU-seconds), so one user cannot monopolize the cluster —
+/// the "system-wide collection of queues each representing a different
+/// class of service" model the paper contrasts Condor with (§7).
+class FairShareScheduler final : public LocalScheduler {
+ public:
+  FairShareScheduler(sim::Simulation& sim, std::string name, int total_cpus)
+      : LocalScheduler(sim, std::move(name), total_cpus) {}
+
+ protected:
+  std::size_t pick_next(int free) const override;
+};
+
+}  // namespace condorg::batch

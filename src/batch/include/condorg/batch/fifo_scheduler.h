@@ -1,0 +1,25 @@
+// PBS-style FIFO scheduler with optional first-fit backfill.
+#pragma once
+
+#include "condorg/batch/local_scheduler.h"
+
+namespace condorg::batch {
+
+/// FIFO dispatch; with backfill enabled, a job further back in the queue may
+/// start when the head does not fit but the smaller job does — the standard
+/// cluster-scheduler compromise between fairness and utilization.
+class FifoScheduler final : public LocalScheduler {
+ public:
+  FifoScheduler(sim::Simulation& sim, std::string name, int total_cpus,
+                bool backfill = true)
+      : LocalScheduler(sim, std::move(name), total_cpus),
+        backfill_(backfill) {}
+
+ protected:
+  std::size_t pick_next(int free) const override;
+
+ private:
+  bool backfill_;
+};
+
+}  // namespace condorg::batch

@@ -1,0 +1,419 @@
+// Builtin function library for ClassAd expressions; the subset of Condor's
+// library that grid resource/job ads actually use, plus introspection
+// helpers. Unknown functions evaluate to ERROR.
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "condorg/classad/expr.h"
+#include "condorg/util/strings.h"
+
+namespace condorg::classad {
+namespace {
+
+using Args = std::vector<Value>;
+
+Value propagate_bad(const Args& args) {
+  for (const Value& v : args) {
+    if (v.is_error()) return Value::error();
+  }
+  for (const Value& v : args) {
+    if (v.is_undefined()) return Value::undefined();
+  }
+  return Value::boolean(true);  // sentinel: nothing bad
+}
+
+// ---- string functions ----
+
+Value fn_strcmp(const Args& args, EvalContext&) {
+  if (args.size() != 2) return Value::error();
+  const Value bad = propagate_bad(args);
+  if (!bad.is_bool()) return bad;
+  if (!args[0].is_string() || !args[1].is_string()) return Value::error();
+  const int c = args[0].as_string().compare(args[1].as_string());
+  return Value::integer(c < 0 ? -1 : (c > 0 ? 1 : 0));
+}
+
+Value fn_stricmp(const Args& args, EvalContext&) {
+  if (args.size() != 2) return Value::error();
+  const Value bad = propagate_bad(args);
+  if (!bad.is_bool()) return bad;
+  if (!args[0].is_string() || !args[1].is_string()) return Value::error();
+  const std::string a = util::to_lower(args[0].as_string());
+  const std::string b = util::to_lower(args[1].as_string());
+  const int c = a.compare(b);
+  return Value::integer(c < 0 ? -1 : (c > 0 ? 1 : 0));
+}
+
+Value fn_tolower(const Args& args, EvalContext&) {
+  if (args.size() != 1) return Value::error();
+  const Value bad = propagate_bad(args);
+  if (!bad.is_bool()) return bad;
+  if (!args[0].is_string()) return Value::error();
+  return Value::string(util::to_lower(args[0].as_string()));
+}
+
+Value fn_toupper(const Args& args, EvalContext&) {
+  if (args.size() != 1) return Value::error();
+  const Value bad = propagate_bad(args);
+  if (!bad.is_bool()) return bad;
+  if (!args[0].is_string()) return Value::error();
+  std::string s = args[0].as_string();
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return Value::string(std::move(s));
+}
+
+Value fn_size(const Args& args, EvalContext&) {
+  if (args.size() != 1) return Value::error();
+  const Value bad = propagate_bad(args);
+  if (!bad.is_bool()) return bad;
+  if (args[0].is_string()) {
+    return Value::integer(static_cast<std::int64_t>(args[0].as_string().size()));
+  }
+  if (args[0].is_list()) {
+    return Value::integer(static_cast<std::int64_t>(args[0].as_list().size()));
+  }
+  return Value::error();
+}
+
+Value fn_substr(const Args& args, EvalContext&) {
+  if (args.size() != 2 && args.size() != 3) return Value::error();
+  const Value bad = propagate_bad(args);
+  if (!bad.is_bool()) return bad;
+  if (!args[0].is_string() || !args[1].is_int()) return Value::error();
+  const std::string& s = args[0].as_string();
+  std::int64_t offset = args[1].as_int();
+  if (offset < 0) offset = std::max<std::int64_t>(
+      0, static_cast<std::int64_t>(s.size()) + offset);
+  if (offset > static_cast<std::int64_t>(s.size())) return Value::string("");
+  std::int64_t len = static_cast<std::int64_t>(s.size()) - offset;
+  if (args.size() == 3) {
+    if (!args[2].is_int()) return Value::error();
+    len = std::min(len, std::max<std::int64_t>(0, args[2].as_int()));
+  }
+  return Value::string(s.substr(static_cast<std::size_t>(offset),
+                                static_cast<std::size_t>(len)));
+}
+
+Value fn_strcat(const Args& args, EvalContext&) {
+  const Value bad = propagate_bad(args);
+  if (!bad.is_bool()) return bad;
+  std::string out;
+  for (const Value& v : args) {
+    switch (v.type()) {
+      case Value::Type::kString: out += v.as_string(); break;
+      case Value::Type::kInt: out += std::to_string(v.as_int()); break;
+      case Value::Type::kReal: out += util::format("%g", v.as_real()); break;
+      case Value::Type::kBool: out += v.as_bool() ? "true" : "false"; break;
+      default: return Value::error();
+    }
+  }
+  return Value::string(std::move(out));
+}
+
+Value fn_regexp(const Args& args, EvalContext&) {
+  if (args.size() != 2 && args.size() != 3) return Value::error();
+  const Value bad = propagate_bad(args);
+  if (!bad.is_bool()) return bad;
+  if (!args[0].is_string() || !args[1].is_string()) return Value::error();
+  auto flags = std::regex::ECMAScript;
+  if (args.size() == 3) {
+    if (!args[2].is_string()) return Value::error();
+    if (args[2].as_string().find('i') != std::string::npos) {
+      flags |= std::regex::icase;
+    }
+  }
+  try {
+    const std::regex re(args[0].as_string(), flags);
+    return Value::boolean(std::regex_search(args[1].as_string(), re));
+  } catch (const std::regex_error&) {
+    return Value::error();
+  }
+}
+
+// ---- string-list functions (Condor's "a, b, c" convention) ----
+
+std::vector<std::string> split_list(const std::string& text,
+                                    const std::string& delims) {
+  std::vector<std::string> out;
+  std::string current;
+  for (const char c : text) {
+    if (delims.find(c) != std::string::npos) {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+Value string_list_member(const Args& args, bool case_sensitive) {
+  if (args.size() != 2 && args.size() != 3) return Value::error();
+  const Value bad = propagate_bad(args);
+  if (!bad.is_bool()) return bad;
+  if (!args[0].is_string() || !args[1].is_string()) return Value::error();
+  std::string delims = " ,";
+  if (args.size() == 3) {
+    if (!args[2].is_string()) return Value::error();
+    delims = args[2].as_string();
+  }
+  const std::string& needle = args[0].as_string();
+  for (const std::string& item : split_list(args[1].as_string(), delims)) {
+    if (case_sensitive ? item == needle : util::iequals(item, needle)) {
+      return Value::boolean(true);
+    }
+  }
+  return Value::boolean(false);
+}
+
+Value fn_string_list_member(const Args& args, EvalContext&) {
+  return string_list_member(args, /*case_sensitive=*/true);
+}
+
+Value fn_string_list_imember(const Args& args, EvalContext&) {
+  return string_list_member(args, /*case_sensitive=*/false);
+}
+
+Value fn_string_list_size(const Args& args, EvalContext&) {
+  if (args.size() != 1 && args.size() != 2) return Value::error();
+  const Value bad = propagate_bad(args);
+  if (!bad.is_bool()) return bad;
+  if (!args[0].is_string()) return Value::error();
+  std::string delims = " ,";
+  if (args.size() == 2) {
+    if (!args[1].is_string()) return Value::error();
+    delims = args[1].as_string();
+  }
+  return Value::integer(static_cast<std::int64_t>(
+      split_list(args[0].as_string(), delims).size()));
+}
+
+Value fn_member(const Args& args, EvalContext&) {
+  if (args.size() != 2) return Value::error();
+  if (args[0].is_error() || args[1].is_error()) return Value::error();
+  if (!args[1].is_list()) {
+    return args[1].is_undefined() ? Value::undefined() : Value::error();
+  }
+  for (const Value& item : args[1].as_list()) {
+    if (item.same_as(args[0])) return Value::boolean(true);
+  }
+  return Value::boolean(false);
+}
+
+// ---- numeric functions ----
+
+Value fn_floor(const Args& args, EvalContext&) {
+  if (args.size() != 1) return Value::error();
+  const Value bad = propagate_bad(args);
+  if (!bad.is_bool()) return bad;
+  double d = 0;
+  if (!args[0].to_number(d)) return Value::error();
+  return Value::integer(static_cast<std::int64_t>(std::floor(d)));
+}
+
+Value fn_ceiling(const Args& args, EvalContext&) {
+  if (args.size() != 1) return Value::error();
+  const Value bad = propagate_bad(args);
+  if (!bad.is_bool()) return bad;
+  double d = 0;
+  if (!args[0].to_number(d)) return Value::error();
+  return Value::integer(static_cast<std::int64_t>(std::ceil(d)));
+}
+
+Value fn_round(const Args& args, EvalContext&) {
+  if (args.size() != 1) return Value::error();
+  const Value bad = propagate_bad(args);
+  if (!bad.is_bool()) return bad;
+  double d = 0;
+  if (!args[0].to_number(d)) return Value::error();
+  return Value::integer(static_cast<std::int64_t>(std::llround(d)));
+}
+
+Value fn_abs(const Args& args, EvalContext&) {
+  if (args.size() != 1) return Value::error();
+  const Value bad = propagate_bad(args);
+  if (!bad.is_bool()) return bad;
+  if (args[0].is_int()) return Value::integer(std::abs(args[0].as_int()));
+  if (args[0].is_real()) return Value::real(std::fabs(args[0].as_real()));
+  return Value::error();
+}
+
+Value fn_pow(const Args& args, EvalContext&) {
+  if (args.size() != 2) return Value::error();
+  const Value bad = propagate_bad(args);
+  if (!bad.is_bool()) return bad;
+  double base = 0, exp = 0;
+  if (!args[0].to_number(base) || !args[1].to_number(exp)) {
+    return Value::error();
+  }
+  return Value::real(std::pow(base, exp));
+}
+
+Value minmax(const Args& args, bool want_min) {
+  if (args.empty()) return Value::error();
+  const Value bad = propagate_bad(args);
+  if (!bad.is_bool()) return bad;
+  double best = 0;
+  bool all_int = true;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    double d = 0;
+    if (!args[i].to_number(d)) return Value::error();
+    all_int = all_int && args[i].is_int();
+    if (i == 0 || (want_min ? d < best : d > best)) best = d;
+  }
+  return all_int ? Value::integer(static_cast<std::int64_t>(best))
+                 : Value::real(best);
+}
+
+Value fn_min(const Args& args, EvalContext&) { return minmax(args, true); }
+Value fn_max(const Args& args, EvalContext&) { return minmax(args, false); }
+
+// ---- conversion ----
+
+Value fn_int(const Args& args, EvalContext&) {
+  if (args.size() != 1) return Value::error();
+  const Value bad = propagate_bad(args);
+  if (!bad.is_bool()) return bad;
+  double d = 0;
+  if (args[0].to_number(d)) {
+    return Value::integer(static_cast<std::int64_t>(d));
+  }
+  if (args[0].is_string()) {
+    try {
+      return Value::integer(std::stoll(args[0].as_string()));
+    } catch (const std::exception&) {
+      return Value::error();
+    }
+  }
+  return Value::error();
+}
+
+Value fn_real(const Args& args, EvalContext&) {
+  if (args.size() != 1) return Value::error();
+  const Value bad = propagate_bad(args);
+  if (!bad.is_bool()) return bad;
+  double d = 0;
+  if (args[0].to_number(d)) return Value::real(d);
+  if (args[0].is_string()) {
+    try {
+      return Value::real(std::stod(args[0].as_string()));
+    } catch (const std::exception&) {
+      return Value::error();
+    }
+  }
+  return Value::error();
+}
+
+Value fn_string(const Args& args, EvalContext&) {
+  if (args.size() != 1) return Value::error();
+  const Value bad = propagate_bad(args);
+  if (!bad.is_bool()) return bad;
+  if (args[0].is_string()) return args[0];
+  switch (args[0].type()) {
+    case Value::Type::kInt:
+      return Value::string(std::to_string(args[0].as_int()));
+    case Value::Type::kReal:
+      return Value::string(util::format("%g", args[0].as_real()));
+    case Value::Type::kBool:
+      return Value::string(args[0].as_bool() ? "true" : "false");
+    default:
+      return Value::error();
+  }
+}
+
+// ---- introspection & control ----
+
+Value fn_is_undefined(const Args& args, EvalContext&) {
+  if (args.size() != 1) return Value::error();
+  return Value::boolean(args[0].is_undefined());
+}
+
+Value fn_is_error(const Args& args, EvalContext&) {
+  if (args.size() != 1) return Value::error();
+  return Value::boolean(args[0].is_error());
+}
+
+Value fn_is_string(const Args& args, EvalContext&) {
+  if (args.size() != 1) return Value::error();
+  return Value::boolean(args[0].is_string());
+}
+
+Value fn_is_integer(const Args& args, EvalContext&) {
+  if (args.size() != 1) return Value::error();
+  return Value::boolean(args[0].is_int());
+}
+
+Value fn_is_real(const Args& args, EvalContext&) {
+  if (args.size() != 1) return Value::error();
+  return Value::boolean(args[0].is_real());
+}
+
+Value fn_is_boolean(const Args& args, EvalContext&) {
+  if (args.size() != 1) return Value::error();
+  return Value::boolean(args[0].is_bool());
+}
+
+Value fn_if_then_else(const Args& args, EvalContext&) {
+  if (args.size() != 3) return Value::error();
+  if (args[0].is_undefined()) return Value::undefined();
+  if (!args[0].is_bool()) return Value::error();
+  return args[0].as_bool() ? args[1] : args[2];
+}
+
+const std::map<std::string, Builtin>& registry() {
+  static const std::map<std::string, Builtin> kRegistry = {
+      {"strcmp", fn_strcmp},
+      {"stricmp", fn_stricmp},
+      {"tolower", fn_tolower},
+      {"toupper", fn_toupper},
+      {"size", fn_size},
+      {"substr", fn_substr},
+      {"strcat", fn_strcat},
+      {"regexp", fn_regexp},
+      {"stringlistmember", fn_string_list_member},
+      {"stringlistimember", fn_string_list_imember},
+      {"stringlistsize", fn_string_list_size},
+      {"member", fn_member},
+      {"floor", fn_floor},
+      {"ceiling", fn_ceiling},
+      {"round", fn_round},
+      {"abs", fn_abs},
+      {"pow", fn_pow},
+      {"min", fn_min},
+      {"max", fn_max},
+      {"int", fn_int},
+      {"real", fn_real},
+      {"string", fn_string},
+      {"isundefined", fn_is_undefined},
+      {"iserror", fn_is_error},
+      {"isstring", fn_is_string},
+      {"isinteger", fn_is_integer},
+      {"isreal", fn_is_real},
+      {"isboolean", fn_is_boolean},
+      {"ifthenelse", fn_if_then_else},
+  };
+  return kRegistry;
+}
+
+}  // namespace
+
+Builtin find_builtin(const std::string& name) {
+  const auto& reg = registry();
+  const auto it = reg.find(util::to_lower(name));
+  return it == reg.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> builtin_names() {
+  std::vector<std::string> names;
+  for (const auto& [name, fn] : registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace condorg::classad

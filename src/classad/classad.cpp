@@ -1,0 +1,146 @@
+#include "condorg/classad/classad.h"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
+#include "condorg/classad/parser.h"
+#include "condorg/util/strings.h"
+
+namespace condorg::classad {
+
+bool AttrNameLess::operator()(const std::string& a,
+                              const std::string& b) const {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const char ca =
+        static_cast<char>(std::tolower(static_cast<unsigned char>(a[i])));
+    const char cb =
+        static_cast<char>(std::tolower(static_cast<unsigned char>(b[i])));
+    if (ca != cb) return ca < cb;
+  }
+  return a.size() < b.size();
+}
+
+void ClassAd::insert(const std::string& name, ExprPtr expr) {
+  auto it = attrs_.find(name);
+  if (it == attrs_.end()) {
+    attrs_.emplace(name, Attr{name, std::move(expr)});
+  } else {
+    it->second.expr = std::move(expr);  // keep canonical spelling
+  }
+}
+
+void ClassAd::insert_expr(const std::string& name,
+                          const std::string& expr_text) {
+  insert(name, parse_expr(expr_text));
+}
+
+void ClassAd::insert_int(const std::string& name, std::int64_t value) {
+  insert(name, std::make_shared<LiteralExpr>(Value::integer(value)));
+}
+
+void ClassAd::insert_real(const std::string& name, double value) {
+  insert(name, std::make_shared<LiteralExpr>(Value::real(value)));
+}
+
+void ClassAd::insert_bool(const std::string& name, bool value) {
+  insert(name, std::make_shared<LiteralExpr>(Value::boolean(value)));
+}
+
+void ClassAd::insert_string(const std::string& name, std::string value) {
+  insert(name, std::make_shared<LiteralExpr>(Value::string(std::move(value))));
+}
+
+bool ClassAd::erase(const std::string& name) { return attrs_.erase(name) > 0; }
+
+bool ClassAd::contains(const std::string& name) const {
+  return attrs_.count(name) > 0;
+}
+
+ExprPtr ClassAd::lookup(const std::string& name) const {
+  const auto it = attrs_.find(name);
+  return it == attrs_.end() ? nullptr : it->second.expr;
+}
+
+Value ClassAd::eval(const std::string& name, const ClassAd* target) const {
+  const ExprPtr expr = lookup(name);
+  if (!expr) return Value::undefined();
+  return expr->evaluate(this, target);
+}
+
+std::optional<std::int64_t> ClassAd::eval_int(const std::string& name,
+                                              const ClassAd* target) const {
+  const Value v = eval(name, target);
+  if (v.is_int()) return v.as_int();
+  if (v.is_real()) return static_cast<std::int64_t>(v.as_real());
+  return std::nullopt;
+}
+
+std::optional<double> ClassAd::eval_real(const std::string& name,
+                                         const ClassAd* target) const {
+  const Value v = eval(name, target);
+  double d = 0;
+  if (v.to_number(d)) return d;
+  return std::nullopt;
+}
+
+std::optional<bool> ClassAd::eval_bool(const std::string& name,
+                                       const ClassAd* target) const {
+  const Value v = eval(name, target);
+  if (v.is_bool()) return v.as_bool();
+  return std::nullopt;
+}
+
+std::optional<std::string> ClassAd::eval_string(const std::string& name,
+                                                const ClassAd* target) const {
+  const Value v = eval(name, target);
+  if (v.is_string()) return v.as_string();
+  return std::nullopt;
+}
+
+std::vector<std::string> ClassAd::names() const {
+  std::vector<std::string> out;
+  out.reserve(attrs_.size());
+  for (const auto& [key, attr] : attrs_) out.push_back(attr.name);
+  return out;
+}
+
+std::string ClassAd::unparse() const {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& [key, attr] : attrs_) {
+    if (!first) out += "; ";
+    first = false;
+    out += attr.name + " = " + attr.expr->unparse();
+  }
+  out += "]";
+  return out;
+}
+
+void ClassAd::update(const ClassAd& other) {
+  for (const auto& [key, attr] : other.attrs_) {
+    insert(attr.name, attr.expr);
+  }
+}
+
+bool symmetric_match(const ClassAd& left, const ClassAd& right) {
+  auto half = [](const ClassAd& my, const ClassAd& target) {
+    const ExprPtr req = my.lookup("Requirements");
+    if (!req) return true;  // no constraints: matches anything
+    const Value v = req->evaluate(&my, &target);
+    return v.is_bool() && v.as_bool();
+  };
+  return half(left, right) && half(right, left);
+}
+
+double eval_rank(const ClassAd& ad, const ClassAd& target) {
+  const ExprPtr rank = ad.lookup("Rank");
+  if (!rank) return 0.0;
+  const Value v = rank->evaluate(&ad, &target);
+  double d = 0.0;
+  if (v.to_number(d)) return d;
+  return 0.0;
+}
+
+}  // namespace condorg::classad

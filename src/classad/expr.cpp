@@ -1,0 +1,305 @@
+#include "condorg/classad/expr.h"
+
+#include <cmath>
+
+#include "condorg/classad/classad.h"
+#include "condorg/util/strings.h"
+
+namespace condorg::classad {
+namespace {
+
+/// RAII guard for the recursion budget; yields ERROR when exhausted (cyclic
+/// attribute definitions).
+struct DepthGuard {
+  explicit DepthGuard(EvalContext& context) : ctx(context) { ++ctx.depth; }
+  ~DepthGuard() { --ctx.depth; }
+  bool exceeded() const { return ctx.depth > EvalContext::kMaxDepth; }
+  EvalContext& ctx;
+};
+
+Value numeric_binary(BinaryOp op, const Value& a, const Value& b) {
+  double x = 0, y = 0;
+  if (!a.to_number(x) || !b.to_number(y)) return Value::error();
+  const bool both_int = a.is_int() && b.is_int();
+  switch (op) {
+    case BinaryOp::kAdd:
+      return both_int ? Value::integer(a.as_int() + b.as_int())
+                      : Value::real(x + y);
+    case BinaryOp::kSub:
+      return both_int ? Value::integer(a.as_int() - b.as_int())
+                      : Value::real(x - y);
+    case BinaryOp::kMul:
+      return both_int ? Value::integer(a.as_int() * b.as_int())
+                      : Value::real(x * y);
+    case BinaryOp::kDiv:
+      if (both_int) {
+        if (b.as_int() == 0) return Value::error();
+        return Value::integer(a.as_int() / b.as_int());
+      }
+      if (y == 0.0) return Value::error();
+      return Value::real(x / y);
+    case BinaryOp::kMod:
+      if (both_int) {
+        if (b.as_int() == 0) return Value::error();
+        return Value::integer(a.as_int() % b.as_int());
+      }
+      if (y == 0.0) return Value::error();
+      return Value::real(std::fmod(x, y));
+    default:
+      return Value::error();
+  }
+}
+
+/// Fuzzy comparison: numbers compare numerically (bool coerces), strings
+/// case-insensitively. Mixed incomparable types are an ERROR.
+Value compare(BinaryOp op, const Value& a, const Value& b) {
+  int cmp;  // -1, 0, 1
+  double x = 0, y = 0;
+  if (a.to_number(x) && b.to_number(y)) {
+    cmp = x < y ? -1 : (x > y ? 1 : 0);
+  } else if (a.is_string() && b.is_string()) {
+    const std::string la = util::to_lower(a.as_string());
+    const std::string lb = util::to_lower(b.as_string());
+    cmp = la < lb ? -1 : (la > lb ? 1 : 0);
+  } else {
+    return Value::error();
+  }
+  switch (op) {
+    case BinaryOp::kLess: return Value::boolean(cmp < 0);
+    case BinaryOp::kLessEq: return Value::boolean(cmp <= 0);
+    case BinaryOp::kGreater: return Value::boolean(cmp > 0);
+    case BinaryOp::kGreaterEq: return Value::boolean(cmp >= 0);
+    case BinaryOp::kEq: return Value::boolean(cmp == 0);
+    case BinaryOp::kNotEq: return Value::boolean(cmp != 0);
+    default: return Value::error();
+  }
+}
+
+const char* op_text(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kLess: return "<";
+    case BinaryOp::kLessEq: return "<=";
+    case BinaryOp::kGreater: return ">";
+    case BinaryOp::kGreaterEq: return ">=";
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNotEq: return "!=";
+    case BinaryOp::kMetaEq: return "=?=";
+    case BinaryOp::kMetaNotEq: return "=!=";
+    case BinaryOp::kAnd: return "&&";
+    case BinaryOp::kOr: return "||";
+  }
+  return "?";
+}
+
+}  // namespace
+
+// ---------- AttrRefExpr ----------
+
+Value AttrRefExpr::eval(EvalContext& ctx) const {
+  DepthGuard guard(ctx);
+  if (guard.exceeded()) return Value::error();
+
+  const ClassAd* primary = nullptr;
+  const ClassAd* secondary = nullptr;
+  switch (scope_) {
+    case AttrScope::kMy:
+      primary = ctx.my;
+      break;
+    case AttrScope::kTarget:
+      primary = ctx.target;
+      break;
+    case AttrScope::kNone:
+      primary = ctx.my;
+      secondary = ctx.target;
+      break;
+  }
+  for (const ClassAd* ad : {primary, secondary}) {
+    if (ad == nullptr) continue;
+    if (const ExprPtr expr = ad->lookup(name_)) {
+      // Attribute bodies evaluate with MY bound to their own ad; when the
+      // reference crossed into the target ad, the scopes swap.
+      if (ad == ctx.my || ctx.my == nullptr) {
+        return expr->eval(ctx);
+      }
+      EvalContext swapped;
+      swapped.my = ctx.target;
+      swapped.target = ctx.my;
+      swapped.depth = ctx.depth;
+      return expr->eval(swapped);
+    }
+  }
+  return Value::undefined();
+}
+
+std::string AttrRefExpr::unparse() const {
+  switch (scope_) {
+    case AttrScope::kMy: return "MY." + name_;
+    case AttrScope::kTarget: return "TARGET." + name_;
+    case AttrScope::kNone: return name_;
+  }
+  return name_;
+}
+
+// ---------- UnaryExpr ----------
+
+Value UnaryExpr::eval(EvalContext& ctx) const {
+  DepthGuard guard(ctx);
+  if (guard.exceeded()) return Value::error();
+  const Value v = operand_->eval(ctx);
+  if (v.is_undefined()) return v;
+  if (v.is_error()) return v;
+  switch (op_) {
+    case UnaryOp::kMinus:
+      if (v.is_int()) return Value::integer(-v.as_int());
+      if (v.is_real()) return Value::real(-v.as_real());
+      return Value::error();
+    case UnaryOp::kPlus:
+      if (v.is_number()) return v;
+      return Value::error();
+    case UnaryOp::kNot:
+      if (v.is_bool()) return Value::boolean(!v.as_bool());
+      return Value::error();
+  }
+  return Value::error();
+}
+
+std::string UnaryExpr::unparse() const {
+  const char* op = op_ == UnaryOp::kMinus ? "-"
+                   : op_ == UnaryOp::kPlus ? "+"
+                                           : "!";
+  return std::string(op) + "(" + operand_->unparse() + ")";
+}
+
+// ---------- BinaryExpr ----------
+
+Value BinaryExpr::eval(EvalContext& ctx) const {
+  DepthGuard guard(ctx);
+  if (guard.exceeded()) return Value::error();
+
+  // Non-strict boolean connectives: evaluate left first and let the
+  // absorbing element (FALSE for &&, TRUE for ||) short-circuit even past
+  // UNDEFINED/ERROR on the other side.
+  if (op_ == BinaryOp::kAnd || op_ == BinaryOp::kOr) {
+    const bool is_and = op_ == BinaryOp::kAnd;
+    const Value a = lhs_->eval(ctx);
+    if (a.is_bool() && a.as_bool() != is_and) return a;  // absorbed
+    const Value b = rhs_->eval(ctx);
+    if (b.is_bool() && b.as_bool() != is_and) return b;  // absorbed
+    // Neither side absorbed: ERROR dominates UNDEFINED dominates bool.
+    for (const Value* v : {&a, &b}) {
+      if (v->is_error() || (!v->is_bool() && !v->is_undefined())) {
+        return Value::error();
+      }
+    }
+    if (a.is_undefined() || b.is_undefined()) return Value::undefined();
+    return Value::boolean(is_and);  // both true (for &&) / both false (||)
+  }
+
+  const Value a = lhs_->eval(ctx);
+  const Value b = rhs_->eval(ctx);
+
+  // Structural (meta) comparison never yields UNDEFINED.
+  if (op_ == BinaryOp::kMetaEq) return Value::boolean(a.same_as(b));
+  if (op_ == BinaryOp::kMetaNotEq) return Value::boolean(!a.same_as(b));
+
+  // Strict operators: propagate ERROR, then UNDEFINED.
+  if (a.is_error() || b.is_error()) return Value::error();
+  if (a.is_undefined() || b.is_undefined()) return Value::undefined();
+
+  switch (op_) {
+    case BinaryOp::kAdd:
+      // '+' concatenates strings as a convenience.
+      if (a.is_string() && b.is_string()) {
+        return Value::string(a.as_string() + b.as_string());
+      }
+      [[fallthrough]];
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod:
+      return numeric_binary(op_, a, b);
+    case BinaryOp::kEq:
+    case BinaryOp::kNotEq:
+      // bool == bool is allowed via numeric coercion in compare().
+      return compare(op_, a, b);
+    case BinaryOp::kLess:
+    case BinaryOp::kLessEq:
+    case BinaryOp::kGreater:
+    case BinaryOp::kGreaterEq:
+      return compare(op_, a, b);
+    default:
+      return Value::error();
+  }
+}
+
+std::string BinaryExpr::unparse() const {
+  return "(" + lhs_->unparse() + " " + op_text(op_) + " " + rhs_->unparse() +
+         ")";
+}
+
+// ---------- TernaryExpr ----------
+
+Value TernaryExpr::eval(EvalContext& ctx) const {
+  DepthGuard guard(ctx);
+  if (guard.exceeded()) return Value::error();
+  const Value c = cond_->eval(ctx);
+  if (c.is_undefined()) return Value::undefined();
+  if (!c.is_bool()) return Value::error();
+  return c.as_bool() ? then_->eval(ctx) : else_->eval(ctx);
+}
+
+std::string TernaryExpr::unparse() const {
+  return "(" + cond_->unparse() + " ? " + then_->unparse() + " : " +
+         else_->unparse() + ")";
+}
+
+// ---------- CallExpr ----------
+
+Value CallExpr::eval(EvalContext& ctx) const {
+  DepthGuard guard(ctx);
+  if (guard.exceeded()) return Value::error();
+  const Builtin fn = find_builtin(name_);
+  if (fn == nullptr) return Value::error();
+  std::vector<Value> args;
+  args.reserve(args_.size());
+  for (const ExprPtr& arg : args_) args.push_back(arg->eval(ctx));
+  return fn(args, ctx);
+}
+
+std::string CallExpr::unparse() const {
+  std::string out = name_ + "(";
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    if (i) out += ", ";
+    out += args_[i]->unparse();
+  }
+  out += ")";
+  return out;
+}
+
+// ---------- ListExpr ----------
+
+Value ListExpr::eval(EvalContext& ctx) const {
+  DepthGuard guard(ctx);
+  if (guard.exceeded()) return Value::error();
+  ValueList items;
+  items.reserve(items_.size());
+  for (const ExprPtr& item : items_) items.push_back(item->eval(ctx));
+  return Value::list(std::move(items));
+}
+
+std::string ListExpr::unparse() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (i) out += ", ";
+    out += items_[i]->unparse();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace condorg::classad

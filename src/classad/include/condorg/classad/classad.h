@@ -1,0 +1,88 @@
+// ClassAd record type and bilateral matchmaking.
+//
+// A ClassAd is a set of (case-insensitively named) attributes, each bound to
+// an expression. Resources advertise offer ads, jobs advertise request ads;
+// the Matchmaker (Negotiator) pairs them when each ad's Requirements
+// evaluates to true against the other, and ranks candidates by Rank.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "condorg/classad/expr.h"
+#include "condorg/classad/value.h"
+
+namespace condorg::classad {
+
+/// Case-insensitive attribute-name ordering.
+struct AttrNameLess {
+  bool operator()(const std::string& a, const std::string& b) const;
+};
+
+class ClassAd {
+ public:
+  ClassAd() = default;
+
+  // --- attribute insertion ---
+  void insert(const std::string& name, ExprPtr expr);
+  /// Parse `expr_text` and insert; throws ParseError on bad syntax.
+  void insert_expr(const std::string& name, const std::string& expr_text);
+  void insert_int(const std::string& name, std::int64_t value);
+  void insert_real(const std::string& name, double value);
+  void insert_bool(const std::string& name, bool value);
+  void insert_string(const std::string& name, std::string value);
+
+  bool erase(const std::string& name);
+  bool contains(const std::string& name) const;
+  std::size_t size() const { return attrs_.size(); }
+  bool empty() const { return attrs_.empty(); }
+
+  /// The bound expression, or nullptr.
+  ExprPtr lookup(const std::string& name) const;
+
+  // --- evaluation ---
+  /// Evaluate attribute `name` with MY = this ad, TARGET = `target`.
+  Value eval(const std::string& name, const ClassAd* target = nullptr) const;
+
+  /// Typed evaluation helpers; nullopt when missing / wrong type.
+  std::optional<std::int64_t> eval_int(const std::string& name,
+                                       const ClassAd* target = nullptr) const;
+  std::optional<double> eval_real(const std::string& name,
+                                  const ClassAd* target = nullptr) const;
+  std::optional<bool> eval_bool(const std::string& name,
+                                const ClassAd* target = nullptr) const;
+  std::optional<std::string> eval_string(
+      const std::string& name, const ClassAd* target = nullptr) const;
+
+  /// Attribute names in their canonical (first-inserted) spelling, sorted
+  /// case-insensitively.
+  std::vector<std::string> names() const;
+
+  /// Render as "[a = 1; b = \"x\"]".
+  std::string unparse() const;
+
+  /// Merge `other`'s attributes into this ad (other wins on conflict).
+  void update(const ClassAd& other);
+
+ private:
+  struct Attr {
+    std::string name;  // canonical spelling
+    ExprPtr expr;
+  };
+  std::map<std::string, Attr, AttrNameLess> attrs_;
+};
+
+// --- matchmaking ---
+
+/// True iff `left.Requirements` is true with TARGET = right AND
+/// `right.Requirements` is true with TARGET = left. A missing Requirements
+/// attribute counts as true (matches anything), mirroring Condor.
+bool symmetric_match(const ClassAd& left, const ClassAd& right);
+
+/// Evaluate `ad.Rank` against `target`; UNDEFINED or non-numeric → 0.0.
+double eval_rank(const ClassAd& ad, const ClassAd& target);
+
+}  // namespace condorg::classad

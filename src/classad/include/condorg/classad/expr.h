@@ -1,0 +1,160 @@
+// ClassAd expression AST and evaluator.
+//
+// Evaluation implements the classic Condor semantics:
+//   * arithmetic/comparison with UNDEFINED yields UNDEFINED; ERROR dominates;
+//   * && and || are non-strict: FALSE absorbs UNDEFINED in &&, TRUE in ||;
+//   * string == / != are case-insensitive (use strcmp() for sensitivity);
+//   * =?= / =!= ("is" / "isnt") compare structurally and never yield
+//     UNDEFINED;
+//   * unqualified attribute references resolve in the ad being evaluated,
+//     then (during matchmaking) in the candidate ad; MY./TARGET. qualify
+//     explicitly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "condorg/classad/value.h"
+
+namespace condorg::classad {
+
+class ClassAd;
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Evaluation environment: the ad being evaluated ("MY"), the optional
+/// candidate ad ("TARGET"), and a recursion budget guarding cyclic ads.
+struct EvalContext {
+  const ClassAd* my = nullptr;
+  const ClassAd* target = nullptr;
+  int depth = 0;
+  static constexpr int kMaxDepth = 96;
+};
+
+enum class UnaryOp { kMinus, kPlus, kNot };
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kLess, kLessEq, kGreater, kGreaterEq,
+  kEq, kNotEq,       // fuzzy (case-insensitive strings, undefined-propagating)
+  kMetaEq, kMetaNotEq,  // structural, never undefined
+  kAnd, kOr,
+};
+
+enum class AttrScope { kNone, kMy, kTarget };
+
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  virtual Value eval(EvalContext& ctx) const = 0;
+  virtual std::string unparse() const = 0;
+
+  /// Evaluate with a fresh context (no target).
+  Value evaluate(const ClassAd* my = nullptr,
+                 const ClassAd* target = nullptr) const {
+    EvalContext ctx;
+    ctx.my = my;
+    ctx.target = target;
+    return eval(ctx);
+  }
+};
+
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(Value value) : value_(std::move(value)) {}
+  Value eval(EvalContext&) const override { return value_; }
+  std::string unparse() const override { return value_.unparse(); }
+  const Value& value() const { return value_; }
+
+ private:
+  Value value_;
+};
+
+class AttrRefExpr final : public Expr {
+ public:
+  AttrRefExpr(std::string name, AttrScope scope)
+      : name_(std::move(name)), scope_(scope) {}
+  Value eval(EvalContext& ctx) const override;
+  std::string unparse() const override;
+  const std::string& name() const { return name_; }
+  AttrScope scope() const { return scope_; }
+
+ private:
+  std::string name_;
+  AttrScope scope_;
+};
+
+class UnaryExpr final : public Expr {
+ public:
+  UnaryExpr(UnaryOp op, ExprPtr operand)
+      : op_(op), operand_(std::move(operand)) {}
+  Value eval(EvalContext& ctx) const override;
+  std::string unparse() const override;
+
+ private:
+  UnaryOp op_;
+  ExprPtr operand_;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  Value eval(EvalContext& ctx) const override;
+  std::string unparse() const override;
+
+ private:
+  BinaryOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class TernaryExpr final : public Expr {
+ public:
+  TernaryExpr(ExprPtr cond, ExprPtr then_expr, ExprPtr else_expr)
+      : cond_(std::move(cond)),
+        then_(std::move(then_expr)),
+        else_(std::move(else_expr)) {}
+  Value eval(EvalContext& ctx) const override;
+  std::string unparse() const override;
+
+ private:
+  ExprPtr cond_;
+  ExprPtr then_;
+  ExprPtr else_;
+};
+
+class CallExpr final : public Expr {
+ public:
+  CallExpr(std::string name, std::vector<ExprPtr> args)
+      : name_(std::move(name)), args_(std::move(args)) {}
+  Value eval(EvalContext& ctx) const override;
+  std::string unparse() const override;
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<ExprPtr> args_;
+};
+
+class ListExpr final : public Expr {
+ public:
+  explicit ListExpr(std::vector<ExprPtr> items) : items_(std::move(items)) {}
+  Value eval(EvalContext& ctx) const override;
+  std::string unparse() const override;
+
+ private:
+  std::vector<ExprPtr> items_;
+};
+
+// --- builtin function registry (implemented in builtins.cpp) ---
+using Builtin = Value (*)(const std::vector<Value>& args, EvalContext& ctx);
+
+/// Case-insensitive lookup; nullptr if unknown (the call then yields ERROR).
+Builtin find_builtin(const std::string& name);
+
+/// Names of all registered builtins (for docs/tests).
+std::vector<std::string> builtin_names();
+
+}  // namespace condorg::classad

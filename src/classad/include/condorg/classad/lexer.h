@@ -1,0 +1,48 @@
+// Tokenizer for the ClassAd expression language.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace condorg::classad {
+
+enum class TokenKind {
+  kEnd,
+  kIdentifier,  // attribute names, true/false/undefined/error keywords
+  kInteger,
+  kReal,
+  kString,
+  // punctuation / operators
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemicolon, kDot,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kLess, kLessEq, kGreater, kGreaterEq,
+  kEqEq, kNotEq, kMetaEq, kMetaNotEq,  // ==  !=  =?=  =!=
+  kAnd, kOr, kNot,
+  kQuestion, kColon,
+  kAssign,  // '=' inside [ name = expr; ... ] ads
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;        // identifier or string payload
+  std::int64_t int_value = 0;
+  double real_value = 0.0;
+  std::size_t offset = 0;  // position in input, for error messages
+};
+
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& message, std::size_t at)
+      : std::runtime_error(message + " (at offset " + std::to_string(at) +
+                           ")"),
+        offset(at) {}
+  std::size_t offset;
+};
+
+/// Tokenize the whole input. Throws LexError on malformed input.
+std::vector<Token> tokenize(const std::string& input);
+
+}  // namespace condorg::classad

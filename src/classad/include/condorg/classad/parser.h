@@ -1,0 +1,41 @@
+// Recursive-descent parser for ClassAd expressions and ads.
+//
+// Grammar (precedence low to high):
+//   expr     := ternary
+//   ternary  := or ('?' expr ':' expr)?
+//   or       := and ('||' and)*
+//   and      := cmp ('&&' cmp)*
+//   cmp      := add (('<'|'<='|'>'|'>='|'=='|'!='|'=?='|'=!=') add)*
+//   add      := mul (('+'|'-') mul)*
+//   mul      := unary (('*'|'/'|'%') unary)*
+//   unary    := ('-'|'+'|'!') unary | primary
+//   primary  := literal | ident | scope '.' ident | ident '(' args ')'
+//             | '(' expr ')' | '{' exprs '}' | '[' ad ']'
+// Identifiers true/false/undefined/error are literals (case-insensitive);
+// MY/TARGET (and my/target) are scopes.
+//
+// An *ad* is '[' (name '=' expr ';'?)* ']' or a bare sequence of
+// 'name = expr' lines (submit-file style).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "condorg/classad/classad.h"
+#include "condorg/classad/expr.h"
+
+namespace condorg::classad {
+
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parse a single expression; trailing input is an error.
+ExprPtr parse_expr(const std::string& input);
+
+/// Parse a full ad: either "[a = 1; b = 2]" or newline-separated
+/// "a = 1" assignments. Throws ParseError.
+ClassAd parse_ad(const std::string& input);
+
+}  // namespace condorg::classad

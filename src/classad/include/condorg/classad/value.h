@@ -1,0 +1,96 @@
+// ClassAd values.
+//
+// ClassAds (the "classified advertisement" language of Condor's Matchmaking
+// framework, Raman et al. 1998) use a three-valued logic: in addition to
+// ordinary booleans/numbers/strings, expressions can evaluate to UNDEFINED
+// (an attribute was absent) or ERROR (a type error occurred). The evaluator
+// propagates these so that half-specified ads never match spuriously.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace condorg::classad {
+
+class Value;
+using ValueList = std::vector<Value>;
+
+class Value {
+ public:
+  enum class Type { kUndefined, kError, kBool, kInt, kReal, kString, kList };
+
+  Value() : data_(Undefined{}) {}
+
+  static Value undefined() { return Value(); }
+  static Value error() {
+    Value v;
+    v.data_ = ErrorT{};
+    return v;
+  }
+  static Value boolean(bool b) {
+    Value v;
+    v.data_ = b;
+    return v;
+  }
+  static Value integer(std::int64_t i) {
+    Value v;
+    v.data_ = i;
+    return v;
+  }
+  static Value real(double d) {
+    Value v;
+    v.data_ = d;
+    return v;
+  }
+  static Value string(std::string s) {
+    Value v;
+    v.data_ = std::move(s);
+    return v;
+  }
+  static Value list(ValueList items);
+
+  Type type() const;
+  bool is_undefined() const { return type() == Type::kUndefined; }
+  bool is_error() const { return type() == Type::kError; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_int() const { return type() == Type::kInt; }
+  bool is_real() const { return type() == Type::kReal; }
+  bool is_number() const { return is_int() || is_real(); }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_list() const { return type() == Type::kList; }
+
+  /// Accessors; only valid when the type matches.
+  bool as_bool() const { return std::get<bool>(data_); }
+  std::int64_t as_int() const { return std::get<std::int64_t>(data_); }
+  double as_real() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  const ValueList& as_list() const;
+
+  /// Numeric coercion: int → its value, real → itself, bool → 0/1.
+  /// Returns false (and leaves out untouched) for other types.
+  bool to_number(double& out) const;
+
+  /// Render in ClassAd literal syntax (strings quoted and escaped).
+  std::string unparse() const;
+
+  /// Structural equality (exact type + payload; lists compared recursively).
+  /// This is =?= semantics, not the fuzzy == operator.
+  bool same_as(const Value& other) const;
+
+ private:
+  struct Undefined {
+    bool operator==(const Undefined&) const = default;
+  };
+  struct ErrorT {
+    bool operator==(const ErrorT&) const = default;
+  };
+  // shared_ptr keeps Value cheap to copy; lists are immutable once built.
+  using Data = std::variant<Undefined, ErrorT, bool, std::int64_t, double,
+                            std::string, std::shared_ptr<const ValueList>>;
+  Data data_;
+};
+
+}  // namespace condorg::classad

@@ -1,0 +1,180 @@
+#include "condorg/classad/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace condorg::classad {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = input.size();
+
+  auto push = [&](TokenKind kind, std::size_t at) {
+    Token t;
+    t.kind = kind;
+    t.offset = at;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: '//' and '#' to end of line.
+    if (c == '#' || (c == '/' && i + 1 < n && input[i + 1] == '/')) {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      // Number: integer or real (digits, optional fraction/exponent).
+      std::size_t j = i;
+      bool is_real = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      if (j < n && input[j] == '.') {
+        is_real = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      }
+      if (j < n && (input[j] == 'e' || input[j] == 'E')) {
+        std::size_t k = j + 1;
+        if (k < n && (input[k] == '+' || input[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(input[k]))) {
+          is_real = true;
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(input[j])))
+            ++j;
+        }
+      }
+      Token t;
+      t.offset = start;
+      const std::string text = input.substr(start, j - start);
+      if (is_real) {
+        t.kind = TokenKind::kReal;
+        t.real_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.kind = TokenKind::kInteger;
+        t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(input[j])) ++j;
+      Token t;
+      t.kind = TokenKind::kIdentifier;
+      t.offset = start;
+      t.text = input.substr(start, j - start);
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '"') {
+      std::string text;
+      std::size_t j = i + 1;
+      while (j < n && input[j] != '"') {
+        if (input[j] == '\\') {
+          ++j;
+          if (j >= n) throw LexError("unterminated escape", j);
+          switch (input[j]) {
+            case 'n': text.push_back('\n'); break;
+            case 't': text.push_back('\t'); break;
+            case '\\': text.push_back('\\'); break;
+            case '"': text.push_back('"'); break;
+            default: throw LexError("bad escape character", j);
+          }
+        } else {
+          text.push_back(input[j]);
+        }
+        ++j;
+      }
+      if (j >= n) throw LexError("unterminated string literal", start);
+      Token t;
+      t.kind = TokenKind::kString;
+      t.offset = start;
+      t.text = std::move(text);
+      tokens.push_back(std::move(t));
+      i = j + 1;
+      continue;
+    }
+    // Operators and punctuation.
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < n && input[i + 1] == b;
+    };
+    if (two('=', '?') && i + 2 < n && input[i + 2] == '=') {
+      push(TokenKind::kMetaEq, start);
+      i += 3;
+    } else if (two('=', '!') && i + 2 < n && input[i + 2] == '=') {
+      push(TokenKind::kMetaNotEq, start);
+      i += 3;
+    } else if (two('=', '=')) {
+      push(TokenKind::kEqEq, start);
+      i += 2;
+    } else if (two('!', '=')) {
+      push(TokenKind::kNotEq, start);
+      i += 2;
+    } else if (two('<', '=')) {
+      push(TokenKind::kLessEq, start);
+      i += 2;
+    } else if (two('>', '=')) {
+      push(TokenKind::kGreaterEq, start);
+      i += 2;
+    } else if (two('&', '&')) {
+      push(TokenKind::kAnd, start);
+      i += 2;
+    } else if (two('|', '|')) {
+      push(TokenKind::kOr, start);
+      i += 2;
+    } else {
+      TokenKind kind;
+      switch (c) {
+        case '(': kind = TokenKind::kLParen; break;
+        case ')': kind = TokenKind::kRParen; break;
+        case '{': kind = TokenKind::kLBrace; break;
+        case '}': kind = TokenKind::kRBrace; break;
+        case '[': kind = TokenKind::kLBracket; break;
+        case ']': kind = TokenKind::kRBracket; break;
+        case ',': kind = TokenKind::kComma; break;
+        case ';': kind = TokenKind::kSemicolon; break;
+        case '.': kind = TokenKind::kDot; break;
+        case '+': kind = TokenKind::kPlus; break;
+        case '-': kind = TokenKind::kMinus; break;
+        case '*': kind = TokenKind::kStar; break;
+        case '/': kind = TokenKind::kSlash; break;
+        case '%': kind = TokenKind::kPercent; break;
+        case '<': kind = TokenKind::kLess; break;
+        case '>': kind = TokenKind::kGreater; break;
+        case '!': kind = TokenKind::kNot; break;
+        case '?': kind = TokenKind::kQuestion; break;
+        case ':': kind = TokenKind::kColon; break;
+        case '=': kind = TokenKind::kAssign; break;
+        default:
+          throw LexError(std::string("unexpected character '") + c + "'",
+                         start);
+      }
+      push(kind, start);
+      ++i;
+    }
+  }
+  push(TokenKind::kEnd, n);
+  return tokens;
+}
+
+}  // namespace condorg::classad

@@ -1,0 +1,281 @@
+#include "condorg/classad/parser.h"
+
+#include <utility>
+
+#include "condorg/classad/lexer.h"
+#include "condorg/util/strings.h"
+
+namespace condorg::classad {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ExprPtr parse_expression_all() {
+    ExprPtr expr = expression();
+    expect(TokenKind::kEnd, "trailing input after expression");
+    return expr;
+  }
+
+  ClassAd parse_ad_all() {
+    ClassAd ad;
+    if (peek().kind == TokenKind::kLBracket) {
+      parse_bracketed_ad(ad);
+      expect(TokenKind::kEnd, "trailing input after ad");
+      return ad;
+    }
+    // Submit-file style: a sequence of `name = expr` pairs, optionally
+    // separated by semicolons.
+    while (peek().kind != TokenKind::kEnd) {
+      parse_assignment(ad);
+      while (accept(TokenKind::kSemicolon)) {
+      }
+    }
+    return ad;
+  }
+
+  ExprPtr expression() { return ternary(); }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& advance() { return tokens_[pos_++]; }
+  bool accept(TokenKind kind) {
+    if (peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect(TokenKind kind, const char* what) {
+    if (!accept(kind)) {
+      throw ParseError(std::string("parse error: expected ") + what +
+                       " at offset " + std::to_string(peek().offset));
+    }
+  }
+
+  void parse_bracketed_ad(ClassAd& ad) {
+    expect(TokenKind::kLBracket, "'['");
+    while (peek().kind != TokenKind::kRBracket) {
+      parse_assignment(ad);
+      if (!accept(TokenKind::kSemicolon)) break;
+    }
+    expect(TokenKind::kRBracket, "']'");
+  }
+
+  void parse_assignment(ClassAd& ad) {
+    if (peek().kind != TokenKind::kIdentifier) {
+      throw ParseError("parse error: expected attribute name at offset " +
+                       std::to_string(peek().offset));
+    }
+    const std::string name = advance().text;
+    expect(TokenKind::kAssign, "'='");
+    ad.insert(name, expression());
+  }
+
+  ExprPtr ternary() {
+    ExprPtr cond = logical_or();
+    if (accept(TokenKind::kQuestion)) {
+      ExprPtr then_expr = expression();
+      expect(TokenKind::kColon, "':'");
+      ExprPtr else_expr = expression();
+      return std::make_shared<TernaryExpr>(std::move(cond),
+                                           std::move(then_expr),
+                                           std::move(else_expr));
+    }
+    return cond;
+  }
+
+  ExprPtr logical_or() {
+    ExprPtr lhs = logical_and();
+    while (accept(TokenKind::kOr)) {
+      lhs = std::make_shared<BinaryExpr>(BinaryOp::kOr, std::move(lhs),
+                                         logical_and());
+    }
+    return lhs;
+  }
+
+  ExprPtr logical_and() {
+    ExprPtr lhs = comparison();
+    while (accept(TokenKind::kAnd)) {
+      lhs = std::make_shared<BinaryExpr>(BinaryOp::kAnd, std::move(lhs),
+                                         comparison());
+    }
+    return lhs;
+  }
+
+  ExprPtr comparison() {
+    ExprPtr lhs = additive();
+    while (true) {
+      BinaryOp op;
+      switch (peek().kind) {
+        case TokenKind::kLess: op = BinaryOp::kLess; break;
+        case TokenKind::kLessEq: op = BinaryOp::kLessEq; break;
+        case TokenKind::kGreater: op = BinaryOp::kGreater; break;
+        case TokenKind::kGreaterEq: op = BinaryOp::kGreaterEq; break;
+        case TokenKind::kEqEq: op = BinaryOp::kEq; break;
+        case TokenKind::kNotEq: op = BinaryOp::kNotEq; break;
+        case TokenKind::kMetaEq: op = BinaryOp::kMetaEq; break;
+        case TokenKind::kMetaNotEq: op = BinaryOp::kMetaNotEq; break;
+        default: return lhs;
+      }
+      advance();
+      lhs = std::make_shared<BinaryExpr>(op, std::move(lhs), additive());
+    }
+  }
+
+  ExprPtr additive() {
+    ExprPtr lhs = multiplicative();
+    while (true) {
+      BinaryOp op;
+      if (peek().kind == TokenKind::kPlus) {
+        op = BinaryOp::kAdd;
+      } else if (peek().kind == TokenKind::kMinus) {
+        op = BinaryOp::kSub;
+      } else {
+        return lhs;
+      }
+      advance();
+      lhs = std::make_shared<BinaryExpr>(op, std::move(lhs), multiplicative());
+    }
+  }
+
+  ExprPtr multiplicative() {
+    ExprPtr lhs = unary();
+    while (true) {
+      BinaryOp op;
+      switch (peek().kind) {
+        case TokenKind::kStar: op = BinaryOp::kMul; break;
+        case TokenKind::kSlash: op = BinaryOp::kDiv; break;
+        case TokenKind::kPercent: op = BinaryOp::kMod; break;
+        default: return lhs;
+      }
+      advance();
+      lhs = std::make_shared<BinaryExpr>(op, std::move(lhs), unary());
+    }
+  }
+
+  ExprPtr unary() {
+    if (accept(TokenKind::kMinus)) {
+      return std::make_shared<UnaryExpr>(UnaryOp::kMinus, unary());
+    }
+    if (accept(TokenKind::kPlus)) {
+      return std::make_shared<UnaryExpr>(UnaryOp::kPlus, unary());
+    }
+    if (accept(TokenKind::kNot)) {
+      return std::make_shared<UnaryExpr>(UnaryOp::kNot, unary());
+    }
+    return primary();
+  }
+
+  ExprPtr primary() {
+    const Token& tok = peek();
+    switch (tok.kind) {
+      case TokenKind::kInteger: {
+        advance();
+        return std::make_shared<LiteralExpr>(Value::integer(tok.int_value));
+      }
+      case TokenKind::kReal: {
+        advance();
+        return std::make_shared<LiteralExpr>(Value::real(tok.real_value));
+      }
+      case TokenKind::kString: {
+        advance();
+        return std::make_shared<LiteralExpr>(Value::string(tok.text));
+      }
+      case TokenKind::kLParen: {
+        advance();
+        ExprPtr inner = expression();
+        expect(TokenKind::kRParen, "')'");
+        return inner;
+      }
+      case TokenKind::kLBrace: {
+        advance();
+        std::vector<ExprPtr> items;
+        if (peek().kind != TokenKind::kRBrace) {
+          items.push_back(expression());
+          while (accept(TokenKind::kComma)) items.push_back(expression());
+        }
+        expect(TokenKind::kRBrace, "'}'");
+        return std::make_shared<ListExpr>(std::move(items));
+      }
+      case TokenKind::kIdentifier:
+        return identifier_expr();
+      default:
+        throw ParseError("parse error: unexpected token at offset " +
+                         std::to_string(tok.offset));
+    }
+  }
+
+  ExprPtr identifier_expr() {
+    const std::string name = advance().text;
+    // Keyword literals.
+    if (util::iequals(name, "true")) {
+      return std::make_shared<LiteralExpr>(Value::boolean(true));
+    }
+    if (util::iequals(name, "false")) {
+      return std::make_shared<LiteralExpr>(Value::boolean(false));
+    }
+    if (util::iequals(name, "undefined")) {
+      return std::make_shared<LiteralExpr>(Value::undefined());
+    }
+    if (util::iequals(name, "error")) {
+      return std::make_shared<LiteralExpr>(Value::error());
+    }
+    // Scope-qualified references: MY.Attr / TARGET.Attr / other.Attr.
+    if ((util::iequals(name, "my") || util::iequals(name, "target") ||
+         util::iequals(name, "other")) &&
+        peek().kind == TokenKind::kDot) {
+      advance();  // '.'
+      if (peek().kind != TokenKind::kIdentifier) {
+        throw ParseError(
+            "parse error: expected attribute after scope at offset " +
+            std::to_string(peek().offset));
+      }
+      const std::string attr = advance().text;
+      const AttrScope scope =
+          util::iequals(name, "my") ? AttrScope::kMy : AttrScope::kTarget;
+      return std::make_shared<AttrRefExpr>(attr, scope);
+    }
+    // Function call.
+    if (peek().kind == TokenKind::kLParen) {
+      advance();
+      std::vector<ExprPtr> args;
+      if (peek().kind != TokenKind::kRParen) {
+        args.push_back(expression());
+        while (accept(TokenKind::kComma)) args.push_back(expression());
+      }
+      expect(TokenKind::kRParen, "')'");
+      return std::make_shared<CallExpr>(name, std::move(args));
+    }
+    return std::make_shared<AttrRefExpr>(name, AttrScope::kNone);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ExprPtr parse_expr(const std::string& input) {
+  try {
+    Parser parser(tokenize(input));
+    return parser.parse_expression_all();
+  } catch (const LexError& e) {
+    throw ParseError(e.what());
+  }
+}
+
+ClassAd parse_ad(const std::string& input) {
+  try {
+    Parser parser(tokenize(input));
+    return parser.parse_ad_all();
+  } catch (const LexError& e) {
+    throw ParseError(e.what());
+  }
+}
+
+}  // namespace condorg::classad

@@ -1,0 +1,78 @@
+#include "condorg/condor/collector.h"
+
+#include "condorg/classad/parser.h"
+
+namespace condorg::condor {
+
+Collector::Collector(sim::Host& host, sim::Network& network)
+    : host_(host), network_(network) {
+  install();
+  boot_id_ = host_.add_boot([this] { install(); });
+  crash_listener_ = host_.add_crash_listener([this] { entries_.clear(); });
+}
+
+Collector::~Collector() {
+  host_.remove_boot(boot_id_);
+  host_.remove_crash_listener(crash_listener_);
+  if (host_.alive()) host_.unregister_service(kService);
+}
+
+void Collector::install() {
+  host_.register_service(kService,
+                         [this](const sim::Message& m) { on_message(m); });
+}
+
+void Collector::on_message(const sim::Message& message) {
+  if (message.type == "collector.advertise") {
+    const std::string name = message.body.get("name");
+    if (name.empty()) return;
+    try {
+      Entry entry;
+      entry.ad = classad::parse_ad(message.body.get("ad"));
+      entry.expires_at = host_.now() + message.body.get_double("ttl", 900.0);
+      entries_[name] = std::move(entry);
+      ++ads_received_;
+    } catch (const classad::ParseError&) {
+      // Drop malformed ads silently (UDP-like semantics in real Condor).
+    }
+    return;
+  }
+  if (message.type == "collector.invalidate") {
+    entries_.erase(message.body.get("name"));
+    return;
+  }
+}
+
+void Collector::prune() const {
+  const sim::Time now = host_.now();
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.expires_at <= now) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<classad::ClassAd> Collector::query(
+    const classad::ExprPtr& constraint) const {
+  prune();
+  std::vector<classad::ClassAd> out;
+  for (const auto& [name, entry] : entries_) {
+    if (constraint) {
+      const classad::Value v = constraint->evaluate(&entry.ad, nullptr);
+      if (!v.is_bool() || !v.as_bool()) continue;
+    }
+    out.push_back(entry.ad);
+  }
+  return out;
+}
+
+std::size_t Collector::live_count() const {
+  prune();
+  return entries_.size();
+}
+
+void Collector::invalidate(const std::string& name) { entries_.erase(name); }
+
+}  // namespace condorg::condor

@@ -1,0 +1,65 @@
+// Condor Collector: the pool's bulletin board.
+//
+// Every startd (including GlideIn daemons started on remote grid resources,
+// §5 of the paper) periodically advertises a machine ClassAd here; the
+// Negotiator queries the collector during each matchmaking cycle. Ads are
+// soft state with a TTL, so daemons that die — or glide-ins whose site
+// allocation expired — simply age out.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "condorg/classad/classad.h"
+#include "condorg/sim/host.h"
+#include "condorg/sim/network.h"
+
+namespace condorg::condor {
+
+class Collector {
+ public:
+  static constexpr const char* kService = "condor.collector";
+
+  Collector(sim::Host& host, sim::Network& network);
+  ~Collector();
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  sim::Address address() const { return {host_.name(), kService}; }
+
+  /// All live machine ads (TTL not yet lapsed), optionally filtered by a
+  /// constraint evaluated against each ad. Local API — the Negotiator runs
+  /// in the same "personal Condor" on the same host.
+  std::vector<classad::ClassAd> query(
+      const classad::ExprPtr& constraint = nullptr) const;
+
+  /// Live ad count.
+  std::size_t live_count() const;
+
+  /// Remove an ad immediately (explicit invalidation on daemon shutdown).
+  void invalidate(const std::string& name);
+
+  std::uint64_t ads_received() const { return ads_received_; }
+
+ private:
+  struct Entry {
+    classad::ClassAd ad;
+    sim::Time expires_at = 0;
+  };
+
+  void install();
+  void on_message(const sim::Message& message);
+  void prune() const;
+
+  sim::Host& host_;
+  sim::Network& network_;
+  mutable std::map<std::string, Entry> entries_;
+  int boot_id_ = 0;
+  int crash_listener_ = 0;
+  std::uint64_t ads_received_ = 0;
+};
+
+}  // namespace condorg::condor

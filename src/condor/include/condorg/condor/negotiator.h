@@ -1,0 +1,74 @@
+// Condor Negotiator: the Matchmaker.
+//
+// Each negotiation cycle pairs idle jobs (from the Schedd's queue) with
+// unclaimed machine ads (from the Collector) using bilateral ClassAd
+// matching (Raman et al. [25], referenced in §4.4/§5 of the paper), ranking
+// candidates by the job's Rank expression.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "condorg/classad/classad.h"
+#include "condorg/condor/collector.h"
+#include "condorg/sim/host.h"
+
+namespace condorg::condor {
+
+struct IdleJob {
+  std::string job_id;
+  classad::ClassAd ad;
+};
+
+/// One job<->slot pairing produced by a cycle.
+struct Match {
+  std::string job_id;
+  classad::ClassAd slot_ad;  // includes Name and MyAddress
+};
+
+/// Pure matchmaking: greedily assign each job (in order) its highest-Rank
+/// matching slot; each slot is used at most once. Exposed separately from
+/// the daemon for direct use by brokers and benchmarks.
+std::vector<Match> match_jobs_to_slots(
+    const std::vector<IdleJob>& jobs,
+    const std::vector<classad::ClassAd>& slots);
+
+struct NegotiatorOptions {
+  double cycle_period = 60.0;
+};
+
+class Negotiator {
+ public:
+  using JobSource = std::function<std::vector<IdleJob>()>;
+  using MatchSink = std::function<void(const Match&)>;
+  using Options = NegotiatorOptions;
+
+  Negotiator(sim::Host& host, Collector& collector, JobSource jobs,
+             MatchSink sink, Options options = {});
+
+  /// Begin periodic negotiation cycles.
+  void start();
+
+  /// Run one cycle immediately (also used by tests).
+  std::size_t negotiate_once();
+
+  std::uint64_t cycles() const { return cycles_; }
+  std::uint64_t matches_made() const { return matches_; }
+
+ private:
+  void cycle();
+
+  sim::Host& host_;
+  Collector& collector_;
+  JobSource jobs_;
+  MatchSink sink_;
+  Options options_;
+  bool started_ = false;
+  int boot_id_ = 0;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t matches_ = 0;
+};
+
+}  // namespace condorg::condor

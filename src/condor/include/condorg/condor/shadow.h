@@ -1,0 +1,87 @@
+// Condor Shadow: the submit-side representative of one running job.
+//
+// The shadow claims a startd slot, activates the job, receives its
+// checkpoints and redirected system calls ("Remote I/O services", §6), and
+// detects slot death by polling. On eviction or loss it reports the job
+// back for re-queueing with the last checkpoint, so completed work is
+// conserved across machines — the migration half of the GlideIn story.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "condorg/sim/host.h"
+#include "condorg/sim/network.h"
+#include "condorg/sim/rpc.h"
+
+namespace condorg::condor {
+
+struct ShadowJob {
+  std::string job_id;
+  double total_work_seconds = 0;
+  double checkpointed_work = 0;  // carried over from previous executions
+};
+
+struct ShadowOptions {
+  double poll_interval = 120.0;
+  int max_missed_polls = 3;
+  double rpc_timeout = 30.0;
+};
+
+class Shadow {
+ public:
+  enum class Outcome { kPending, kDone, kRequeued };
+
+  /// `on_done(job_id)` — job finished all its work.
+  /// `on_requeue(job_id, checkpointed_work, reason)` — execution ended early
+  /// (eviction, slot death, claim failure); the job should run again
+  /// elsewhere starting from `checkpointed_work`.
+  Shadow(sim::Host& host, sim::Network& network, ShadowJob job,
+         sim::Address startd, std::string claim_id, ShadowOptions options,
+         std::function<void(const std::string&)> on_done,
+         std::function<void(const std::string&, double, const std::string&)>
+             on_requeue);
+  ~Shadow();
+
+  Shadow(const Shadow&) = delete;
+  Shadow& operator=(const Shadow&) = delete;
+
+  /// Claim the slot and activate the job.
+  void start();
+
+  Outcome outcome() const { return outcome_; }
+  double last_checkpoint() const { return job_.checkpointed_work; }
+  std::uint64_t io_bytes() const { return io_bytes_; }
+  std::uint64_t io_ops() const { return io_ops_; }
+  std::uint64_t checkpoints_received() const { return checkpoints_; }
+  const std::string& job_id() const { return job_.job_id; }
+  sim::Address address() const { return {host_.name(), service_}; }
+
+ private:
+  void on_message(const sim::Message& message);
+  void poll();
+  void finish(Outcome outcome, const std::string& reason);
+  void release_slot();
+
+  sim::Host& host_;
+  sim::Network& network_;
+  ShadowJob job_;
+  sim::Address startd_;
+  std::string claim_id_;
+  std::string service_;
+  ShadowOptions options_;
+  std::function<void(const std::string&)> on_done_;
+  std::function<void(const std::string&, double, const std::string&)>
+      on_requeue_;
+  sim::RpcClient rpc_;
+  Outcome outcome_ = Outcome::kPending;
+  sim::EventId poll_event_ = sim::kInvalidEvent;
+  int missed_polls_ = 0;
+  bool activated_ = false;
+  std::uint64_t io_bytes_ = 0;
+  std::uint64_t io_ops_ = 0;
+  std::uint64_t checkpoints_ = 0;
+};
+
+}  // namespace condorg::condor

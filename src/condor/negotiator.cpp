@@ -1,0 +1,72 @@
+#include "condorg/condor/negotiator.h"
+
+#include "condorg/classad/parser.h"
+
+namespace condorg::condor {
+
+std::vector<Match> match_jobs_to_slots(
+    const std::vector<IdleJob>& jobs,
+    const std::vector<classad::ClassAd>& slots) {
+  std::vector<Match> matches;
+  std::vector<bool> used(slots.size(), false);
+  std::size_t slots_left = slots.size();
+  for (const IdleJob& job : jobs) {
+    if (slots_left == 0) break;  // pool exhausted this cycle
+    std::size_t best = slots.size();
+    double best_rank = 0;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (used[i]) continue;
+      if (!classad::symmetric_match(job.ad, slots[i])) continue;
+      const double rank = classad::eval_rank(job.ad, slots[i]);
+      if (best == slots.size() || rank > best_rank) {
+        best = i;
+        best_rank = rank;
+      }
+    }
+    if (best < slots.size()) {
+      used[best] = true;
+      --slots_left;
+      matches.push_back(Match{job.job_id, slots[best]});
+    }
+  }
+  return matches;
+}
+
+Negotiator::Negotiator(sim::Host& host, Collector& collector, JobSource jobs,
+                       MatchSink sink, Options options)
+    : host_(host),
+      collector_(collector),
+      jobs_(std::move(jobs)),
+      sink_(std::move(sink)),
+      options_(options) {
+  boot_id_ = host_.add_boot([this] {
+    if (started_) cycle();
+  });
+}
+
+void Negotiator::start() {
+  if (started_) return;
+  started_ = true;
+  cycle();
+}
+
+std::size_t Negotiator::negotiate_once() {
+  ++cycles_;
+  static const classad::ExprPtr kUnclaimed =
+      classad::parse_expr("State == \"Unclaimed\"");
+  const std::vector<classad::ClassAd> slots = collector_.query(kUnclaimed);
+  const std::vector<IdleJob> jobs = jobs_();
+  const std::vector<Match> matches = match_jobs_to_slots(jobs, slots);
+  for (const Match& match : matches) {
+    ++matches_;
+    sink_(match);
+  }
+  return matches.size();
+}
+
+void Negotiator::cycle() {
+  negotiate_once();
+  host_.post(options_.cycle_period, [this] { cycle(); });
+}
+
+}  // namespace condorg::condor

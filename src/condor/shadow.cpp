@@ -1,0 +1,154 @@
+#include "condorg/condor/shadow.h"
+
+#include <utility>
+
+namespace condorg::condor {
+
+Shadow::Shadow(
+    sim::Host& host, sim::Network& network, ShadowJob job,
+    sim::Address startd, std::string claim_id, ShadowOptions options,
+    std::function<void(const std::string&)> on_done,
+    std::function<void(const std::string&, double, const std::string&)>
+        on_requeue)
+    : host_(host),
+      network_(network),
+      job_(std::move(job)),
+      startd_(std::move(startd)),
+      claim_id_(std::move(claim_id)),
+      service_("shadow." + claim_id_),
+      options_(options),
+      on_done_(std::move(on_done)),
+      on_requeue_(std::move(on_requeue)),
+      rpc_(host, network, service_ + ".rpc") {
+  host_.register_service(service_,
+                         [this](const sim::Message& m) { on_message(m); });
+}
+
+Shadow::~Shadow() {
+  host_.sim().cancel(poll_event_);  // the timer must not outlive us
+  if (host_.alive()) host_.unregister_service(service_);
+}
+
+void Shadow::start() {
+  sim::Payload claim;
+  claim.set("claim_id", claim_id_);
+  claim.set("job_id", job_.job_id);
+  claim.set("shadow", address().str());
+  rpc_.call(startd_, "startd.claim", std::move(claim), options_.rpc_timeout,
+            [this](bool ok, const sim::Payload& reply) {
+              if (outcome_ != Outcome::kPending) return;
+              if (!ok || !reply.get_bool("ok")) {
+                finish(Outcome::kRequeued, "claim failed");
+                return;
+              }
+              sim::Payload activate;
+              activate.set("claim_id", claim_id_);
+              activate.set("job_id", job_.job_id);
+              activate.set_double("total_work", job_.total_work_seconds);
+              activate.set_double("work_done", job_.checkpointed_work);
+              rpc_.call(startd_, "startd.activate", std::move(activate),
+                        options_.rpc_timeout,
+                        [this](bool ok2, const sim::Payload& reply2) {
+                          if (outcome_ != Outcome::kPending) return;
+                          if (!ok2 || !reply2.get_bool("ok")) {
+                            release_slot();
+                            finish(Outcome::kRequeued, "activation failed");
+                            return;
+                          }
+                          activated_ = true;
+                          poll_event_ = host_.post(options_.poll_interval,
+                                                   [this] { poll(); });
+                        });
+            });
+}
+
+void Shadow::on_message(const sim::Message& message) {
+  if (message.body.get("claim_id") != claim_id_) return;  // stale sender
+
+  if (message.type == "shadow.io") {
+    ++io_ops_;
+    io_bytes_ += message.body.get_uint("bytes");
+    return;  // one-way, no ack
+  }
+
+  // done / evict / checkpoint are acked so the startd stops retrying.
+  sim::Payload ack;
+  ack.set_bool("ok", true);
+  sim::rpc_reply(network_, message, address(), std::move(ack));
+
+  if (outcome_ != Outcome::kPending) return;  // duplicate after finish
+
+  if (message.type == "shadow.checkpoint") {
+    ++checkpoints_;
+    job_.checkpointed_work =
+        std::max(job_.checkpointed_work, message.body.get_double("work_done"));
+    return;
+  }
+  if (message.type == "shadow.done") {
+    job_.checkpointed_work = job_.total_work_seconds;
+    finish(Outcome::kDone, "completed");
+    return;
+  }
+  if (message.type == "shadow.evict") {
+    job_.checkpointed_work =
+        std::max(job_.checkpointed_work, message.body.get_double("work_done"));
+    finish(Outcome::kRequeued, message.body.get("reason"));
+    return;
+  }
+}
+
+void Shadow::poll() {
+  if (outcome_ != Outcome::kPending || !activated_) return;
+  sim::Payload status;
+  status.set("job_id", job_.job_id);
+  rpc_.call(startd_, "startd.status", std::move(status),
+            options_.rpc_timeout,
+            [this](bool ok, const sim::Payload& reply) {
+              if (outcome_ != Outcome::kPending) return;
+              const bool healthy = ok && reply.get_bool("ok") &&
+                                   reply.get("job_id") == job_.job_id &&
+                                   reply.get("state") == "Running";
+              if (healthy) {
+                missed_polls_ = 0;
+                // Opportunistically fold the reported progress in, so a
+                // subsequent crash costs at most one poll interval.
+                job_.checkpointed_work = std::max(
+                    job_.checkpointed_work, reply.get_double("work_done"));
+              } else if (!ok) {
+                if (++missed_polls_ >= options_.max_missed_polls) {
+                  finish(Outcome::kRequeued, "execution machine lost");
+                  return;
+                }
+              } else {
+                // Startd answered but no longer runs our job and no evict
+                // notice reached us (e.g. claim broken by the owner): the
+                // definitive done/evict may still be in flight, so wait one
+                // more poll round before declaring the execution lost.
+                if (++missed_polls_ >= options_.max_missed_polls) {
+                  finish(Outcome::kRequeued, "claim lost");
+                  return;
+                }
+              }
+              poll_event_ =
+                  host_.post(options_.poll_interval, [this] { poll(); });
+            });
+}
+
+void Shadow::release_slot() {
+  sim::Payload release;
+  release.set("claim_id", claim_id_);
+  rpc_.call(startd_, "startd.release", std::move(release),
+            options_.rpc_timeout, [](bool, const sim::Payload&) {});
+}
+
+void Shadow::finish(Outcome outcome, const std::string& reason) {
+  if (outcome_ != Outcome::kPending) return;
+  outcome_ = outcome;
+  if (outcome == Outcome::kDone) {
+    if (on_done_) on_done_(job_.job_id);
+  } else {
+    if (on_requeue_) on_requeue_(job_.job_id, job_.checkpointed_work, reason);
+  }
+}
+
+}  // namespace condorg::condor

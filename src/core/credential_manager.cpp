@@ -1,0 +1,110 @@
+#include "condorg/core/credential_manager.h"
+
+namespace condorg::core {
+
+CredentialManager::CredentialManager(Schedd& schedd, GridManager& gridmanager,
+                                     sim::Network& network,
+                                     CredentialManagerOptions options)
+    : schedd_(schedd),
+      gridmanager_(gridmanager),
+      host_(schedd.host()),
+      options_(std::move(options)) {
+  if (options_.use_myproxy) {
+    myproxy_ = std::make_unique<gsi::MyProxyClient>(host_, network,
+                                                    "credmgr.myproxy");
+  }
+  boot_id_ = host_.add_boot([this] {
+    if (started_) scan();
+  });
+}
+
+void CredentialManager::set_credential(gsi::Credential proxy) {
+  credential_ = std::move(proxy);
+  alarm_sent_for_current_ = false;
+  gridmanager_.set_credential_text(credential_->serialize());
+  gridmanager_.reforward_credential();
+  release_credential_holds();
+}
+
+void CredentialManager::start() {
+  if (started_) return;
+  started_ = true;
+  scan();
+}
+
+void CredentialManager::scan() {
+  const sim::Time now = host_.now();
+  const bool have_active_jobs = schedd_.active_count() > 0;
+
+  if (credential_ && have_active_jobs) {
+    const double remaining = credential_->expires_at() - now;
+
+    if (options_.alarm_threshold > 0 && remaining > options_.refresh_threshold &&
+        remaining <= options_.alarm_threshold && !alarm_sent_for_current_) {
+      // "it can be configured to email a reminder when less than a
+      // specified time remains before a credential expires."
+      alarm_sent_for_current_ = true;
+      ++alarms_;
+      schedd_.send_email(
+          "credential expiry alarm",
+          "your grid proxy expires in " +
+              std::to_string(static_cast<long long>(remaining)) +
+              " seconds; refresh it with grid-proxy-init");
+    }
+
+    if (remaining <= options_.refresh_threshold) {
+      if (options_.use_myproxy) {
+        refresh_from_myproxy();
+      } else {
+        // No automatic path: hold the jobs and tell the user.
+        hold_grid_jobs();
+      }
+    }
+  }
+  host_.post(options_.scan_interval, [this] { scan(); });
+}
+
+void CredentialManager::hold_grid_jobs() {
+  bool any = false;
+  for (const auto& [id, job] : schedd_.jobs()) {
+    if (job.desc.universe != Universe::kGrid) continue;
+    if (job.status == JobStatus::kIdle || job.status == JobStatus::kRunning) {
+      schedd_.hold(id, kHoldReason);
+      ++holds_;
+      any = true;
+    }
+  }
+  if (any) {
+    schedd_.send_email(
+        "jobs held: credential expired",
+        "your jobs cannot run again until your credentials are refreshed");
+  }
+}
+
+void CredentialManager::release_credential_holds() {
+  for (const auto& [id, job] : schedd_.jobs()) {
+    if (job.status == JobStatus::kHeld && job.hold_reason == kHoldReason) {
+      schedd_.release(id);
+    }
+  }
+}
+
+void CredentialManager::refresh_from_myproxy() {
+  if (refresh_in_flight_) return;
+  refresh_in_flight_ = true;
+  myproxy_->get(
+      options_.myproxy_server, options_.myproxy_user,
+      options_.myproxy_passphrase, options_.refresh_lifetime,
+      [this](std::optional<gsi::Credential> fresh) {
+        refresh_in_flight_ = false;
+        if (!fresh) {
+          // MyProxy unreachable or refused: fall back to holding jobs.
+          hold_grid_jobs();
+          return;
+        }
+        ++refreshes_;
+        set_credential(std::move(*fresh));
+      });
+}
+
+}  // namespace condorg::core

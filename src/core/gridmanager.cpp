@@ -1,0 +1,422 @@
+#include "condorg/core/gridmanager.h"
+
+#include "condorg/util/strings.h"
+
+namespace condorg::core {
+
+GridManager::GridManager(Schedd& schedd, sim::Network& network,
+                         std::string user, SiteChooser chooser,
+                         GridManagerOptions options)
+    : schedd_(schedd),
+      host_(schedd.host()),
+      network_(network),
+      user_(std::move(user)),
+      chooser_(std::move(chooser)),
+      options_(options),
+      gass_(host_, network, "gass." + user_),
+      gram_(host_, network, user_, options.gram) {
+  host_.register_service("gridmanager." + user_,
+                         [this](const sim::Message& m) {
+                           if (m.type == "gram.callback") on_gram_callback(m);
+                         });
+  boot_id_ = host_.add_boot([this] {
+    host_.register_service("gridmanager." + user_,
+                           [this](const sim::Message& m) {
+                             if (m.type == "gram.callback") {
+                               on_gram_callback(m);
+                             }
+                           });
+    if (started_) recover_after_boot();
+  });
+}
+
+GridManager::~GridManager() {
+  host_.remove_boot(boot_id_);
+  if (host_.alive()) host_.unregister_service("gridmanager." + user_);
+}
+
+sim::Address GridManager::callback_address() const {
+  return {host_.name(), "gridmanager." + user_};
+}
+
+void GridManager::set_credential_text(const std::string& serialized) {
+  gram_.set_credential_text(serialized);
+}
+
+void GridManager::start() {
+  if (started_) return;
+  started_ = true;
+  tick();
+}
+
+void GridManager::tick() {
+  drive_idle_jobs();
+  host_.post(options_.poll_interval, [this] { tick(); });
+}
+
+gram::GramJobSpec GridManager::spec_for(const Job& job) const {
+  gram::GramJobSpec spec;
+  spec.executable = "exe/" + std::to_string(job.id);
+  spec.output = job.desc.output.empty()
+                    ? "out/" + std::to_string(job.id) + ".out"
+                    : job.desc.output;
+  spec.gass_url = gass_.address().str();
+  spec.runtime_seconds = job.desc.runtime_seconds;
+  spec.walltime_limit = job.desc.walltime_limit;
+  spec.cpus = job.desc.cpus;
+  spec.output_size = job.desc.output_size;
+  spec.tag = "job" + std::to_string(job.id);
+  return spec;
+}
+
+void GridManager::stage_executable(const Job& job) {
+  // The executable content is synthetic; what matters is that it exists on
+  // the GASS server for the JobManager to fetch (and is re-created after a
+  // submit-machine crash).
+  gass_.store().put("exe/" + std::to_string(job.id),
+                    "executable:" + job.desc.executable,
+                    job.desc.executable_size);
+}
+
+void GridManager::drive_idle_jobs() {
+  std::size_t in_flight = submitting_.size();
+  if (options_.max_submitted_jobs > 0) {
+    for (const auto& [id, job] : schedd_.jobs()) {
+      if (job.desc.universe == Universe::kGrid &&
+          job.status == JobStatus::kRunning) {
+        ++in_flight;
+      }
+    }
+  }
+  for (const std::uint64_t id : schedd_.idle_jobs(Universe::kGrid)) {
+    if (options_.max_submitted_jobs > 0 &&
+        in_flight >= options_.max_submitted_jobs) {
+      return;
+    }
+    if (!submitting_.count(id)) {
+      submit_job(id);
+      ++in_flight;
+    }
+  }
+}
+
+void GridManager::submit_job(std::uint64_t job_id) {
+  const auto job = schedd_.query(job_id);
+  if (!job || job->status != JobStatus::kIdle) return;
+
+  if (!job->gram_contact.empty()) {
+    // The job already lives at a site (e.g. it was held for a credential
+    // refresh and released): reconnect to the existing JobManager instead
+    // of submitting a second copy. The probe ladder handles a JobManager
+    // that died in the meantime.
+    const std::string contact = job->gram_contact;
+    contact_to_job_[contact] = job_id;
+    schedd_.log().record(host_.now(), job_id, LogEventKind::kReconnected,
+                         "release: reattaching to " + contact);
+    schedd_.with_job(job_id,
+                     [](Job& j) { j.status = JobStatus::kRunning; });
+    if (!probing_.count(job_id)) {
+      probing_.insert(job_id);
+      host_.post(1.0, [this, job_id] { probe(job_id); });
+    }
+    return;
+  }
+
+  submitting_.insert(job_id);
+  stage_executable(*job);
+
+  if (!job->desc.grid_site.empty()) {
+    submit_to(job_id, sim::Address{job->desc.grid_site,
+                                   gram::kGatekeeperService});
+    return;
+  }
+  chooser_(*job, [this, job_id](std::optional<sim::Address> gatekeeper) {
+    if (!gatekeeper) {
+      // No candidate resource right now; try again next tick.
+      submitting_.erase(job_id);
+      return;
+    }
+    submit_to(job_id, *gatekeeper);
+  });
+}
+
+void GridManager::submit_to(std::uint64_t job_id,
+                            const sim::Address& gatekeeper) {
+  const auto job = schedd_.query(job_id);
+  if (!job || job->status != JobStatus::kIdle) {
+    submitting_.erase(job_id);
+    return;
+  }
+  // Allocate (or reuse, during crash recovery) the persisted sequence
+  // number BEFORE sending: this is what makes the submission exactly-once.
+  std::uint64_t seq = job->gram_seq;
+  if (seq == 0) {
+    seq = gram_.allocate_seq();
+    schedd_.with_job(job_id, [seq, &gatekeeper](Job& j) {
+      j.gram_seq = seq;
+      j.gram_site = gatekeeper.host;
+    });
+  }
+  ++submissions_;
+  gram_.submit_with_seq(
+      seq, gatekeeper, spec_for(*job), callback_address(),
+      [this, job_id, seq, gatekeeper](std::optional<std::string> contact) {
+        submitting_.erase(job_id);
+        const auto current = schedd_.query(job_id);
+        if (!current || current->status == JobStatus::kRemoved) {
+          if (contact) gram_.cancel(*contact, [](bool) {});
+          return;
+        }
+        if (!contact) {
+          // Site never answered (or refused): release the job to be
+          // brokered elsewhere.
+          schedd_.mark_idle_again(job_id, LogEventKind::kResubmitted,
+                                  "site unreachable: " + gatekeeper.host);
+          ++resubmissions_;
+          return;
+        }
+        contact_to_job_[*contact] = job_id;
+        schedd_.mark_grid_submitted(job_id, seq, gatekeeper.host, *contact);
+        if (!probing_.count(job_id)) {
+          probing_.insert(job_id);
+          host_.post(options_.probe_interval,
+                     [this, job_id] { probe(job_id); });
+        }
+      });
+}
+
+void GridManager::on_gram_callback(const sim::Message& message) {
+  const std::string contact = message.body.get("contact");
+  const auto it = contact_to_job_.find(contact);
+  if (it == contact_to_job_.end()) return;  // stale / unknown
+  handle_remote_state(it->second, message.body.get("state"),
+                      message.body.get("why"));
+}
+
+void GridManager::handle_remote_state(std::uint64_t job_id,
+                                      const std::string& state,
+                                      const std::string& why) {
+  const auto job = schedd_.query(job_id);
+  if (!job || job->status == JobStatus::kCompleted ||
+      job->status == JobStatus::kRemoved) {
+    return;
+  }
+  if (state == "ACTIVE" && job->remote_state != "ACTIVE") {
+    schedd_.mark_executing(job_id, "site=" + job->gram_site);
+    return;
+  }
+  if (state == "DONE") {
+    schedd_.mark_completed(job_id);
+    probing_.erase(job_id);
+    return;
+  }
+  if (state == "FAILED") {
+    probing_.erase(job_id);
+    if (migrating_.erase(job_id)) {
+      // This FAILED is our own migration cancel taking effect: re-broker
+      // without charging the job an attempt.
+      ++queued_migrations_;
+      contact_to_job_.erase(job->gram_contact);
+      schedd_.mark_idle_again(job_id, LogEventKind::kResubmitted,
+                              "migrated: queued too long at " +
+                                  job->gram_site);
+      return;
+    }
+    if (job->attempts >= job->desc.max_attempts) {
+      schedd_.hold(job_id, "too many failures; last: " + why);
+    } else {
+      ++resubmissions_;
+      schedd_.mark_idle_again(job_id, LogEventKind::kResubmitted,
+                              "remote failure: " + why);
+    }
+    return;
+  }
+  // PENDING / STAGE_IN / UNSUBMITTED: remember the remote state.
+  schedd_.with_job(job_id, [&state](Job& j) { j.remote_state = state; });
+  if (state == "PENDING") {
+    pending_since_.emplace(job_id, host_.now());  // keep first-seen time
+    maybe_migrate_pending(job_id);
+  } else {
+    pending_since_.erase(job_id);
+  }
+}
+
+void GridManager::maybe_migrate_pending(std::uint64_t job_id) {
+  if (options_.max_pending_seconds <= 0) return;
+  const auto since = pending_since_.find(job_id);
+  if (since == pending_since_.end()) return;
+  if (host_.now() - since->second < options_.max_pending_seconds) return;
+  const auto job = schedd_.query(job_id);
+  if (!job || job->remote_state != "PENDING" || job->gram_contact.empty()) {
+    return;
+  }
+  // Stuck in a remote queue: cancel there, and only once the cancel has
+  // demonstrably taken effect (the JobManager's FAILED callback, or the
+  // cancel ack) release the job for re-brokering — re-submitting while the
+  // old copy might still run would break exactly-once.
+  pending_since_.erase(job_id);
+  migrating_.insert(job_id);
+  const std::string contact = job->gram_contact;
+  const std::string site = job->gram_site;
+  gram_.cancel(contact, [this, job_id, contact, site](bool ok) {
+    if (!ok) {
+      // Unreachable site: leave the job where it is; the probe ladder
+      // keeps watching and migration can be retried on a later PENDING
+      // report.
+      migrating_.erase(job_id);
+      pending_since_.emplace(job_id, host_.now());
+      return;
+    }
+    // Usually the JobManager's FAILED callback lands first and does the
+    // re-queue; this path covers a lost callback.
+    if (!migrating_.erase(job_id)) return;
+    const auto current = schedd_.query(job_id);
+    if (!current || current->gram_contact != contact ||
+        current->status != JobStatus::kRunning) {
+      return;  // state moved on while the cancel was in flight
+    }
+    probing_.erase(job_id);
+    contact_to_job_.erase(contact);
+    ++queued_migrations_;
+    schedd_.mark_idle_again(job_id, LogEventKind::kResubmitted,
+                            "migrated: queued too long at " + site);
+  });
+}
+
+void GridManager::probe(std::uint64_t job_id) {
+  const auto job = schedd_.query(job_id);
+  if (!job || job->gram_contact.empty() ||
+      job->status == JobStatus::kCompleted ||
+      job->status == JobStatus::kRemoved ||
+      job->status == JobStatus::kHeld) {
+    probing_.erase(job_id);
+    return;
+  }
+  const std::string contact = job->gram_contact;
+  ++probes_;
+  gram_.ping_jobmanager(contact, [this, job_id, contact](bool jm_ok) {
+    if (jm_ok) {
+      // Backstop status poll: callbacks can be lost on the wire.
+      gram_.status(contact,
+                   [this, job_id](std::optional<gram::GramJobState> state) {
+                     if (state) {
+                       handle_remote_state(job_id,
+                                           gram::to_string(*state), "poll");
+                     }
+                   });
+      host_.post(options_.probe_interval, [this, job_id] { probe(job_id); });
+      return;
+    }
+    // JobManager silent: probe the Gatekeeper to classify the failure.
+    gram_.ping_gatekeeper(
+        gram::gatekeeper_address_for(contact),
+        [this, job_id, contact](bool gk_ok) {
+          const auto current = schedd_.query(job_id);
+          if (!current || current->gram_contact != contact) {
+            probing_.erase(job_id);
+            return;
+          }
+          if (gk_ok) {
+            // F1: only the JobManager died. Restart it; the replacement
+            // re-attaches to the local job (or reports it finished).
+            schedd_.log().record(host_.now(), job_id,
+                                 LogEventKind::kJobManagerLost,
+                                 "gatekeeper up; restarting jobmanager");
+            ++jm_restarts_;
+            gram_.restart_jobmanager(
+                contact, [this, job_id](std::optional<gram::GramJobState>) {
+                  schedd_.log().record(host_.now(), job_id,
+                                       LogEventKind::kReconnected, "");
+                  host_.post(options_.probe_interval,
+                             [this, job_id] { probe(job_id); });
+                });
+          } else {
+            // F2 or F4 — indistinguishable from here. Wait and re-probe;
+            // when the site answers again we reconnect (and restart the
+            // JobManager if needed).
+            host_.post(options_.recover_retry,
+                       [this, job_id] { probe(job_id); });
+          }
+        });
+  });
+}
+
+void GridManager::recover_after_boot() {
+  // F3 recovery: rebuild in-memory state from the persistent queue.
+  submitting_.clear();
+  contact_to_job_.clear();
+  probing_.clear();
+  for (const auto& [id, job] : schedd_.jobs()) {
+    if (job.desc.universe != Universe::kGrid) continue;
+    if (job.status == JobStatus::kCompleted ||
+        job.status == JobStatus::kRemoved || job.status == JobStatus::kHeld) {
+      continue;
+    }
+    stage_executable(job);
+    if (!job.gram_contact.empty()) {
+      // We had an acknowledged submission: reconnect. Tell the JobManager
+      // our (possibly new) GASS address, ask the gatekeeper to restart the
+      // JobManager if it is gone, and resume probing.
+      contact_to_job_[job.gram_contact] = id;
+      const std::string contact = job.gram_contact;
+      const std::uint64_t job_id = id;
+      gram_.ping_jobmanager(contact, [this, job_id, contact](bool ok) {
+        if (ok) {
+          gram_.update_gass(contact, gass_.address(), [](bool) {});
+        } else {
+          ++jm_restarts_;
+          gram_.restart_jobmanager(
+              contact, [this, contact](std::optional<gram::GramJobState>) {
+                gram_.update_gass(contact, gass_.address(), [](bool) {});
+              });
+        }
+      });
+      probing_.insert(id);
+      host_.post(options_.probe_interval, [this, job_id] { probe(job_id); });
+    } else if (job.gram_seq != 0) {
+      // Crash hit between allocating the sequence number and learning the
+      // contact: re-drive with the SAME seq; dedup at the gatekeeper makes
+      // this safe even if the original request did get through.
+      submitting_.insert(id);
+      const std::uint64_t job_id = id;
+      const std::uint64_t seq = job.gram_seq;
+      const sim::Address gatekeeper{job.gram_site,
+                                    gram::kGatekeeperService};
+      host_.post(1.0, [this, job_id, seq, gatekeeper] {
+        const auto j = schedd_.query(job_id);
+        if (!j) return;
+        gram_.submit_with_seq(
+            seq, gatekeeper, spec_for(*j), callback_address(),
+            [this, job_id, seq, gatekeeper](
+                std::optional<std::string> contact) {
+              submitting_.erase(job_id);
+              if (!contact) {
+                schedd_.mark_idle_again(job_id, LogEventKind::kResubmitted,
+                                        "recovery: site unreachable");
+                return;
+              }
+              contact_to_job_[*contact] = job_id;
+              schedd_.mark_grid_submitted(job_id, seq, gatekeeper.host,
+                                          *contact);
+              if (!probing_.count(job_id)) {
+                probing_.insert(job_id);
+                host_.post(options_.probe_interval,
+                           [this, job_id] { probe(job_id); });
+              }
+            });
+      });
+    }
+    // else: plain Idle; the tick loop re-drives it.
+  }
+  tick();
+}
+
+void GridManager::reforward_credential() {
+  for (const auto& [contact, job_id] : contact_to_job_) {
+    const auto job = schedd_.query(job_id);
+    if (!job || job->status != JobStatus::kRunning) continue;
+    gram_.refresh_remote_credential(contact, [](bool) {});
+  }
+}
+
+}  // namespace condorg::core

@@ -1,0 +1,124 @@
+// The GlideIn mechanism (§5 of the paper).
+//
+// "the GlideIn mechanism uses Grid protocols to dynamically create a
+// personal Condor pool out of Grid resources by gliding-in Condor daemons
+// to the remote resource."
+//
+// For each site, the manager submits GRAM jobs whose payload is the glidein
+// bootstrap (a portable script that fetches the Condor binaries from a
+// central repository over GSI GridFTP). When the site's batch system
+// actually starts the glidein (delayed binding!), a Startd comes up on the
+// site's compute side and advertises to the user's personal Collector; the
+// Negotiator then matches queued vanilla jobs to it. Daemons shut down
+// after a configurable idle period and at allocation expiry, checkpointing
+// and evicting any running job.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "condorg/condor/startd.h"
+#include "condorg/core/schedd.h"
+#include "condorg/gass/file_service.h"
+#include "condorg/gram/client.h"
+#include "condorg/sim/host.h"
+
+namespace condorg::core {
+
+/// A grid site glideins can be sent to. `cluster_host` is the compute-side
+/// host glided-in startds run on (a different failure domain from the
+/// front-end, as in the real system).
+struct GlideInSite {
+  std::string name;
+  sim::Address gatekeeper;
+  sim::Host* cluster_host = nullptr;
+  int max_glideins = 8;
+  int cpus_per_glidein = 1;
+};
+
+struct GlideInOptions {
+  sim::Address collector;
+  double walltime = 4 * 3600.0;      // site allocation per glidein
+  double idle_timeout = 1800.0;      // "guarding against runaway daemons"
+  double advertise_period = 300.0;
+  double checkpoint_interval = 600.0;
+  double tick_interval = 120.0;
+  /// Glide-in slots on shared pools are preemptible: the node's owner (or
+  /// a higher-priority pool user) reclaims it, evicting our job with a
+  /// checkpoint, and releases it again later. 0 disables (dedicated
+  /// nodes). Availability fraction = available / (available + reclaimed).
+  double mean_slot_available_seconds = 0.0;
+  double mean_slot_reclaimed_seconds = 0.0;
+  /// Central repository holding the Condor binaries; when set, each glidein
+  /// pulls them (GSI GridFTP) before its Startd starts advertising.
+  std::optional<sim::Address> binary_repository;
+  std::string binary_path = "condor/startd-bundle";
+  classad::ClassAd slot_base_ad;
+};
+
+class GlideInManager {
+ public:
+  GlideInManager(Schedd& schedd, sim::Network& network,
+                 gass::FileService& gass, GlideInOptions options);
+  ~GlideInManager();
+
+  GlideInManager(const GlideInManager&) = delete;
+  GlideInManager& operator=(const GlideInManager&) = delete;
+
+  void add_site(GlideInSite site);
+
+  /// Credential used for glidein GRAM submissions.
+  void set_credential_text(const std::string& serialized) {
+    gram_.set_credential_text(serialized);
+  }
+
+  /// Start the provisioning loop: while idle vanilla jobs outnumber
+  /// live+pending glideins, submit more (the paper's flooding strategy,
+  /// bounded per site).
+  void start();
+
+  /// Stop submitting new glideins (existing ones drain via idle timeout).
+  void pause() { paused_ = true; }
+  void resume() { paused_ = false; }
+
+  std::uint64_t glideins_submitted() const { return submitted_; }
+  std::uint64_t glideins_started() const { return launched_; }
+  std::uint64_t glideins_exited() const { return exited_; }
+  std::size_t live_glideins() const { return startds_.size(); }
+  std::size_t pending_glideins() const { return pending_; }
+
+ private:
+  struct SiteState {
+    GlideInSite site;
+    int pending = 0;  // submitted, not yet ACTIVE
+    int live = 0;     // startd running
+  };
+
+  void tick();
+  void submit_glidein(SiteState& state);
+  void launch_startd(SiteState& state, const std::string& contact);
+  std::size_t demand() const;
+
+  Schedd& schedd_;
+  sim::Network& network_;
+  sim::Host& host_;
+  gass::FileService& gass_;
+  GlideInOptions options_;
+  gram::GramClient gram_;
+  std::vector<std::unique_ptr<SiteState>> sites_;
+  std::map<std::string, std::unique_ptr<condor::Startd>> startds_;
+  std::map<std::string, SiteState*> contact_site_;
+  bool started_ = false;
+  bool paused_ = false;
+  std::size_t pending_ = 0;
+  std::uint64_t glidein_counter_ = 0;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t launched_ = 0;
+  std::uint64_t exited_ = 0;
+  std::map<std::string, std::string> stashed_states_;  // contact -> state
+};
+
+}  // namespace condorg::core

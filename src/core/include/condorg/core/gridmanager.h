@@ -1,0 +1,134 @@
+// The Condor-G GridManager (§4.2 and Fig. 1).
+//
+// A per-user daemon on the submit machine that executes grid-universe jobs
+// on remote GRAM resources:
+//   * drives exactly-once submission (persisted sequence numbers re-driven
+//     across submit-machine crashes),
+//   * receives JobManager status callbacks and polls as a backstop,
+//   * runs the §4.2 probing ladder: probe the JobManager; on silence probe
+//     the Gatekeeper; if the Gatekeeper answers, restart the JobManager
+//     (F1); otherwise keep waiting — front-end crash and partition are
+//     indistinguishable (F2/F4) — and reconnect when the site returns,
+//   * resubmits failed jobs (up to the job's max_attempts, then hold), and
+//   * after a local crash (F3), re-drives every non-terminal job from the
+//     Schedd's persistent queue and re-sends the GASS address to surviving
+//     JobManagers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "condorg/core/schedd.h"
+#include "condorg/gass/file_service.h"
+#include "condorg/gram/client.h"
+#include "condorg/sim/network.h"
+
+namespace condorg::core {
+
+/// Where should this job go? Implemented by brokers (static list, MDS
+/// matchmaking, flood); consulted per submission attempt. The callback may
+/// fire asynchronously (MDS queries are remote).
+using SiteChooser = std::function<void(
+    const Job& job,
+    std::function<void(std::optional<sim::Address> gatekeeper)> done)>;
+
+struct GridManagerOptions {
+  double poll_interval = 60.0;    // queue scan + status poll backstop
+  double probe_interval = 120.0;  // JobManager liveness probe
+  double recover_retry = 120.0;   // site-unreachable retry cadence
+  /// Queued-job migration (§4.4: "Monitoring of actual queuing and
+  /// execution times allows for ... migrat[ing] queued jobs"): a job stuck
+  /// PENDING at its site longer than this is cancelled and re-brokered.
+  /// <= 0 disables (the paper's baseline behaviour).
+  double max_pending_seconds = 0.0;
+  /// Cap on jobs submitted-to-sites at once (Condor-G's
+  /// GRIDMANAGER_MAX_SUBMITTED_JOBS); 0 = unlimited.
+  std::size_t max_submitted_jobs = 0;
+  gram::GramClientOptions gram;
+};
+
+class GridManager {
+ public:
+  GridManager(Schedd& schedd, sim::Network& network, std::string user,
+              SiteChooser chooser, GridManagerOptions options = {});
+  ~GridManager();
+
+  GridManager(const GridManager&) = delete;
+  GridManager& operator=(const GridManager&) = delete;
+
+  /// Begin managing the queue (and re-arm on every host reboot).
+  void start();
+
+  /// The GASS server through which executables are staged out and job
+  /// output is staged back (embedded in the GridManager per Fig. 1).
+  gass::FileService& gass() { return gass_; }
+  sim::Address gass_address() const { return gass_.address(); }
+
+  /// Set/replace the user's proxy credential for all GRAM traffic.
+  void set_credential_text(const std::string& serialized);
+  const std::string& credential_text() const {
+    return gram_.credential_text();
+  }
+
+  /// Re-forward the (refreshed) credential to every active JobManager
+  /// (§4.3: "it also needs to re-forward the refreshed proxy to the remote
+  /// GRAM server").
+  void reforward_credential();
+
+  gram::GramClient& gram() { return gram_; }
+
+  // --- statistics for benches ---
+  std::uint64_t submissions() const { return submissions_; }
+  std::uint64_t resubmissions() const { return resubmissions_; }
+  std::uint64_t jobmanager_restarts() const { return jm_restarts_; }
+  std::uint64_t probes_sent() const { return probes_; }
+
+ private:
+  void tick();
+  void drive_idle_jobs();
+  void submit_job(std::uint64_t job_id);
+  void submit_to(std::uint64_t job_id, const sim::Address& gatekeeper);
+  void on_gram_callback(const sim::Message& message);
+  void probe(std::uint64_t job_id);
+  void handle_remote_state(std::uint64_t job_id, const std::string& state,
+                           const std::string& why);
+  void recover_after_boot();
+  void stage_executable(const Job& job);
+  gram::GramJobSpec spec_for(const Job& job) const;
+  sim::Address callback_address() const;
+
+  Schedd& schedd_;
+  sim::Host& host_;
+  sim::Network& network_;
+  std::string user_;
+  SiteChooser chooser_;
+  GridManagerOptions options_;
+  gass::FileService gass_;
+  gram::GramClient gram_;
+  bool started_ = false;
+  int boot_id_ = 0;
+  std::set<std::uint64_t> submitting_;  // jobs with an in-flight submit
+  std::map<std::string, std::uint64_t> contact_to_job_;
+  std::set<std::uint64_t> probing_;     // jobs with an active probe loop
+  std::map<std::uint64_t, double> pending_since_;  // queued-at-site watch
+  std::set<std::uint64_t> migrating_;  // cancel-for-migration in flight
+
+  std::uint64_t submissions_ = 0;
+  std::uint64_t resubmissions_ = 0;
+  std::uint64_t jm_restarts_ = 0;
+  std::uint64_t probes_ = 0;
+  std::uint64_t queued_migrations_ = 0;
+
+ public:
+  std::uint64_t queued_migrations() const { return queued_migrations_; }
+
+ private:
+  void maybe_migrate_pending(std::uint64_t job_id);
+};
+
+}  // namespace condorg::core

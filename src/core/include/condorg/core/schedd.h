@@ -1,0 +1,86 @@
+// The Condor Scheduler daemon (Schedd): the persistent job queue.
+//
+// "To protect against local failure, all relevant state for each submitted
+// job is stored persistently in the scheduler's job queue. This persistent
+// information allows the GridManager to recover from a local crash."
+// (§4.2). Every mutation is written through to the submit machine's stable
+// storage; after a crash the queue is rebuilt from disk and the
+// GridManager re-drives every non-terminal job.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "condorg/core/job.h"
+#include "condorg/core/userlog.h"
+#include "condorg/sim/host.h"
+
+namespace condorg::core {
+
+class Schedd {
+ public:
+  explicit Schedd(sim::Host& host);
+  ~Schedd();
+
+  Schedd(const Schedd&) = delete;
+  Schedd& operator=(const Schedd&) = delete;
+
+  sim::Host& host() { return host_; }
+  UserLog& log() { return log_; }
+  const UserLog& log() const { return log_; }
+
+  // --- user API (§4.1) ---
+  std::uint64_t submit(JobDescription description);
+  std::optional<Job> query(std::uint64_t id) const;
+  bool hold(std::uint64_t id, const std::string& reason);
+  bool release(std::uint64_t id);
+  bool remove(std::uint64_t id);
+
+  // --- agent-side mutation (GridManager, shadows, DAGMan) ---
+  /// Apply `mutate` to the job and persist. Returns false for unknown ids.
+  bool with_job(std::uint64_t id, const std::function<void(Job&)>& mutate);
+
+  /// Logged transitions.
+  void mark_grid_submitted(std::uint64_t id, std::uint64_t seq,
+                           const std::string& site,
+                           const std::string& contact);
+  void mark_executing(std::uint64_t id, const std::string& where);
+  void mark_completed(std::uint64_t id);
+  void mark_idle_again(std::uint64_t id, LogEventKind why,
+                       const std::string& detail);
+  void mark_evicted(std::uint64_t id, double checkpointed_work,
+                    const std::string& detail);
+
+  // --- queue inspection ---
+  const std::map<std::uint64_t, Job>& jobs() const { return jobs_; }
+  std::vector<std::uint64_t> jobs_with_status(JobStatus status) const;
+  std::vector<std::uint64_t> idle_jobs(Universe universe) const;
+  std::size_t count(JobStatus status) const;
+  bool all_terminal() const;
+  std::size_t active_count() const;  // idle + running + held
+
+  /// Fires after every queue mutation (submit or state change).
+  void add_queue_listener(std::function<void(const Job&)> listener);
+
+  /// E-mail hook (also appended to the UserLog mailbox).
+  void send_email(const std::string& subject, const std::string& body);
+
+ private:
+  void persist(const Job& job);
+  void reload();
+  void notify(const Job& job);
+  static std::string job_key(std::uint64_t id);
+
+  sim::Host& host_;
+  UserLog log_;
+  std::map<std::uint64_t, Job> jobs_;
+  std::uint64_t next_id_ = 1;
+  std::vector<std::function<void(const Job&)>> listeners_;
+  int boot_id_ = 0;
+};
+
+}  // namespace condorg::core

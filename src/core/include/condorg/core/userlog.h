@@ -1,0 +1,75 @@
+// User-visible job event log and notification mailbox (§4.1: "obtain access
+// to detailed logs, providing a complete history of their jobs' execution"
+// and "be informed of job termination or problems, via callbacks or
+// asynchronous mechanisms such as e-mail").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "condorg/sim/types.h"
+
+namespace condorg::core {
+
+enum class LogEventKind {
+  kSubmit,
+  kGridSubmit,     // site acknowledged the GRAM submission
+  kExecute,
+  kEvicted,        // vanilla job preempted (with checkpoint)
+  kTerminated,     // completed successfully
+  kAborted,        // removed by the user
+  kHeld,
+  kReleased,
+  kJobManagerLost, // probing detected a dead JobManager
+  kReconnected,    // recovery re-established contact
+  kResubmitted,    // sent to a different site after failure
+};
+
+const char* to_string(LogEventKind kind);
+
+struct LogEvent {
+  sim::Time time = 0;
+  std::uint64_t job_id = 0;
+  LogEventKind kind = LogEventKind::kSubmit;
+  std::string detail;
+};
+
+/// An e-mail the agent sent the user (credential expiry warnings, job
+/// completion notices).
+struct Email {
+  sim::Time time = 0;
+  std::string to;
+  std::string subject;
+  std::string body;
+};
+
+class UserLog {
+ public:
+  void record(sim::Time time, std::uint64_t job_id, LogEventKind kind,
+              std::string detail = "");
+  void email(sim::Time time, std::string to, std::string subject,
+             std::string body = "");
+
+  const std::vector<LogEvent>& events() const { return events_; }
+  const std::vector<Email>& emails() const { return emails_; }
+
+  /// Events for one job, in order.
+  std::vector<LogEvent> events_for(std::uint64_t job_id) const;
+  /// Count of events of a kind (across all jobs).
+  std::size_t count(LogEventKind kind) const;
+
+  /// Observer invoked on every event (the API's callback mechanism).
+  void add_listener(std::function<void(const LogEvent&)> listener);
+
+  /// Render a human-readable log (like a Condor userlog file).
+  std::string render() const;
+
+ private:
+  std::vector<LogEvent> events_;
+  std::vector<Email> emails_;
+  std::vector<std::function<void(const LogEvent&)>> listeners_;
+};
+
+}  // namespace condorg::core

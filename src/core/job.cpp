@@ -1,0 +1,107 @@
+#include "condorg/core/job.h"
+
+#include "condorg/classad/parser.h"
+
+namespace condorg::core {
+
+const char* to_string(Universe universe) {
+  switch (universe) {
+    case Universe::kGrid: return "grid";
+    case Universe::kVanilla: return "vanilla";
+  }
+  return "?";
+}
+
+const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kIdle: return "IDLE";
+    case JobStatus::kRunning: return "RUNNING";
+    case JobStatus::kHeld: return "HELD";
+    case JobStatus::kCompleted: return "COMPLETED";
+    case JobStatus::kRemoved: return "REMOVED";
+  }
+  return "?";
+}
+
+Universe universe_from_string(const std::string& text) {
+  return text == "vanilla" ? Universe::kVanilla : Universe::kGrid;
+}
+
+JobStatus status_from_string(const std::string& text) {
+  if (text == "IDLE") return JobStatus::kIdle;
+  if (text == "RUNNING") return JobStatus::kRunning;
+  if (text == "HELD") return JobStatus::kHeld;
+  if (text == "COMPLETED") return JobStatus::kCompleted;
+  return JobStatus::kRemoved;
+}
+
+std::string Job::serialize() const {
+  sim::Payload p;
+  p.set_uint("id", id);
+  p.set("universe", to_string(desc.universe));
+  p.set("owner", desc.owner);
+  p.set("executable", desc.executable);
+  p.set("output", desc.output);
+  p.set_double("runtime", desc.runtime_seconds);
+  p.set_int("cpus", desc.cpus);
+  p.set_double("walltime", desc.walltime_limit);
+  p.set_uint("output_size", desc.output_size);
+  p.set_uint("executable_size", desc.executable_size);
+  p.set("grid_site_fixed", desc.grid_site);
+  p.set("ad", desc.ad.unparse());
+  p.set_int("max_attempts", desc.max_attempts);
+  p.set_bool("notify_email", desc.notify_email);
+  p.set("tag", desc.tag);
+
+  p.set("status", to_string(status));
+  p.set("hold_reason", hold_reason);
+  p.set_int("attempts", attempts);
+  p.set_uint("gram_seq", gram_seq);
+  p.set("gram_contact", gram_contact);
+  p.set("gram_site", gram_site);
+  p.set("remote_state", remote_state);
+  p.set_double("checkpointed_work", checkpointed_work);
+  p.set_double("submit_time", submit_time);
+  p.set_double("first_execute_time", first_execute_time);
+  p.set_double("completion_time", completion_time);
+  return p.serialize();
+}
+
+Job Job::deserialize(const std::string& text) {
+  const sim::Payload p = sim::Payload::deserialize(text);
+  Job job;
+  job.id = p.get_uint("id");
+  job.desc.universe = universe_from_string(p.get("universe"));
+  job.desc.owner = p.get("owner");
+  job.desc.executable = p.get("executable");
+  job.desc.output = p.get("output");
+  job.desc.runtime_seconds = p.get_double("runtime");
+  job.desc.cpus = static_cast<int>(p.get_int("cpus", 1));
+  job.desc.walltime_limit = p.get_double("walltime", 1e18);
+  job.desc.output_size = p.get_uint("output_size");
+  job.desc.executable_size = p.get_uint("executable_size");
+  job.desc.grid_site = p.get("grid_site_fixed");
+  try {
+    job.desc.ad = classad::parse_ad(p.get("ad", "[]"));
+  } catch (const classad::ParseError&) {
+    // leave empty; a corrupt ad must not wedge queue recovery
+  }
+  job.desc.max_attempts = static_cast<int>(p.get_int("max_attempts", 10));
+  job.desc.notify_email = p.get_bool("notify_email");
+  job.desc.tag = p.get("tag");
+
+  job.status = status_from_string(p.get("status"));
+  job.hold_reason = p.get("hold_reason");
+  job.attempts = static_cast<int>(p.get_int("attempts"));
+  job.gram_seq = p.get_uint("gram_seq");
+  job.gram_contact = p.get("gram_contact");
+  job.gram_site = p.get("gram_site");
+  job.remote_state = p.get("remote_state");
+  job.checkpointed_work = p.get_double("checkpointed_work");
+  job.submit_time = p.get_double("submit_time");
+  job.first_execute_time = p.get_double("first_execute_time", -1);
+  job.completion_time = p.get_double("completion_time", -1);
+  return job;
+}
+
+}  // namespace condorg::core

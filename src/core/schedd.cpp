@@ -1,0 +1,218 @@
+#include "condorg/core/schedd.h"
+
+namespace condorg::core {
+namespace {
+constexpr const char* kNextIdKey = "schedd/next_id";
+}
+
+std::string Schedd::job_key(std::uint64_t id) {
+  return "schedd/job/" + std::to_string(id);
+}
+
+Schedd::Schedd(sim::Host& host) : host_(host) {
+  reload();
+  boot_id_ = host_.add_boot([this] { reload(); });
+}
+
+Schedd::~Schedd() { host_.remove_boot(boot_id_); }
+
+void Schedd::reload() {
+  jobs_.clear();
+  for (const std::string& key : host_.disk().keys_with_prefix("schedd/job/")) {
+    const auto text = host_.disk().get(key);
+    if (!text) continue;
+    Job job = Job::deserialize(*text);
+    jobs_.emplace(job.id, std::move(job));
+  }
+  if (const auto stored = host_.disk().get(kNextIdKey)) {
+    next_id_ = std::stoull(*stored);
+  }
+}
+
+void Schedd::persist(const Job& job) {
+  host_.disk().put(job_key(job.id), job.serialize());
+}
+
+void Schedd::notify(const Job& job) {
+  const auto listeners = listeners_;
+  for (const auto& listener : listeners) listener(job);
+}
+
+std::uint64_t Schedd::submit(JobDescription description) {
+  const std::uint64_t id = next_id_++;
+  host_.disk().put(kNextIdKey, std::to_string(next_id_));
+  Job job;
+  job.id = id;
+  job.desc = std::move(description);
+  job.submit_time = host_.now();
+  persist(job);
+  const auto [it, inserted] = jobs_.emplace(id, std::move(job));
+  log_.record(host_.now(), id, LogEventKind::kSubmit,
+              std::string(to_string(it->second.desc.universe)) + " universe");
+  notify(it->second);
+  return id;
+}
+
+std::optional<Job> Schedd::query(std::uint64_t id) const {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Schedd::with_job(std::uint64_t id,
+                      const std::function<void(Job&)>& mutate) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  mutate(it->second);
+  persist(it->second);
+  notify(it->second);
+  return true;
+}
+
+bool Schedd::hold(std::uint64_t id, const std::string& reason) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.status == JobStatus::kCompleted ||
+      it->second.status == JobStatus::kRemoved) {
+    return false;
+  }
+  log_.record(host_.now(), id, LogEventKind::kHeld, reason);
+  return with_job(id, [&reason](Job& job) {
+    job.status = JobStatus::kHeld;
+    job.hold_reason = reason;
+  });
+}
+
+bool Schedd::release(std::uint64_t id) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.status != JobStatus::kHeld) {
+    return false;
+  }
+  log_.record(host_.now(), id, LogEventKind::kReleased, "");
+  return with_job(id, [](Job& job) {
+    job.status = JobStatus::kIdle;
+    job.hold_reason.clear();
+  });
+}
+
+bool Schedd::remove(std::uint64_t id) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.status == JobStatus::kCompleted ||
+      it->second.status == JobStatus::kRemoved) {
+    return false;
+  }
+  log_.record(host_.now(), id, LogEventKind::kAborted, "removed by user");
+  return with_job(id, [](Job& job) { job.status = JobStatus::kRemoved; });
+}
+
+void Schedd::mark_grid_submitted(std::uint64_t id, std::uint64_t seq,
+                                 const std::string& site,
+                                 const std::string& contact) {
+  log_.record(host_.now(), id, LogEventKind::kGridSubmit,
+              "site=" + site + " contact=" + contact);
+  with_job(id, [&](Job& job) {
+    job.gram_seq = seq;
+    job.gram_site = site;
+    job.gram_contact = contact;
+    job.status = JobStatus::kRunning;
+    job.remote_state = "PENDING";
+    ++job.attempts;
+  });
+}
+
+void Schedd::mark_executing(std::uint64_t id, const std::string& where) {
+  log_.record(host_.now(), id, LogEventKind::kExecute, where);
+  with_job(id, [this](Job& job) {
+    job.status = JobStatus::kRunning;
+    job.remote_state = "ACTIVE";
+    if (job.first_execute_time < 0) job.first_execute_time = host_.now();
+  });
+}
+
+void Schedd::mark_completed(std::uint64_t id) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.status == JobStatus::kCompleted) {
+    return;  // idempotent: duplicate DONE callbacks are harmless
+  }
+  log_.record(host_.now(), id, LogEventKind::kTerminated, "");
+  with_job(id, [this](Job& job) {
+    job.status = JobStatus::kCompleted;
+    job.remote_state = "DONE";
+    job.completion_time = host_.now();
+  });
+  if (it->second.desc.notify_email) {
+    send_email("job " + std::to_string(id) + " completed",
+               "your job finished successfully");
+  }
+}
+
+void Schedd::mark_idle_again(std::uint64_t id, LogEventKind why,
+                             const std::string& detail) {
+  log_.record(host_.now(), id, why, detail);
+  with_job(id, [](Job& job) {
+    job.status = JobStatus::kIdle;
+    job.gram_contact.clear();
+    job.gram_seq = 0;
+    job.remote_state.clear();
+  });
+}
+
+void Schedd::mark_evicted(std::uint64_t id, double checkpointed_work,
+                          const std::string& detail) {
+  log_.record(host_.now(), id, LogEventKind::kEvicted, detail);
+  with_job(id, [checkpointed_work](Job& job) {
+    job.status = JobStatus::kIdle;
+    job.checkpointed_work =
+        std::max(job.checkpointed_work, checkpointed_work);
+  });
+}
+
+std::vector<std::uint64_t> Schedd::jobs_with_status(JobStatus status) const {
+  std::vector<std::uint64_t> out;
+  for (const auto& [id, job] : jobs_) {
+    if (job.status == status) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> Schedd::idle_jobs(Universe universe) const {
+  std::vector<std::uint64_t> out;
+  for (const auto& [id, job] : jobs_) {
+    if (job.status == JobStatus::kIdle && job.desc.universe == universe) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::size_t Schedd::count(JobStatus status) const {
+  std::size_t n = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.status == status) ++n;
+  }
+  return n;
+}
+
+bool Schedd::all_terminal() const {
+  for (const auto& [id, job] : jobs_) {
+    if (job.status != JobStatus::kCompleted &&
+        job.status != JobStatus::kRemoved) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t Schedd::active_count() const {
+  return jobs_.size() - count(JobStatus::kCompleted) -
+         count(JobStatus::kRemoved);
+}
+
+void Schedd::add_queue_listener(std::function<void(const Job&)> listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void Schedd::send_email(const std::string& subject, const std::string& body) {
+  log_.email(host_.now(), "user@submit", subject, body);
+}
+
+}  // namespace condorg::core

@@ -1,0 +1,66 @@
+#include "condorg/core/userlog.h"
+
+#include "condorg/util/strings.h"
+
+namespace condorg::core {
+
+const char* to_string(LogEventKind kind) {
+  switch (kind) {
+    case LogEventKind::kSubmit: return "SUBMIT";
+    case LogEventKind::kGridSubmit: return "GRID_SUBMIT";
+    case LogEventKind::kExecute: return "EXECUTE";
+    case LogEventKind::kEvicted: return "EVICTED";
+    case LogEventKind::kTerminated: return "TERMINATED";
+    case LogEventKind::kAborted: return "ABORTED";
+    case LogEventKind::kHeld: return "HELD";
+    case LogEventKind::kReleased: return "RELEASED";
+    case LogEventKind::kJobManagerLost: return "JOBMANAGER_LOST";
+    case LogEventKind::kReconnected: return "RECONNECTED";
+    case LogEventKind::kResubmitted: return "RESUBMITTED";
+  }
+  return "?";
+}
+
+void UserLog::record(sim::Time time, std::uint64_t job_id, LogEventKind kind,
+                     std::string detail) {
+  events_.push_back(LogEvent{time, job_id, kind, std::move(detail)});
+  for (const auto& listener : listeners_) listener(events_.back());
+}
+
+void UserLog::email(sim::Time time, std::string to, std::string subject,
+                    std::string body) {
+  emails_.push_back(
+      Email{time, std::move(to), std::move(subject), std::move(body)});
+}
+
+std::vector<LogEvent> UserLog::events_for(std::uint64_t job_id) const {
+  std::vector<LogEvent> out;
+  for (const LogEvent& event : events_) {
+    if (event.job_id == job_id) out.push_back(event);
+  }
+  return out;
+}
+
+std::size_t UserLog::count(LogEventKind kind) const {
+  std::size_t n = 0;
+  for (const LogEvent& event : events_) {
+    if (event.kind == kind) ++n;
+  }
+  return n;
+}
+
+void UserLog::add_listener(std::function<void(const LogEvent&)> listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+std::string UserLog::render() const {
+  std::string out;
+  for (const LogEvent& event : events_) {
+    out += util::format("%12.1f  job %-5llu  %-16s %s\n", event.time,
+                        static_cast<unsigned long long>(event.job_id),
+                        to_string(event.kind), event.detail.c_str());
+  }
+  return out;
+}
+
+}  // namespace condorg::core

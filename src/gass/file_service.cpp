@@ -1,0 +1,165 @@
+#include "condorg/gass/file_service.h"
+
+#include <utility>
+
+namespace condorg::gass {
+namespace {
+constexpr double kPullTimeout = 600.0;
+}
+
+FileService::FileService(sim::Host& host, sim::Network& network,
+                         std::string service, gsi::AuthConfig auth)
+    : host_(host),
+      network_(network),
+      service_(std::move(service)),
+      auth_(std::move(auth)) {
+  install();
+  pull_rpc_ = std::make_unique<sim::RpcClient>(host_, network_,
+                                               service_ + ".pull");
+  boot_id_ = host_.add_boot([this] {
+    if (survives_crash_) install();
+  });
+  crash_listener_ = host_.add_crash_listener([this] {
+    if (!survives_crash_) store_ = FileStore{};
+  });
+}
+
+FileService::~FileService() {
+  host_.remove_boot(boot_id_);
+  host_.remove_crash_listener(crash_listener_);
+  if (host_.alive()) host_.unregister_service(service_);
+}
+
+void FileService::install() {
+  host_.register_service(service_,
+                         [this](const sim::Message& m) { on_message(m); });
+}
+
+bool FileService::authenticate(const sim::Message& message,
+                               sim::Payload& reply) const {
+  const gsi::AuthResult result =
+      gsi::authenticate(auth_, message.body, host_.now());
+  if (!result.ok) reply.set("why", result.why);
+  return result.ok;
+}
+
+void FileService::reply_after_transfer(const sim::Message& request,
+                                       sim::Payload reply,
+                                       std::uint64_t bytes) {
+  const double delay =
+      network_.transfer_seconds(host_.name(), request.from.host, bytes);
+  bytes_served_ += bytes;
+  host_.post(delay, [this, request, reply = std::move(reply)]() mutable {
+    sim::rpc_reply(network_, request, address(), std::move(reply));
+  });
+}
+
+void FileService::on_message(const sim::Message& message) {
+  sim::Payload reply;
+  reply.set_bool("ok", false);
+
+  if (!authenticate(message, reply)) {
+    ++auth_failures_;
+    sim::rpc_reply(network_, message, address(), std::move(reply));
+    return;
+  }
+
+  const std::string path = message.body.get("path");
+
+  if (message.type == "file.get") {
+    const auto file = store_.get(path);
+    if (!file) {
+      reply.set("why", "no such file: " + path);
+      sim::rpc_reply(network_, message, address(), std::move(reply));
+      return;
+    }
+    ++gets_;
+    reply.set_bool("ok", true);
+    reply.set("content", file->content);
+    reply.set_uint("size", file->size());
+    reply.set_uint("checksum", file->checksum());
+    reply_after_transfer(message, std::move(reply), file->size());
+    return;
+  }
+
+  if (message.type == "file.put") {
+    const std::uint64_t size = message.body.get_uint("size");
+    store_.put(path, message.body.get("content"), size);
+    ++puts_;
+    reply.set_bool("ok", true);
+    reply_after_transfer(message, std::move(reply),
+                         size ? size : message.body.get("content").size());
+    return;
+  }
+
+  if (message.type == "file.append") {
+    const std::uint64_t size = message.body.get_uint("size");
+    // Idempotency: appends may be retried after a lost ack; a (writer,
+    // chunk_seq) pair is applied at most once.
+    bool duplicate = false;
+    if (message.body.has("writer")) {
+      const std::string key = path + "\x1f" + message.body.get("writer");
+      const std::uint64_t seq = message.body.get_uint("chunk_seq");
+      duplicate = !applied_chunks_[key].insert(seq).second;
+    }
+    if (!duplicate) {
+      store_.append(path, message.body.get("content"), size);
+      ++appends_;
+    }
+    reply.set_bool("ok", true);
+    reply.set_uint("new_size", store_.get(path) ? store_.get(path)->size() : 0);
+    reply_after_transfer(message, std::move(reply),
+                         size ? size : message.body.get("content").size());
+    return;
+  }
+
+  if (message.type == "file.stat") {
+    const auto file = store_.get(path);
+    if (file) {
+      reply.set_bool("ok", true);
+      reply.set_uint("size", file->size());
+      reply.set_uint("checksum", file->checksum());
+    } else {
+      reply.set("why", "no such file: " + path);
+    }
+    sim::rpc_reply(network_, message, address(), std::move(reply));
+    return;
+  }
+
+  if (message.type == "file.pull") {
+    // Third-party transfer: fetch `remote_path` from `source` into this
+    // store as `path` (GridFTP-style server-to-server movement).
+    const auto source = sim::Address::parse(message.body.get("source"));
+    const std::string remote_path = message.body.get("remote_path");
+    sim::Payload get_request;
+    get_request.set("path", remote_path);
+    if (message.body.has("credential")) {
+      get_request.set("credential", message.body.get("credential"));
+    }
+    // Capture the original request so the final ack goes to the initiator.
+    pull_rpc_->call(
+        source, "file.get", std::move(get_request), kPullTimeout,
+        [this, message, path](bool ok, const sim::Payload& got) {
+          sim::Payload ack;
+          if (!ok || !got.get_bool("ok")) {
+            ack.set_bool("ok", false);
+            ack.set("why", ok ? got.get("why") : "source unreachable");
+          } else {
+            FileData data;
+            data.content = got.get("content");
+            data.declared_size = got.get_uint("size");
+            store_.put(path, std::move(data));
+            ack.set_bool("ok", true);
+            ack.set_uint("size", got.get_uint("size"));
+            ack.set_uint("checksum", got.get_uint("checksum"));
+          }
+          sim::rpc_reply(network_, message, address(), std::move(ack));
+        });
+    return;
+  }
+
+  reply.set("why", "unknown operation: " + message.type);
+  sim::rpc_reply(network_, message, address(), std::move(reply));
+}
+
+}  // namespace condorg::gass

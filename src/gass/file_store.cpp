@@ -1,0 +1,54 @@
+#include "condorg/gass/file_store.h"
+
+namespace condorg::gass {
+
+void FileStore::put(const std::string& path, FileData data) {
+  files_[path] = std::move(data);
+}
+
+void FileStore::put(const std::string& path, std::string content,
+                    std::uint64_t declared_size) {
+  files_[path] = FileData{std::move(content), declared_size};
+}
+
+void FileStore::append(const std::string& path, const std::string& chunk,
+                       std::uint64_t chunk_size) {
+  FileData& file = files_[path];
+  file.content += chunk;
+  if (chunk_size) {
+    file.declared_size += chunk_size;
+  } else if (file.declared_size) {
+    file.declared_size += chunk.size();
+  }
+}
+
+std::optional<FileData> FileStore::get(const std::string& path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool FileStore::contains(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+bool FileStore::erase(const std::string& path) {
+  return files_.erase(path) > 0;
+}
+
+std::vector<std::string> FileStore::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+std::uint64_t FileStore::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [path, data] : files_) total += data.size();
+  return total;
+}
+
+}  // namespace condorg::gass

@@ -1,0 +1,52 @@
+// In-memory file store backing GASS / GridFTP / MSS services.
+//
+// Files carry literal content (used for checksums and for small control
+// files) plus a declared size that may exceed the literal content — event
+// data in the CMS pipeline is gigabytes in the simulated world but only a
+// checksum + size here. Transfer durations are computed from declared size.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "condorg/util/rng.h"
+
+namespace condorg::gass {
+
+struct FileData {
+  std::string content;
+  std::uint64_t declared_size = 0;  // bytes for bandwidth modelling
+
+  std::uint64_t size() const {
+    return declared_size ? declared_size : content.size();
+  }
+  std::uint64_t checksum() const { return util::fnv1a(content); }
+};
+
+class FileStore {
+ public:
+  /// Create/overwrite a file.
+  void put(const std::string& path, FileData data);
+  void put(const std::string& path, std::string content,
+           std::uint64_t declared_size = 0);
+
+  /// Append a chunk (G-Cat style); creates the file if missing. The chunk's
+  /// declared size accumulates.
+  void append(const std::string& path, const std::string& chunk,
+              std::uint64_t chunk_size = 0);
+
+  std::optional<FileData> get(const std::string& path) const;
+  bool contains(const std::string& path) const;
+  bool erase(const std::string& path);
+  std::vector<std::string> list(const std::string& prefix = "") const;
+  std::size_t file_count() const { return files_.size(); }
+  std::uint64_t total_bytes() const;
+
+ private:
+  std::map<std::string, FileData> files_;
+};
+
+}  // namespace condorg::gass

@@ -1,0 +1,163 @@
+#include "condorg/gram/gatekeeper.h"
+
+#include "condorg/sim/rpc.h"
+#include "condorg/util/strings.h"
+
+namespace condorg::gram {
+namespace {
+std::string dedup_key(const std::string& client_id, std::uint64_t seq) {
+  return "gram/seq/" + client_id + "/" + std::to_string(seq);
+}
+constexpr const char* kContactCounterKey = "gram/contact_counter";
+}  // namespace
+
+Gatekeeper::Gatekeeper(sim::Host& host, sim::Network& network,
+                       batch::LocalScheduler& scheduler,
+                       GatekeeperOptions options)
+    : host_(host),
+      network_(network),
+      scheduler_(scheduler),
+      options_(std::move(options)) {
+  install();
+  boot_id_ = host_.add_boot([this] { install(); });
+  // Host crash: every JobManager process dies. Their stable records remain;
+  // clients must ask for restarts (§4.2's recovery ladder).
+  crash_listener_ = host_.add_crash_listener([this] { jobmanagers_.clear(); });
+}
+
+Gatekeeper::~Gatekeeper() {
+  host_.remove_boot(boot_id_);
+  host_.remove_crash_listener(crash_listener_);
+  if (host_.alive()) host_.unregister_service(kGatekeeperService);
+}
+
+void Gatekeeper::install() {
+  host_.register_service(kGatekeeperService,
+                         [this](const sim::Message& m) { on_message(m); });
+}
+
+std::string Gatekeeper::new_contact() {
+  // Contacts must be unique across host restarts: persist the counter.
+  std::uint64_t counter = 0;
+  if (const auto stored = host_.disk().get(kContactCounterKey)) {
+    counter = std::stoull(*stored);
+  }
+  ++counter;
+  host_.disk().put(kContactCounterKey, std::to_string(counter));
+  return host_.name() + ":" + std::to_string(counter);
+}
+
+JobManager* Gatekeeper::find_jobmanager(const std::string& contact) {
+  const auto it = jobmanagers_.find(contact);
+  if (it == jobmanagers_.end()) return nullptr;
+  return it->second->process_alive() ? it->second.get() : nullptr;
+}
+
+bool Gatekeeper::kill_jobmanager(const std::string& contact) {
+  JobManager* jm = find_jobmanager(contact);
+  if (jm == nullptr) return false;
+  jm->kill_process();
+  return true;
+}
+
+void Gatekeeper::on_message(const sim::Message& message) {
+  sim::Payload reply;
+  reply.set_bool("ok", false);
+
+  const gsi::AuthResult auth =
+      gsi::authenticate(options_.auth, message.body, host_.now());
+  if (!auth.ok) {
+    ++auth_failures_;
+    reply.set("why", auth.why);
+    sim::rpc_reply(network_, message, address(), std::move(reply));
+    return;
+  }
+
+  if (message.type == "gram.ping") {
+    // The GridManager's probe for distinguishing a dead JobManager (F1)
+    // from a dead front-end / partition (F2/F4).
+    reply.set_bool("ok", true);
+    sim::rpc_reply(network_, message, address(), std::move(reply));
+    return;
+  }
+  if (message.type == "gram.submit") {
+    handle_submit(message);
+    return;
+  }
+  if (message.type == "gram.restart_jobmanager") {
+    handle_restart(message);
+    return;
+  }
+  reply.set("why", "unknown operation: " + message.type);
+  sim::rpc_reply(network_, message, address(), std::move(reply));
+}
+
+void Gatekeeper::handle_submit(const sim::Message& message) {
+  sim::Payload reply;
+  const std::string client_id = message.body.get("client_id");
+  const std::uint64_t seq = message.body.get_uint("seq");
+
+  // Two-phase commit, resource side: an already-seen (client_id, seq) means
+  // our earlier response was lost — return the same contact, do NOT start a
+  // second job.
+  const std::string key = dedup_key(client_id, seq);
+  if (options_.dedup_submissions) {
+    if (const auto existing = host_.disk().get(key)) {
+      ++duplicates_;
+      reply.set_bool("ok", true);
+      reply.set("contact", *existing);
+      reply.set_bool("duplicate", true);
+      sim::rpc_reply(network_, message, address(), std::move(reply));
+      return;
+    }
+  }
+
+  GramJobSpec spec = GramJobSpec::from_payload(message.body);
+  if (spec.walltime_limit > options_.max_walltime) {
+    spec.walltime_limit = options_.max_walltime;  // site policy cap
+  }
+  const std::string contact = new_contact();
+  if (options_.dedup_submissions) host_.disk().put(key, contact);
+
+  const bool auto_commit = !message.body.get_bool("two_phase", true);
+  const sim::Address callback =
+      sim::Address::parse(message.body.get("callback"));
+  jobmanagers_[contact] = std::make_unique<JobManager>(
+      host_, network_, scheduler_, contact, std::move(spec), callback,
+      auto_commit, message.body.get("credential"));
+  ++accepted_;
+  ++jm_started_;
+
+  reply.set_bool("ok", true);
+  reply.set("contact", contact);
+  reply.set_uint("seq", seq);  // echoed sequence number
+  sim::rpc_reply(network_, message, address(), std::move(reply));
+}
+
+void Gatekeeper::handle_restart(const sim::Message& message) {
+  sim::Payload reply;
+  const std::string contact = message.body.get("contact");
+  if (JobManager* jm = find_jobmanager(contact)) {
+    // Still running: nothing to restart.
+    reply.set_bool("ok", true);
+    reply.set("state", to_string(jm->state()));
+    sim::rpc_reply(network_, message, address(), std::move(reply));
+    return;
+  }
+  if (!host_.disk().contains(JobManager::record_key(contact))) {
+    reply.set_bool("ok", false);
+    reply.set("why", "unknown contact: " + contact);
+    sim::rpc_reply(network_, message, address(), std::move(reply));
+    return;
+  }
+  // Reattach from stable storage; the new JobManager works out whether the
+  // local job is queued, running, or finished while unobserved.
+  jobmanagers_[contact] =
+      std::make_unique<JobManager>(host_, network_, scheduler_, contact);
+  ++jm_started_;
+  reply.set_bool("ok", true);
+  reply.set("state", to_string(jobmanagers_[contact]->state()));
+  sim::rpc_reply(network_, message, address(), std::move(reply));
+}
+
+}  // namespace condorg::gram

@@ -1,0 +1,120 @@
+// Client side of GRAM: what the GridManager uses to talk to sites.
+//
+// Implements the revised protocol's exactly-once submission: each request
+// carries a client-unique sequence number *persisted before first send*, so
+// after any combination of lost requests, lost responses, and submit-machine
+// crashes, re-driving the submission with the same sequence number yields
+// the same job, never a second copy. Commit is a separate phase: the job
+// does not start until the client confirms it received the contact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "condorg/gram/protocol.h"
+#include "condorg/gsi/credential.h"
+#include "condorg/sim/host.h"
+#include "condorg/sim/network.h"
+#include "condorg/sim/rpc.h"
+
+namespace condorg::gram {
+
+struct GramClientOptions {
+  double rpc_timeout = 30.0;
+  double retry_delay = 30.0;
+  int max_attempts = 40;  // per phase
+  /// false = one-phase ablation mode: no commit phase; combined with a
+  /// non-dedup gatekeeper this reproduces the duplicated-jobs failure mode
+  /// the two-phase protocol exists to prevent.
+  bool two_phase = true;
+};
+
+/// The JobManager endpoint for a contact ("sitehost:n").
+sim::Address jobmanager_address(const std::string& contact);
+/// The Gatekeeper endpoint on the site hosting `contact`.
+sim::Address gatekeeper_address_for(const std::string& contact);
+
+class GramClient {
+ public:
+  GramClient(sim::Host& host, sim::Network& network, std::string client_id,
+             GramClientOptions options = {});
+
+  GramClient(const GramClient&) = delete;
+  GramClient& operator=(const GramClient&) = delete;
+
+  /// Proxy credential attached to all requests.
+  void set_credential(const gsi::Credential& credential) {
+    credential_ = credential.serialize();
+  }
+  void set_credential_text(std::string serialized) {
+    credential_ = std::move(serialized);
+  }
+  const std::string& credential_text() const { return credential_; }
+
+  /// Allocate and persist a fresh sequence number. Persisting *before* the
+  /// first send is what makes crash-recovery dedup work.
+  std::uint64_t allocate_seq();
+
+  /// Contact recorded for a sequence number (if the submit got that far).
+  std::optional<std::string> contact_for_seq(std::uint64_t seq) const;
+
+  using SubmitCallback =
+      std::function<void(std::optional<std::string> contact)>;
+  using BoolCallback = std::function<void(bool ok)>;
+  using StateCallback =
+      std::function<void(std::optional<GramJobState> state)>;
+
+  /// Full submission (allocate seq, two-phase commit, retries). `callback_`
+  /// names the client service that will receive "gram.callback" updates.
+  void submit(const sim::Address& gatekeeper, const GramJobSpec& spec,
+              const sim::Address& callback, SubmitCallback done);
+
+  /// Re-drivable form used during crash recovery: same seq => same job.
+  void submit_with_seq(std::uint64_t seq, const sim::Address& gatekeeper,
+                       const GramJobSpec& spec, const sim::Address& callback,
+                       SubmitCallback done);
+
+  /// Poll a JobManager's job state.
+  void status(const std::string& contact, StateCallback done);
+  /// Probe the JobManager (alive?).
+  void ping_jobmanager(const std::string& contact, BoolCallback done);
+  /// Probe the site's Gatekeeper (alive & reachable?).
+  void ping_gatekeeper(const sim::Address& gatekeeper, BoolCallback done);
+  /// Ask the Gatekeeper to start a replacement JobManager for `contact`.
+  void restart_jobmanager(const std::string& contact, StateCallback done);
+  /// Cancel the job.
+  void cancel(const std::string& contact, BoolCallback done);
+  /// Tell the JobManager the client's GASS server moved (crash recovery).
+  void update_gass(const std::string& contact, const sim::Address& gass,
+                   BoolCallback done);
+
+  /// Re-forward the current (refreshed) proxy to the JobManager, which
+  /// holds a delegated copy for its own GASS traffic (§4.3).
+  void refresh_remote_credential(const std::string& contact,
+                                 BoolCallback done);
+
+  std::uint64_t submits_sent() const { return submits_sent_; }
+  std::uint64_t commits_sent() const { return commits_sent_; }
+
+ private:
+  void drive_submit(std::uint64_t seq, const sim::Address& gatekeeper,
+                    const GramJobSpec& spec, const sim::Address& callback,
+                    SubmitCallback done, int attempts_left);
+  void drive_commit(const std::string& contact, SubmitCallback done,
+                    int attempts_left);
+  sim::Payload base_payload() const;
+  std::string seq_contact_key(std::uint64_t seq) const;
+
+  sim::Host& host_;
+  sim::Network& network_;
+  std::string client_id_;
+  GramClientOptions options_;
+  sim::RpcClient rpc_;
+  std::string credential_;
+  std::uint64_t submits_sent_ = 0;
+  std::uint64_t commits_sent_ = 0;
+};
+
+}  // namespace condorg::gram

@@ -1,0 +1,83 @@
+// Globus Gatekeeper (Fig. 1 of the paper).
+//
+// The site front-end service that authenticates/authorizes GRAM requests
+// (GSI + gridmap) and manages the site's JobManagers. Implements the
+// resource side of the two-phase commit: submissions carry a (client_id,
+// sequence) pair persisted to stable storage, so a retransmitted request —
+// sent because the client could not tell whether its request or our
+// response was lost — maps to the existing JobManager instead of starting a
+// second copy of the job.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "condorg/batch/local_scheduler.h"
+#include "condorg/gram/jobmanager.h"
+#include "condorg/gram/protocol.h"
+#include "condorg/gsi/auth.h"
+#include "condorg/sim/host.h"
+#include "condorg/sim/network.h"
+
+namespace condorg::gram {
+
+struct GatekeeperOptions {
+  gsi::AuthConfig auth;
+  /// Site policy: cap on any job's walltime (the "local policy may also
+  /// impose restrictions on the running time of the job" of §5).
+  double max_walltime = 1e18;
+  /// Two-phase commit dedup. Disabling this models the pre-revision GRAM
+  /// protocol (the A1 ablation): retransmitted submissions each start a
+  /// fresh job.
+  bool dedup_submissions = true;
+};
+
+class Gatekeeper {
+ public:
+  Gatekeeper(sim::Host& host, sim::Network& network,
+             batch::LocalScheduler& scheduler, GatekeeperOptions options = {});
+  ~Gatekeeper();
+
+  Gatekeeper(const Gatekeeper&) = delete;
+  Gatekeeper& operator=(const Gatekeeper&) = delete;
+
+  sim::Address address() const { return {host_.name(), kGatekeeperService}; }
+  sim::Host& host() { return host_; }
+  batch::LocalScheduler& scheduler() { return scheduler_; }
+
+  /// The JobManager for a contact, if one is currently running.
+  JobManager* find_jobmanager(const std::string& contact);
+
+  /// Kill one JobManager process (failure type F1) without touching the
+  /// host, the local job, or stable storage.
+  bool kill_jobmanager(const std::string& contact);
+
+  std::size_t jobmanager_count() const { return jobmanagers_.size(); }
+  std::uint64_t submissions_accepted() const { return accepted_; }
+  std::uint64_t duplicate_submissions() const { return duplicates_; }
+  std::uint64_t auth_failures() const { return auth_failures_; }
+  std::uint64_t jobmanagers_started() const { return jm_started_; }
+
+ private:
+  void install();
+  void on_message(const sim::Message& message);
+  void handle_submit(const sim::Message& message);
+  void handle_restart(const sim::Message& message);
+  std::string new_contact();
+
+  sim::Host& host_;
+  sim::Network& network_;
+  batch::LocalScheduler& scheduler_;
+  GatekeeperOptions options_;
+  std::map<std::string, std::unique_ptr<JobManager>> jobmanagers_;
+  int boot_id_ = 0;
+  int crash_listener_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t auth_failures_ = 0;
+  std::uint64_t jm_started_ = 0;
+};
+
+}  // namespace condorg::gram

@@ -1,0 +1,103 @@
+// Globus JobManager (Fig. 1 of the paper).
+//
+// One JobManager per GRAM job, spawned by the Gatekeeper on the site
+// front-end. It stages the executable from the client's GASS server,
+// submits to the site's local scheduler, relays status callbacks to the
+// GridManager, streams output back on completion, and persists enough state
+// that a *new* JobManager can re-attach to the local job after a crash —
+// including discovering that the job finished while no JobManager existed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "condorg/batch/local_scheduler.h"
+#include "condorg/gass/client.h"
+#include "condorg/gram/protocol.h"
+#include "condorg/sim/host.h"
+#include "condorg/sim/lifetime.h"
+#include "condorg/sim/network.h"
+#include "condorg/sim/rpc.h"
+
+namespace condorg::gram {
+
+class JobManager {
+ public:
+  /// Fresh-submission constructor: persists the job record, then waits for
+  /// commit (two-phase) or proceeds immediately (`auto_commit`, the
+  /// one-phase ablation mode).
+  JobManager(sim::Host& host, sim::Network& network,
+             batch::LocalScheduler& scheduler, std::string contact,
+             GramJobSpec spec, sim::Address client_callback, bool auto_commit,
+             std::string forwarded_credential = "");
+
+  /// Reattach constructor: rebuilds a JobManager for `contact` from the
+  /// record on the host's stable storage. Used by the Gatekeeper when asked
+  /// to restart a JobManager after a crash.
+  JobManager(sim::Host& host, sim::Network& network,
+             batch::LocalScheduler& scheduler, std::string contact);
+
+  ~JobManager();
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  const std::string& contact() const { return contact_; }
+  GramJobState state() const { return state_; }
+  sim::Address address() const {
+    return {host_.name(), jobmanager_service(contact_)};
+  }
+
+  /// Simulate a crash of just this JobManager process (failure type F1):
+  /// its service handler disappears but the host, the Gatekeeper, and the
+  /// local job live on. The stable-storage record remains for reattach.
+  void kill_process();
+  bool process_alive() const { return process_alive_; }
+
+  /// Stable-storage key for a contact's record.
+  static std::string record_key(const std::string& contact);
+
+ private:
+  void install();
+  void persist();
+  void load_record();
+  void on_message(const sim::Message& message);
+  void commit();
+  void stage_in();
+  void submit_to_scheduler();
+  void watch_scheduler();
+  void on_local_terminal(const batch::JobRecord& record);
+  void stage_out_and_finish(GramJobState final_state,
+                            const std::string& why);
+  /// Real-time stdout streaming while ACTIVE (spec.stream_interval > 0).
+  void stream_output_tick();
+  /// Restart the stream from byte 0 at the (possibly new) GASS server —
+  /// the "request resending" path after a client crash/move.
+  void restream_output();
+  void set_state(GramJobState state, const std::string& why = "");
+  void send_callback(const std::string& why);
+
+  sim::Host& host_;
+  sim::Network& network_;
+  batch::LocalScheduler& scheduler_;
+  std::string contact_;
+  GramJobSpec spec_;
+  sim::Address client_callback_;
+  bool auto_commit_ = false;
+  GramJobState state_ = GramJobState::kUnsubmitted;
+  bool committed_ = false;
+  std::uint64_t local_job_id_ = 0;
+  std::uint64_t streamed_chunks_ = 0;  // also the append sequence number
+  bool streaming_ = false;
+  bool process_alive_ = true;
+  sim::Lifetime life_;
+  std::string forwarded_credential_;
+  std::uint64_t job_handler_token_ = 0;
+  std::unique_ptr<sim::RpcClient> rpc_;
+  std::unique_ptr<gass::FileClient> gass_;
+  int crash_listener_ = 0;
+};
+
+}  // namespace condorg::gram

@@ -1,0 +1,393 @@
+#include "condorg/gram/jobmanager.h"
+
+#include <utility>
+
+#include "condorg/util/strings.h"
+
+namespace condorg::gram {
+namespace {
+constexpr double kLocalPollInterval = 15.0;   // watch PENDING->ACTIVE
+constexpr double kStageTimeout = 600.0;
+constexpr double kStageRetryDelay = 60.0;
+constexpr int kStageRetries = 30;
+}  // namespace
+
+std::string JobManager::record_key(const std::string& contact) {
+  return "gram/job/" + contact;
+}
+
+JobManager::JobManager(sim::Host& host, sim::Network& network,
+                       batch::LocalScheduler& scheduler, std::string contact,
+                       GramJobSpec spec, sim::Address client_callback,
+                       bool auto_commit, std::string forwarded_credential)
+    : host_(host),
+      network_(network),
+      scheduler_(scheduler),
+      contact_(std::move(contact)),
+      spec_(std::move(spec)),
+      client_callback_(std::move(client_callback)),
+      auto_commit_(auto_commit),
+      forwarded_credential_(std::move(forwarded_credential)) {
+  rpc_ = std::make_unique<sim::RpcClient>(
+      host_, network_, jobmanager_service(contact_) + ".rpc");
+  gass_ = std::make_unique<gass::FileClient>(
+      host_, network_, jobmanager_service(contact_) + ".gass");
+  gass_->set_credential_text(forwarded_credential_);
+  install();
+  persist();
+  crash_listener_ = host_.add_crash_listener([this] { process_alive_ = false; });
+  if (auto_commit_) commit();
+}
+
+JobManager::JobManager(sim::Host& host, sim::Network& network,
+                       batch::LocalScheduler& scheduler, std::string contact)
+    : host_(host),
+      network_(network),
+      scheduler_(scheduler),
+      contact_(std::move(contact)) {
+  rpc_ = std::make_unique<sim::RpcClient>(
+      host_, network_, jobmanager_service(contact_) + ".rpc");
+  gass_ = std::make_unique<gass::FileClient>(
+      host_, network_, jobmanager_service(contact_) + ".gass");
+  load_record();
+  gass_->set_credential_text(forwarded_credential_);
+  install();
+  crash_listener_ = host_.add_crash_listener([this] { process_alive_ = false; });
+
+  // Re-attach: figure out where the job got to while we were gone.
+  if (is_terminal(state_)) {
+    // Nothing to do; report the stored outcome to the (possibly new)
+    // GridManager so it stops waiting.
+    send_callback("reattach: already terminal");
+  } else if (local_job_id_ != 0) {
+    const auto status = scheduler_.status(local_job_id_);
+    if (!status) {
+      stage_out_and_finish(GramJobState::kFailed,
+                           "reattach: local job vanished");
+    } else if (batch::is_terminal(status->state)) {
+      on_local_terminal(*status);
+    } else {
+      set_state(status->state == batch::JobState::kRunning
+                    ? GramJobState::kActive
+                    : GramJobState::kPending,
+                "reattach");
+      watch_scheduler();
+      if (state_ == GramJobState::kActive && spec_.stream_interval > 0 &&
+          !streaming_) {
+        streaming_ = true;
+        host_.post(spec_.stream_interval,
+                   life_.wrap([this] { stream_output_tick(); }));
+      }
+    }
+  } else if (committed_) {
+    // Crashed between commit and local submission: redo staging.
+    stage_in();
+  }
+  // else: still awaiting commit; nothing to do.
+}
+
+JobManager::~JobManager() {
+  life_.revoke();
+  host_.remove_crash_listener(crash_listener_);
+  if (job_handler_token_) scheduler_.remove_job_handler(job_handler_token_);
+  if (host_.alive() && process_alive_) {
+    host_.unregister_service(jobmanager_service(contact_));
+  }
+}
+
+void JobManager::install() {
+  host_.register_service(jobmanager_service(contact_),
+                         [this](const sim::Message& m) { on_message(m); });
+}
+
+void JobManager::kill_process() {
+  if (!process_alive_) return;
+  process_alive_ = false;
+  life_.revoke();
+  if (job_handler_token_) {
+    scheduler_.remove_job_handler(job_handler_token_);
+    job_handler_token_ = 0;
+  }
+  host_.unregister_service(jobmanager_service(contact_));
+  // The RpcClients' pending callbacks die with the process: drop them by
+  // resetting (their destructors unregister reply services).
+  rpc_.reset();
+  gass_.reset();
+}
+
+void JobManager::persist() {
+  sim::Payload record;
+  spec_.to_payload(record);
+  record.set("callback", client_callback_.str());
+  record.set_bool("committed", committed_);
+  record.set_uint("local_job_id", local_job_id_);
+  record.set("state", to_string(state_));
+  record.set_bool("auto_commit", auto_commit_);
+  record.set("fwd_credential", forwarded_credential_);
+  record.set_uint("streamed_chunks", streamed_chunks_);
+  host_.disk().put(record_key(contact_), record.serialize());
+}
+
+void JobManager::load_record() {
+  const auto text = host_.disk().get(record_key(contact_));
+  if (!text) return;  // empty record: job unknown; stays kUnsubmitted
+  const sim::Payload record = sim::Payload::deserialize(*text);
+  spec_ = GramJobSpec::from_payload(record);
+  client_callback_ = sim::Address::parse(record.get("callback"));
+  committed_ = record.get_bool("committed");
+  local_job_id_ = record.get_uint("local_job_id");
+  state_ = gram_state_from_string(record.get("state"));
+  auto_commit_ = record.get_bool("auto_commit");
+  forwarded_credential_ = record.get("fwd_credential");
+  streamed_chunks_ = record.get_uint("streamed_chunks");
+}
+
+void JobManager::on_message(const sim::Message& message) {
+  if (!process_alive_) return;
+  sim::Payload reply;
+  reply.set_bool("ok", true);
+  reply.set("contact", contact_);
+  reply.set("state", to_string(state_));
+
+  if (message.type == "jm.commit") {
+    if (!committed_) commit();
+    reply.set("state", to_string(state_));
+    sim::rpc_reply(network_, message, address(), std::move(reply));
+    return;
+  }
+  if (message.type == "jm.status" || message.type == "jm.ping") {
+    sim::rpc_reply(network_, message, address(), std::move(reply));
+    return;
+  }
+  if (message.type == "jm.cancel") {
+    if (!is_terminal(state_)) {
+      if (local_job_id_ != 0) scheduler_.cancel(local_job_id_);
+      // on_local_terminal fires via the job handler for running jobs; for
+      // not-yet-submitted jobs finish directly.
+      if (local_job_id_ == 0) {
+        stage_out_and_finish(GramJobState::kFailed, "cancelled");
+      }
+    }
+    sim::rpc_reply(network_, message, address(), std::move(reply));
+    return;
+  }
+  if (message.type == "jm.refresh_credential") {
+    // §4.3: the client re-forwards a refreshed proxy; our GASS traffic
+    // switches to it immediately.
+    forwarded_credential_ = message.body.get("credential");
+    gass_->set_credential_text(forwarded_credential_);
+    persist();
+    sim::rpc_reply(network_, message, address(), std::move(reply));
+    return;
+  }
+  if (message.type == "jm.update_gass") {
+    // "If the address of the GASS server should change ... the GridManager
+    // requests the JobManager to update the file with the new address."
+    spec_.gass_url = message.body.get("gass_url");
+    persist();
+    sim::rpc_reply(network_, message, address(), std::move(reply));
+    // The new server has none of our streamed output: resend it
+    // ("permitting a client to request resending of this data after a
+    // crash of client or server", §3.2).
+    restream_output();
+    return;
+  }
+  reply.set_bool("ok", false);
+  reply.set("why", "unknown operation: " + message.type);
+  sim::rpc_reply(network_, message, address(), std::move(reply));
+}
+
+void JobManager::commit() {
+  committed_ = true;
+  persist();
+  stage_in();
+}
+
+void JobManager::stage_in() {
+  set_state(GramJobState::kStageIn, "staging executable");
+  // Fetch the executable from the client's GASS server, with retries: the
+  // submit machine may be briefly down or partitioned.
+  auto attempt = std::make_shared<int>(kStageRetries);
+  auto try_fetch = std::make_shared<std::function<void()>>();
+  *try_fetch = [this, attempt,
+                weak = std::weak_ptr<std::function<void()>>(try_fetch)] {
+    if (!process_alive_) return;
+    const auto self = weak.lock();
+    if (!self) return;
+    gass_->get(
+        sim::Address::parse(spec_.gass_url), spec_.executable,
+        [this, attempt, self](std::optional<gass::FileInfo> file) {
+          if (!process_alive_) return;
+          if (file) {
+            submit_to_scheduler();
+            return;
+          }
+          if (--*attempt <= 0) {
+            stage_out_and_finish(GramJobState::kFailed,
+                                 "staging failed: executable unreachable");
+            return;
+          }
+          host_.post(kStageRetryDelay,
+                     life_.wrap([self] { (*self)(); }));
+        },
+        kStageTimeout);
+  };
+  (*try_fetch)();
+}
+
+void JobManager::submit_to_scheduler() {
+  batch::JobRequest request;
+  request.owner = "gram";
+  request.runtime_seconds = spec_.runtime_seconds;
+  request.walltime_limit_seconds = spec_.walltime_limit;
+  request.cpus = spec_.cpus;
+  request.tag = contact_;
+  local_job_id_ = scheduler_.submit(std::move(request));
+  set_state(GramJobState::kPending, "queued locally");
+  watch_scheduler();
+}
+
+void JobManager::watch_scheduler() {
+  // Terminal transitions arrive via a one-shot handler...
+  job_handler_token_ = scheduler_.add_job_handler(
+      local_job_id_,
+      [this, epoch = host_.epoch()](const batch::JobRecord& record) {
+        if (!process_alive_ || host_.epoch() != epoch) return;
+        job_handler_token_ = 0;  // consumed
+        on_local_terminal(record);
+      });
+  // ...while PENDING->ACTIVE is observed by polling the local scheduler.
+  auto poll = std::make_shared<std::function<void()>>();
+  *poll = [this, weak = std::weak_ptr<std::function<void()>>(poll)] {
+    if (!process_alive_ || is_terminal(state_)) return;
+    const auto self = weak.lock();
+    if (!self) return;
+    const auto status = scheduler_.status(local_job_id_);
+    if (status && status->state == batch::JobState::kRunning &&
+        state_ == GramJobState::kPending) {
+      set_state(GramJobState::kActive, "running");
+      if (spec_.stream_interval > 0 && !streaming_) {
+        streaming_ = true;
+        host_.post(spec_.stream_interval,
+                   life_.wrap([this] { stream_output_tick(); }));
+      }
+    }
+    if (status && !batch::is_terminal(status->state)) {
+      host_.post(kLocalPollInterval, life_.wrap([self] { (*self)(); }));
+    }
+  };
+  host_.post(kLocalPollInterval, life_.wrap([poll] { (*poll)(); }));
+}
+
+void JobManager::on_local_terminal(const batch::JobRecord& record) {
+  switch (record.state) {
+    case batch::JobState::kCompleted:
+      stage_out_and_finish(GramJobState::kDone, "completed");
+      break;
+    case batch::JobState::kWalltimeExceeded:
+      stage_out_and_finish(GramJobState::kFailed, "walltime exceeded");
+      break;
+    case batch::JobState::kCancelled:
+      stage_out_and_finish(GramJobState::kFailed, "cancelled");
+      break;
+    default:
+      break;
+  }
+}
+
+void JobManager::stage_out_and_finish(GramJobState final_state,
+                                      const std::string& why) {
+  if (final_state == GramJobState::kDone && !spec_.output.empty()) {
+    // Ship the output file back to the client's GASS server, retrying
+    // through client downtime, THEN report DONE — so DONE implies output
+    // is in place.
+    auto attempt = std::make_shared<int>(kStageRetries);
+    auto try_put = std::make_shared<std::function<void()>>();
+    *try_put = [this, attempt, final_state, why,
+                weak = std::weak_ptr<std::function<void()>>(try_put)] {
+      if (!process_alive_) return;
+      const auto self = weak.lock();
+      if (!self) return;
+      gass_->put(
+          sim::Address::parse(spec_.gass_url), spec_.output,
+          "output-of:" + contact_, spec_.output_size,
+          [this, attempt, self, final_state, why](bool ok) {
+            if (!process_alive_) return;
+            if (ok) {
+              set_state(final_state, why);
+              return;
+            }
+            if (--*attempt <= 0) {
+              set_state(GramJobState::kFailed, "output staging failed");
+              return;
+            }
+            host_.post(kStageRetryDelay,
+                       life_.wrap([self] { (*self)(); }));
+          },
+          kStageTimeout);
+    };
+    (*try_put)();
+    return;
+  }
+  set_state(final_state, why);
+}
+
+void JobManager::stream_output_tick() {
+  if (!process_alive_ || state_ != GramJobState::kActive ||
+      spec_.stream_interval <= 0) {
+    streaming_ = false;
+    return;
+  }
+  // One chunk of the job's stdout-so-far; sequence-numbered appends keep
+  // the stream exactly-once across retries and resends.
+  const std::uint64_t seq = ++streamed_chunks_;
+  gass_->append(sim::Address::parse(spec_.gass_url),
+                spec_.output + ".stream",
+                util::format("chunk %llu of %s\n",
+                             static_cast<unsigned long long>(seq),
+                             contact_.c_str()),
+                0, [](bool) {}, kStageTimeout,
+                /*writer=*/contact_, seq);
+  persist();
+  host_.post(spec_.stream_interval,
+             life_.wrap([this] { stream_output_tick(); }));
+}
+
+void JobManager::restream_output() {
+  if (spec_.stream_interval <= 0) return;
+  // Resend everything streamed so far to the (new) GASS server. The chunk
+  // content is regenerated from the sequence numbers — in the real system
+  // the JobManager keeps the spooled stdout on local disk.
+  const std::uint64_t upto = streamed_chunks_;
+  for (std::uint64_t seq = 1; seq <= upto; ++seq) {
+    gass_->append(sim::Address::parse(spec_.gass_url),
+                  spec_.output + ".stream",
+                  util::format("chunk %llu of %s\n",
+                               static_cast<unsigned long long>(seq),
+                               contact_.c_str()),
+                  0, [](bool) {}, kStageTimeout,
+                  /*writer=*/contact_, seq);
+  }
+  if (state_ == GramJobState::kActive && !streaming_) {
+    streaming_ = true;
+    host_.post(spec_.stream_interval,
+               life_.wrap([this] { stream_output_tick(); }));
+  }
+}
+
+void JobManager::set_state(GramJobState state, const std::string& why) {
+  state_ = state;
+  persist();
+  send_callback(why);
+}
+
+void JobManager::send_callback(const std::string& why) {
+  if (client_callback_.host.empty()) return;
+  sim::Payload payload;
+  payload.set("contact", contact_);
+  payload.set("state", to_string(state_));
+  payload.set("why", why);
+  rpc_->notify(client_callback_, "gram.callback", std::move(payload));
+}
+
+}  // namespace condorg::gram

@@ -1,0 +1,56 @@
+#include "condorg/gram/protocol.h"
+
+namespace condorg::gram {
+
+const char* to_string(GramJobState state) {
+  switch (state) {
+    case GramJobState::kUnsubmitted: return "UNSUBMITTED";
+    case GramJobState::kStageIn: return "STAGE_IN";
+    case GramJobState::kPending: return "PENDING";
+    case GramJobState::kActive: return "ACTIVE";
+    case GramJobState::kDone: return "DONE";
+    case GramJobState::kFailed: return "FAILED";
+  }
+  return "?";
+}
+
+GramJobState gram_state_from_string(const std::string& text) {
+  if (text == "UNSUBMITTED") return GramJobState::kUnsubmitted;
+  if (text == "STAGE_IN") return GramJobState::kStageIn;
+  if (text == "PENDING") return GramJobState::kPending;
+  if (text == "ACTIVE") return GramJobState::kActive;
+  if (text == "DONE") return GramJobState::kDone;
+  return GramJobState::kFailed;
+}
+
+bool is_terminal(GramJobState state) {
+  return state == GramJobState::kDone || state == GramJobState::kFailed;
+}
+
+void GramJobSpec::to_payload(sim::Payload& payload) const {
+  payload.set("spec.executable", executable);
+  payload.set("spec.output", output);
+  payload.set("spec.gass_url", gass_url);
+  payload.set_double("spec.runtime", runtime_seconds);
+  payload.set_double("spec.walltime", walltime_limit);
+  payload.set_int("spec.cpus", cpus);
+  payload.set_uint("spec.output_size", output_size);
+  payload.set_double("spec.stream_interval", stream_interval);
+  payload.set("spec.tag", tag);
+}
+
+GramJobSpec GramJobSpec::from_payload(const sim::Payload& payload) {
+  GramJobSpec spec;
+  spec.executable = payload.get("spec.executable");
+  spec.output = payload.get("spec.output");
+  spec.gass_url = payload.get("spec.gass_url");
+  spec.runtime_seconds = payload.get_double("spec.runtime", 60.0);
+  spec.walltime_limit = payload.get_double("spec.walltime", 1e18);
+  spec.cpus = static_cast<int>(payload.get_int("spec.cpus", 1));
+  spec.output_size = payload.get_uint("spec.output_size", 1024);
+  spec.stream_interval = payload.get_double("spec.stream_interval", 0.0);
+  spec.tag = payload.get("spec.tag");
+  return spec;
+}
+
+}  // namespace condorg::gram

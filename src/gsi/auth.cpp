@@ -1,0 +1,34 @@
+#include "condorg/gsi/auth.h"
+
+namespace condorg::gsi {
+
+AuthResult authenticate(const AuthConfig& config, const sim::Payload& payload,
+                        sim::Time now) {
+  AuthResult result;
+  if (!config.require_auth) {
+    result.ok = true;
+    return result;
+  }
+  const auto credential = Credential::deserialize(payload.get("credential"));
+  if (!credential) {
+    result.why = "missing or malformed credential";
+    return result;
+  }
+  const auto identity =
+      verify_credential(*config.pki, *credential, config.anchors, now);
+  if (!identity) {
+    result.why = "credential verification failed";
+    return result;
+  }
+  result.grid_identity = *identity;
+  const auto local = config.gridmap.map(*identity);
+  if (!local) {
+    result.why = "identity not authorized: " + *identity;
+    return result;
+  }
+  result.local_user = *local;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace condorg::gsi

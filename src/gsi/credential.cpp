@@ -1,0 +1,158 @@
+#include "condorg/gsi/credential.h"
+
+#include <algorithm>
+
+#include "condorg/util/strings.h"
+
+namespace condorg::gsi {
+
+std::string Certificate::signing_content() const {
+  return util::format("%s\x1f%s\x1f%.9f\x1f%.9f\x1f%llu\x1f%d",
+                      subject.c_str(), issuer.c_str(), not_before, not_after,
+                      static_cast<unsigned long long>(public_key),
+                      is_proxy ? 1 : 0);
+}
+
+std::string Certificate::serialize() const {
+  return util::format("%s\x1e%s\x1e%.9f\x1e%.9f\x1e%llu\x1e%llu\x1e%d",
+                      subject.c_str(), issuer.c_str(), not_before, not_after,
+                      static_cast<unsigned long long>(public_key),
+                      static_cast<unsigned long long>(signature),
+                      is_proxy ? 1 : 0);
+}
+
+std::optional<Certificate> Certificate::deserialize(const std::string& text) {
+  const auto parts = util::split(text, '\x1e');
+  if (parts.size() != 7) return std::nullopt;
+  try {
+    Certificate cert;
+    cert.subject = parts[0];
+    cert.issuer = parts[1];
+    cert.not_before = std::stod(parts[2]);
+    cert.not_after = std::stod(parts[3]);
+    cert.public_key = std::stoull(parts[4]);
+    cert.signature = std::stoull(parts[5]);
+    cert.is_proxy = parts[6] == "1";
+    return cert;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+sim::Time Credential::expires_at() const {
+  sim::Time earliest = chain_.empty() ? 0.0 : chain_.front().not_after;
+  for (const Certificate& cert : chain_) {
+    earliest = std::min(earliest, cert.not_after);
+  }
+  return earliest;
+}
+
+bool Credential::valid_at(sim::Time now) const {
+  if (chain_.empty()) return false;
+  return std::all_of(chain_.begin(), chain_.end(),
+                     [now](const Certificate& c) { return c.valid_at(now); });
+}
+
+Credential Credential::delegate(Pki& pki, sim::Time now,
+                                double lifetime) const {
+  const KeyPair keys = pki.generate_keypair();
+  Certificate proxy;
+  proxy.subject = leaf().subject + "/CN=proxy";
+  proxy.issuer = leaf().subject;
+  proxy.not_before = now;
+  proxy.not_after = std::min(now + lifetime, leaf().not_after);
+  proxy.public_key = keys.public_key;
+  proxy.is_proxy = true;
+  proxy.signature = sign(proxy.signing_content());
+
+  std::vector<Certificate> chain = chain_;
+  chain.push_back(proxy);
+  return Credential(std::move(chain), keys.private_key);
+}
+
+std::string Credential::serialize() const {
+  std::string out = std::to_string(private_key_);
+  for (const Certificate& cert : chain_) {
+    out.push_back('\x1d');
+    out += cert.serialize();
+  }
+  return out;
+}
+
+std::optional<Credential> Credential::deserialize(const std::string& text) {
+  const auto parts = util::split(text, '\x1d');
+  if (parts.size() < 2) return std::nullopt;
+  std::uint64_t private_key = 0;
+  try {
+    private_key = std::stoull(parts[0]);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  std::vector<Certificate> chain;
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    auto cert = Certificate::deserialize(parts[i]);
+    if (!cert) return std::nullopt;
+    chain.push_back(std::move(*cert));
+  }
+  return Credential(std::move(chain), private_key);
+}
+
+CertificateAuthority::CertificateAuthority(Pki& pki, std::string name)
+    : pki_(pki), name_(std::move(name)), keys_(pki.generate_keypair()) {}
+
+Credential CertificateAuthority::issue(Pki& pki,
+                                       const std::string& subject_dn,
+                                       sim::Time now,
+                                       double lifetime_seconds) const {
+  const KeyPair keys = pki.generate_keypair();
+  Certificate cert;
+  cert.subject = subject_dn;
+  cert.issuer = name_;
+  cert.not_before = now;
+  cert.not_after = now + lifetime_seconds;
+  cert.public_key = keys.public_key;
+  cert.is_proxy = false;
+  cert.signature = Pki::sign(cert.signing_content(), keys_.private_key);
+  return Credential({cert}, keys.private_key);
+}
+
+std::optional<std::string> verify_chain(
+    const Pki& pki, const std::vector<Certificate>& chain,
+    const TrustAnchors& anchors, sim::Time now) {
+  if (chain.empty()) return std::nullopt;
+
+  // 1. The EEC must be signed by a trusted CA and must not itself be a proxy.
+  const Certificate& eec = chain.front();
+  if (eec.is_proxy) return std::nullopt;
+  const auto anchor = anchors.find(eec.issuer);
+  if (anchor == anchors.end()) return std::nullopt;
+  if (!pki.verify(eec.signing_content(), eec.signature, anchor->second)) {
+    return std::nullopt;
+  }
+  if (!eec.valid_at(now)) return std::nullopt;
+
+  // 2. Each proxy must be signed by its parent, extend the parent's subject,
+  //    and be within its validity window.
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    const Certificate& parent = chain[i - 1];
+    const Certificate& cert = chain[i];
+    if (!cert.is_proxy) return std::nullopt;
+    if (cert.issuer != parent.subject) return std::nullopt;
+    if (cert.subject.rfind(parent.subject + "/", 0) != 0) return std::nullopt;
+    if (!pki.verify(cert.signing_content(), cert.signature,
+                    parent.public_key)) {
+      return std::nullopt;
+    }
+    if (!cert.valid_at(now)) return std::nullopt;
+  }
+  return eec.subject;
+}
+
+std::optional<std::string> verify_credential(const Pki& pki,
+                                             const Credential& credential,
+                                             const TrustAnchors& anchors,
+                                             sim::Time now) {
+  return verify_chain(pki, credential.chain(), anchors, now);
+}
+
+}  // namespace condorg::gsi

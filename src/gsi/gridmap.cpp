@@ -1,0 +1,30 @@
+#include "condorg/gsi/gridmap.h"
+
+#include "condorg/util/strings.h"
+
+namespace condorg::gsi {
+
+void Gridmap::add(const std::string& grid_dn, const std::string& local_user) {
+  entries_[base_subject(grid_dn)] = local_user;
+}
+
+bool Gridmap::remove(const std::string& grid_dn) {
+  return entries_.erase(base_subject(grid_dn)) > 0;
+}
+
+std::optional<std::string> Gridmap::map(const std::string& grid_dn) const {
+  const auto it = entries_.find(base_subject(grid_dn));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Gridmap::base_subject(const std::string& dn) {
+  std::string base = dn;
+  static constexpr std::string_view kProxySuffix = "/CN=proxy";
+  while (util::ends_with(base, kProxySuffix)) {
+    base.resize(base.size() - kProxySuffix.size());
+  }
+  return base;
+}
+
+}  // namespace condorg::gsi

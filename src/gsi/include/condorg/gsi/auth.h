@@ -1,0 +1,38 @@
+// Shared request-authentication helper used by every GSI-protected service
+// (GRAM gatekeepers, GASS/GridFTP servers, MDS directories).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "condorg/gsi/credential.h"
+#include "condorg/gsi/gridmap.h"
+#include "condorg/sim/message.h"
+#include "condorg/sim/types.h"
+
+namespace condorg::gsi {
+
+/// A service's authentication policy. When `require_auth` is false every
+/// request is accepted (with empty identity) — convenient for tests and for
+/// intra-site traffic.
+struct AuthConfig {
+  const Pki* pki = nullptr;
+  TrustAnchors anchors;
+  Gridmap gridmap;
+  bool require_auth = false;
+};
+
+struct AuthResult {
+  bool ok = false;
+  std::string grid_identity;  // EEC subject
+  std::string local_user;     // gridmap-mapped account
+  std::string why;            // failure reason
+};
+
+/// Verify the "credential" field of a request payload against the policy:
+/// the chain must verify against the trust anchors at `now` and the
+/// resulting identity must appear in the gridmap.
+AuthResult authenticate(const AuthConfig& config, const sim::Payload& payload,
+                        sim::Time now);
+
+}  // namespace condorg::gsi

@@ -1,0 +1,40 @@
+// Per-site authorization: the gridmap file.
+//
+// "Authorization implements local policy and may involve mapping the user's
+// Grid id into a local subject name; however, this mapping is transparent to
+// the user." (§3.2). Each site's Gatekeeper consults its Gridmap to decide
+// whether an authenticated Grid identity may use the resource, and as which
+// local account.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace condorg::gsi {
+
+class Gridmap {
+ public:
+  /// Authorize `grid_dn` to run as local account `local_user`.
+  void add(const std::string& grid_dn, const std::string& local_user);
+  bool remove(const std::string& grid_dn);
+
+  /// The local account for an authenticated grid identity, or nullopt if the
+  /// identity is not authorized at this site. Proxy subjects are normalized:
+  /// trailing "/CN=proxy" components are stripped before lookup.
+  std::optional<std::string> map(const std::string& grid_dn) const;
+
+  bool authorized(const std::string& grid_dn) const {
+    return map(grid_dn).has_value();
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Strip trailing "/CN=proxy" components from a subject DN.
+  static std::string base_subject(const std::string& dn);
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace condorg::gsi

@@ -1,0 +1,75 @@
+// MyProxy online credential repository (§4.3 of the paper).
+//
+// "MyProxy lets a user store a long-lived proxy credential (e.g. a week) on
+// a secure server. Remote services acting on behalf of the user can then
+// obtain short-lived proxies (e.g. 12 hours) from the server." Condor-G's
+// CredentialManager uses this to refresh expiring proxies without user
+// interaction.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "condorg/gsi/credential.h"
+#include "condorg/sim/host.h"
+#include "condorg/sim/network.h"
+#include "condorg/sim/rpc.h"
+
+namespace condorg::gsi {
+
+/// Server daemon: stores long-lived credentials keyed by (user, passphrase)
+/// and issues short-lived delegated proxies on request. Stored credentials
+/// are written to the host's stable storage, so the repository survives
+/// crashes; the service handler is re-registered by a boot function.
+class MyProxyServer {
+ public:
+  static constexpr const char* kService = "myproxy";
+
+  MyProxyServer(sim::Host& host, sim::Network& network, Pki& pki);
+  ~MyProxyServer();
+
+  MyProxyServer(const MyProxyServer&) = delete;
+  MyProxyServer& operator=(const MyProxyServer&) = delete;
+
+  sim::Address address() const { return {host_.name(), kService}; }
+
+  std::size_t stored_count() const;
+  std::uint64_t proxies_issued() const { return proxies_issued_; }
+
+ private:
+  void install();
+  void on_message(const sim::Message& message);
+
+  sim::Host& host_;
+  sim::Network& network_;
+  Pki& pki_;
+  int boot_id_ = 0;
+  std::uint64_t proxies_issued_ = 0;
+};
+
+/// Client helper used by tools (myproxy-init) and by the CredentialManager.
+class MyProxyClient {
+ public:
+  MyProxyClient(sim::Host& host, sim::Network& network,
+                const std::string& reply_service);
+
+  using StoreCallback = std::function<void(bool ok)>;
+  using GetCallback =
+      std::function<void(std::optional<Credential> credential)>;
+
+  /// Store a long-lived credential under (user, passphrase).
+  void store(const sim::Address& server, const std::string& user,
+             const std::string& passphrase, const Credential& credential,
+             StoreCallback callback);
+
+  /// Obtain a fresh short-lived proxy delegated from the stored credential.
+  void get(const sim::Address& server, const std::string& user,
+           const std::string& passphrase, double lifetime_seconds,
+           GetCallback callback);
+
+ private:
+  sim::RpcClient rpc_;
+};
+
+}  // namespace condorg::gsi

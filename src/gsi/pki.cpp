@@ -1,0 +1,27 @@
+#include "condorg/gsi/pki.h"
+
+namespace condorg::gsi {
+
+KeyPair Pki::generate_keypair() {
+  KeyPair pair;
+  pair.private_key = rng_();
+  // The public key is an opaque token; deriving it by hashing keeps it
+  // stable but non-invertible from the outside.
+  pair.public_key = util::fnv1a_mix(pair.private_key, 0x5061726b65724b65ull);
+  pub_to_priv_[pair.public_key] = pair.private_key;
+  return pair;
+}
+
+std::uint64_t Pki::sign(const std::string& content,
+                        std::uint64_t private_key) {
+  return util::fnv1a_mix(util::fnv1a(content), private_key);
+}
+
+bool Pki::verify(const std::string& content, std::uint64_t signature,
+                 std::uint64_t public_key) const {
+  const auto it = pub_to_priv_.find(public_key);
+  if (it == pub_to_priv_.end()) return false;  // unknown key
+  return sign(content, it->second) == signature;
+}
+
+}  // namespace condorg::gsi

@@ -1,0 +1,49 @@
+// GRIP query client: what a personal resource broker uses to discover
+// candidate resources.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "condorg/classad/classad.h"
+#include "condorg/gsi/credential.h"
+#include "condorg/sim/rpc.h"
+
+namespace condorg::mds {
+
+struct ResourceRecord {
+  std::string name;
+  classad::ClassAd ad;
+};
+
+class MdsClient {
+ public:
+  MdsClient(sim::Host& host, sim::Network& network,
+            const std::string& reply_service);
+
+  void set_credential(const gsi::Credential& credential) {
+    credential_ = credential.serialize();
+  }
+
+  using QueryCallback =
+      std::function<void(std::optional<std::vector<ResourceRecord>>)>;
+  using LookupCallback =
+      std::function<void(std::optional<classad::ClassAd>)>;
+
+  /// GRIP query: all live resources whose ad satisfies `constraint`
+  /// (a ClassAd expression; empty = all).
+  void query(const sim::Address& giis, const std::string& constraint,
+             QueryCallback callback, double timeout = 60.0);
+
+  /// GRIP lookup of one resource by name.
+  void lookup(const sim::Address& giis, const std::string& name,
+              LookupCallback callback, double timeout = 60.0);
+
+ private:
+  sim::RpcClient rpc_;
+  std::string credential_;
+};
+
+}  // namespace condorg::mds

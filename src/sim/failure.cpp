@@ -1,0 +1,85 @@
+#include "condorg/sim/failure.h"
+
+#include <utility>
+
+namespace condorg::sim {
+
+FailureInjector::FailureInjector(World& world) : world_(world) {}
+
+void FailureInjector::crash_at(const std::string& host, Time when,
+                               Time downtime) {
+  world_.sim().schedule_at(when, [this, host, downtime] {
+    Host* h = world_.find_host(host);
+    if (h == nullptr || !h->alive()) return;
+    ++crashes_;
+    incidents_.push_back(
+        {Incident::Kind::kCrash, host, world_.now(), downtime});
+    h->crash_for(downtime);
+  });
+}
+
+void FailureInjector::partition_at(const std::string& a, const std::string& b,
+                                   Time when, Time duration) {
+  world_.sim().schedule_at(when, [this, a, b, duration] {
+    ++partitions_;
+    incidents_.push_back(
+        {Incident::Kind::kPartition, a + "|" + b, world_.now(), duration});
+    world_.net().set_partitioned(a, b, true);
+    world_.sim().schedule_in(
+        duration, [this, a, b] { world_.net().set_partitioned(a, b, false); });
+  });
+}
+
+void FailureInjector::add_crash_plan(const CrashPlan& plan) {
+  util::Rng rng =
+      world_.sim().make_rng("failure.crash." + plan.host +
+                            std::to_string(static_cast<long long>(plan.start)));
+  world_.sim().schedule_at(plan.start, [this, plan, rng]() mutable {
+    schedule_next_crash(plan, rng);
+  });
+}
+
+void FailureInjector::schedule_next_crash(const CrashPlan& plan,
+                                          util::Rng rng) {
+  const Time gap = rng.exponential(plan.mtbf_seconds);
+  world_.sim().schedule_in(gap, [this, plan, rng]() mutable {
+    if (!armed_ || world_.now() > plan.end) return;
+    Host* h = world_.find_host(plan.host);
+    if (h != nullptr && h->alive()) {
+      const Time downtime = rng.exponential(plan.mean_downtime_seconds);
+      ++crashes_;
+      incidents_.push_back(
+          {Incident::Kind::kCrash, plan.host, world_.now(), downtime});
+      h->crash_for(downtime);
+    }
+    schedule_next_crash(plan, rng);
+  });
+}
+
+void FailureInjector::add_partition_plan(const PartitionPlan& plan) {
+  util::Rng rng = world_.sim().make_rng("failure.partition." + plan.host_a +
+                                        "|" + plan.host_b);
+  world_.sim().schedule_at(plan.start, [this, plan, rng]() mutable {
+    schedule_next_partition(plan, rng);
+  });
+}
+
+void FailureInjector::schedule_next_partition(const PartitionPlan& plan,
+                                              util::Rng rng) {
+  const Time gap = rng.exponential(plan.mtbf_seconds);
+  world_.sim().schedule_in(gap, [this, plan, rng]() mutable {
+    if (!armed_ || world_.now() > plan.end) return;
+    const Time duration = rng.exponential(plan.mean_duration_seconds);
+    ++partitions_;
+    incidents_.push_back({Incident::Kind::kPartition,
+                          plan.host_a + "|" + plan.host_b, world_.now(),
+                          duration});
+    world_.net().set_partitioned(plan.host_a, plan.host_b, true);
+    world_.sim().schedule_in(duration, [this, plan] {
+      world_.net().set_partitioned(plan.host_a, plan.host_b, false);
+    });
+    schedule_next_partition(plan, rng);
+  });
+}
+
+}  // namespace condorg::sim

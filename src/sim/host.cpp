@@ -1,0 +1,99 @@
+#include "condorg/sim/host.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace condorg::sim {
+
+Host::Host(Simulation& sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {}
+
+EventId Host::post(Time delay, std::function<void()> fn) {
+  const Epoch expected = epoch_;
+  return sim_.schedule_in(
+      delay, [this, expected, fn = std::move(fn)] {
+        if (alive_ && epoch_ == expected) fn();
+      });
+}
+
+EventId Host::post_any_epoch(Time delay, std::function<void()> fn) {
+  return sim_.schedule_in(delay, [this, fn = std::move(fn)] {
+    if (alive_) fn();
+  });
+}
+
+namespace {
+/// Invoke each registered callback, re-checking before every call that it
+/// is still registered: a callback may destroy objects that deregister
+/// *other* callbacks (e.g. a gatekeeper's crash listener tears down
+/// JobManagers whose RPC clients hold their own listeners). Invoking a
+/// stale copy would be use-after-free.
+void invoke_live(std::vector<std::pair<int, std::function<void()>>>& list) {
+  std::vector<int> ids;
+  ids.reserve(list.size());
+  for (const auto& [id, fn] : list) ids.push_back(id);
+  for (const int id : ids) {
+    const auto it = std::find_if(list.begin(), list.end(),
+                                 [id](const auto& e) { return e.first == id; });
+    if (it == list.end()) continue;  // deregistered by an earlier callback
+    const auto fn = it->second;      // copy: the callback may deregister itself
+    fn();
+  }
+}
+}  // namespace
+
+void Host::crash() {
+  if (!alive_) return;
+  alive_ = false;
+  ++epoch_;
+  ++crash_count_;
+  services_.clear();
+  invoke_live(crash_listeners_);
+}
+
+void Host::restart() {
+  if (alive_) return;
+  alive_ = true;
+  invoke_live(boots_);
+}
+
+void Host::crash_for(Time downtime) {
+  crash();
+  sim_.schedule_in(downtime, [this] { restart(); });
+}
+
+int Host::add_boot(std::function<void()> fn) {
+  const int id = next_listener_id_++;
+  boots_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void Host::remove_boot(int id) {
+  std::erase_if(boots_, [id](const auto& entry) { return entry.first == id; });
+}
+
+int Host::add_crash_listener(std::function<void()> fn) {
+  const int id = next_listener_id_++;
+  crash_listeners_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void Host::remove_crash_listener(int id) {
+  std::erase_if(crash_listeners_,
+                [id](const auto& entry) { return entry.first == id; });
+}
+
+void Host::register_service(const std::string& service, Handler handler) {
+  services_[service] = std::move(handler);
+}
+
+void Host::unregister_service(const std::string& service) {
+  services_.erase(service);
+}
+
+const Host::Handler* Host::find_service(const std::string& service) const {
+  const auto it = services_.find(service);
+  return it == services_.end() ? nullptr : &it->second;
+}
+
+}  // namespace condorg::sim

@@ -1,0 +1,80 @@
+// Failure injection.
+//
+// Drives the four failure types from §4.2 of the paper against a running
+// world: host crash/restart cycles (JobManager host, site front-end, submit
+// machine) and network partitions. Schedules are drawn from per-target
+// exponential distributions so benches can sweep MTBF.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "condorg/sim/types.h"
+#include "condorg/sim/world.h"
+#include "condorg/util/rng.h"
+
+namespace condorg::sim {
+
+struct CrashPlan {
+  std::string host;
+  double mtbf_seconds = 3600.0;      // mean time between crashes
+  double mean_downtime_seconds = 60.0;
+  Time start = 0.0;                  // no crashes before this time
+  Time end = 1e18;                   // no crashes after this time
+};
+
+struct PartitionPlan {
+  std::string host_a;
+  std::string host_b;
+  double mtbf_seconds = 3600.0;
+  double mean_duration_seconds = 120.0;
+  Time start = 0.0;
+  Time end = 1e18;
+};
+
+class FailureInjector {
+ public:
+  explicit FailureInjector(World& world);
+
+  /// Arm a recurring crash/restart cycle for a host.
+  void add_crash_plan(const CrashPlan& plan);
+
+  /// Arm recurring transient partitions between two hosts.
+  void add_partition_plan(const PartitionPlan& plan);
+
+  /// One-shot: crash `host` at `when`, restart after `downtime`.
+  void crash_at(const std::string& host, Time when, Time downtime);
+
+  /// One-shot: partition a<->b during [when, when+duration).
+  void partition_at(const std::string& a, const std::string& b, Time when,
+                    Time duration);
+
+  /// Stop injecting (already-scheduled restarts/heals still run so the world
+  /// ends connected and alive).
+  void disarm() { armed_ = false; }
+
+  std::size_t crashes_injected() const { return crashes_; }
+  std::size_t partitions_injected() const { return partitions_; }
+
+  /// Log of injected incidents, for post-run analysis.
+  struct Incident {
+    enum class Kind { kCrash, kPartition } kind;
+    std::string target;  // host, or "a|b" for partitions
+    Time at;
+    Time duration;
+  };
+  const std::vector<Incident>& incidents() const { return incidents_; }
+
+ private:
+  void schedule_next_crash(const CrashPlan& plan, util::Rng rng);
+  void schedule_next_partition(const PartitionPlan& plan, util::Rng rng);
+
+  World& world_;
+  bool armed_ = true;
+  std::size_t crashes_ = 0;
+  std::size_t partitions_ = 0;
+  std::vector<Incident> incidents_;
+};
+
+}  // namespace condorg::sim

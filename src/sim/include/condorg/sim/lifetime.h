@@ -1,0 +1,40 @@
+// Object-lifetime guard for deferred callbacks.
+//
+// Host::post fences callbacks against host crashes (epoch change), but a
+// daemon object can also be *destroyed* within an epoch — a glide-in startd
+// torn down by its manager, a JobManager replaced after a process kill. Any
+// timer capturing `this` would then dangle. A Lifetime member makes that
+// safe: wrap(fn) runs fn only while the Lifetime (and hence its owner) is
+// still alive.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace condorg::sim {
+
+class Lifetime {
+ public:
+  Lifetime() : token_(std::make_shared<char>(0)) {}
+
+  Lifetime(const Lifetime&) = delete;
+  Lifetime& operator=(const Lifetime&) = delete;
+
+  /// Invalidate early (before destruction), e.g. on a simulated process
+  /// kill while the C++ object lingers.
+  void revoke() { token_.reset(); }
+  bool alive() const { return token_ != nullptr; }
+
+  /// Wrap a callback so it is a no-op once this Lifetime is gone.
+  std::function<void()> wrap(std::function<void()> fn) const {
+    return [weak = std::weak_ptr<char>(token_), fn = std::move(fn)] {
+      if (weak.lock()) fn();
+    };
+  }
+
+ private:
+  std::shared_ptr<char> token_;
+};
+
+}  // namespace condorg::sim

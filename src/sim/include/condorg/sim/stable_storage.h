@@ -1,0 +1,45 @@
+// Per-host persistent storage.
+//
+// The paper's fault-tolerance story rests on "all relevant state for each
+// submitted job is stored persistently in the scheduler's job queue" and on
+// the GRAM client logging job details "to stable storage". StableStorage
+// models exactly that: a key/value store plus append-only journals that
+// survive host crashes (unlike everything else on the host).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace condorg::sim {
+
+class StableStorage {
+ public:
+  // --- key/value records ---
+  void put(const std::string& key, std::string value);
+  std::optional<std::string> get(const std::string& key) const;
+  bool erase(const std::string& key);
+  bool contains(const std::string& key) const;
+
+  /// All keys with the given prefix, in lexicographic order.
+  std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
+
+  // --- append-only journals (e.g. the Schedd job-queue log) ---
+  void append(const std::string& journal, std::string record);
+  const std::vector<std::string>& journal(const std::string& name) const;
+  void truncate_journal(const std::string& name);
+
+  /// Total record count across key/value store and journals.
+  std::size_t size() const;
+
+  /// Bytes written since construction; lets benches report I/O pressure.
+  std::size_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::map<std::string, std::string> records_;
+  std::map<std::string, std::vector<std::string>> journals_;
+  std::size_t bytes_written_ = 0;
+};
+
+}  // namespace condorg::sim

@@ -1,0 +1,25 @@
+// Core simulation types.
+#pragma once
+
+#include <cstdint>
+
+namespace condorg::sim {
+
+/// Simulated time, in seconds since the start of the run.
+using Time = double;
+
+/// Identifies a scheduled event; used for cancellation.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Incarnation counter of a host. Bumped on every crash so that callbacks
+/// and message handlers belonging to a previous incarnation can be fenced.
+using Epoch = std::uint64_t;
+
+constexpr Time seconds(double s) { return s; }
+constexpr Time minutes(double m) { return m * 60.0; }
+constexpr Time hours(double h) { return h * 3600.0; }
+constexpr Time days(double d) { return d * 86400.0; }
+
+}  // namespace condorg::sim

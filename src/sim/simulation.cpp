@@ -1,0 +1,55 @@
+#include "condorg/sim/simulation.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace condorg::sim {
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+
+EventId Simulation::schedule_at(Time when, std::function<void()> fn) {
+  if (!fn) throw std::invalid_argument("schedule_at: null callback");
+  if (when < now_) when = now_;  // clamp: no scheduling into the past
+  const EventId id = next_id_++;
+  queue_.push(QueuedEvent{when, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Simulation::cancel(EventId id) { return handlers_.erase(id) > 0; }
+
+void Simulation::dispatch(const QueuedEvent& ev) {
+  const auto it = handlers_.find(ev.id);
+  if (it == handlers_.end()) return;  // cancelled
+  // Move the handler out before invoking: the callback may schedule or
+  // cancel other events, invalidating iterators.
+  std::function<void()> fn = std::move(it->second);
+  handlers_.erase(it);
+  now_ = ev.when;
+  ++dispatched_;
+  fn();
+}
+
+void Simulation::run() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    const QueuedEvent ev = queue_.top();
+    queue_.pop();
+    dispatch(ev);
+  }
+}
+
+bool Simulation::run_until(Time until) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.top().when <= until) {
+    const QueuedEvent ev = queue_.top();
+    queue_.pop();
+    dispatch(ev);
+  }
+  if (!stopped_ && now_ < until) now_ = until;
+  // Drop cancelled stragglers at the front so pending() stays meaningful.
+  while (!queue_.empty() && !handlers_.count(queue_.top().id)) queue_.pop();
+  return !queue_.empty();
+}
+
+}  // namespace condorg::sim

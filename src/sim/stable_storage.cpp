@@ -1,0 +1,56 @@
+#include "condorg/sim/stable_storage.h"
+
+namespace condorg::sim {
+
+void StableStorage::put(const std::string& key, std::string value) {
+  bytes_written_ += key.size() + value.size();
+  records_[key] = std::move(value);
+}
+
+std::optional<std::string> StableStorage::get(const std::string& key) const {
+  const auto it = records_.find(key);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool StableStorage::erase(const std::string& key) {
+  return records_.erase(key) > 0;
+}
+
+bool StableStorage::contains(const std::string& key) const {
+  return records_.count(key) > 0;
+}
+
+std::vector<std::string> StableStorage::keys_with_prefix(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = records_.lower_bound(prefix); it != records_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+void StableStorage::append(const std::string& name, std::string record) {
+  bytes_written_ += record.size();
+  journals_[name].push_back(std::move(record));
+}
+
+const std::vector<std::string>& StableStorage::journal(
+    const std::string& name) const {
+  static const std::vector<std::string> kEmpty;
+  const auto it = journals_.find(name);
+  return it == journals_.end() ? kEmpty : it->second;
+}
+
+void StableStorage::truncate_journal(const std::string& name) {
+  journals_.erase(name);
+}
+
+std::size_t StableStorage::size() const {
+  std::size_t n = records_.size();
+  for (const auto& [name, recs] : journals_) n += recs.size();
+  return n;
+}
+
+}  // namespace condorg::sim

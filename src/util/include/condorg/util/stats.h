@@ -1,0 +1,106 @@
+// Statistics accumulators used by benchmarks and the simulator's metric
+// collection: running summary (Welford), sample reservoirs with percentiles,
+// and a time-weighted gauge for utilization-style series.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace condorg::util {
+
+/// Streaming mean/variance/min/max without storing samples (Welford).
+class Summary {
+ public:
+  void add(double x);
+  void merge(const Summary& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores all samples; provides exact percentiles. Fine for simulation-scale
+/// sample counts (<= millions).
+class Samples {
+ public:
+  void add(double x) { values_.push_back(x); }
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double sum() const;
+  /// p in [0,100]; linear interpolation between closest ranks.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Tracks a piecewise-constant gauge over (simulated) time, e.g. "CPUs busy".
+/// Integrates the gauge to report time-averages and records the peak.
+class TimeWeightedGauge {
+ public:
+  explicit TimeWeightedGauge(double start_time = 0.0)
+      : last_time_(start_time), start_time_(start_time) {}
+
+  void set(double time, double value);
+  void add(double time, double delta);
+
+  double value() const { return value_; }
+  double peak() const { return peak_; }
+  /// Time-average of the gauge over [start, end].
+  double average(double end_time) const;
+  /// Integral of the gauge over [start, end] (e.g. CPU-seconds delivered).
+  double integral(double end_time) const;
+
+ private:
+  double value_ = 0.0;
+  double peak_ = 0.0;
+  double area_ = 0.0;
+  double last_time_ = 0.0;
+  double start_time_ = 0.0;
+};
+
+/// Fixed-bucket histogram for report printing.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const { return counts_[bucket]; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t total() const { return total_; }
+  double bucket_lo(std::size_t bucket) const;
+  double bucket_hi(std::size_t bucket) const;
+  /// Render a compact ASCII sparkline-style dump.
+  std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace condorg::util

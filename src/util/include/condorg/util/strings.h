@@ -1,0 +1,37 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace condorg::util {
+
+/// Split on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Join with a delimiter.
+std::string join(const std::vector<std::string>& parts, std::string_view delim);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// ASCII case-insensitive equality (ClassAd identifiers are case-insensitive).
+bool iequals(std::string_view a, std::string_view b);
+
+/// Lowercase an ASCII string.
+std::string to_lower(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// printf-style formatting into std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Render seconds of simulated time as "1d 02:03:04".
+std::string format_duration(double seconds);
+
+/// Render a byte count as "12.3 MB".
+std::string format_bytes(double bytes);
+
+}  // namespace condorg::util

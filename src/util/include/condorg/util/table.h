@@ -1,0 +1,38 @@
+// ASCII table printer used by the benchmark harness to emit
+// "paper-reported vs measured" tables with aligned columns.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace condorg::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  Table(std::initializer_list<std::string> headers);
+
+  /// Append a row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+  void add_row(std::initializer_list<std::string> cells);
+
+  /// Insert a horizontal separator line before the next row.
+  void add_separator();
+
+  std::string render() const;
+  /// Render with a title banner above the table.
+  std::string render(const std::string& title) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace condorg::util

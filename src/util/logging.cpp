@@ -1,0 +1,85 @@
+#include "condorg/util/logging.h"
+
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+namespace condorg::util {
+namespace {
+
+std::mutex g_mutex;
+std::function<double()> g_clock;                    // guarded by g_mutex
+std::function<void(std::string_view)> g_sink;       // guarded by g_mutex
+
+void default_sink(std::string_view line) {
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace
+
+std::atomic<int> LogConfig::level_{static_cast<int>(LogLevel::kWarn)};
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void LogConfig::set_clock(std::function<double()> clock) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_clock = std::move(clock);
+}
+
+double LogConfig::now_or_nan() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  return g_clock ? g_clock() : std::nan("");
+}
+
+void LogConfig::set_sink(std::function<void(std::string_view)> sink) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void LogConfig::emit(std::string_view line) {
+  std::function<void(std::string_view)> sink;
+  {
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    sink = g_sink;
+  }
+  if (sink) {
+    sink(line);
+  } else {
+    default_sink(line);
+  }
+}
+
+void Logger::write(LogLevel level, std::string_view message) const {
+  const double now = LogConfig::now_or_nan();
+  char stamp[32];
+  if (std::isnan(now)) {
+    std::snprintf(stamp, sizeof stamp, "-");
+  } else {
+    std::snprintf(stamp, sizeof stamp, "%.3f", now);
+  }
+  std::string line;
+  line.reserve(message.size() + name_.size() + 24);
+  line.append("[");
+  line.append(stamp);
+  line.append("] ");
+  line.append(to_string(level));
+  line.append(" ");
+  line.append(name_);
+  line.append(": ");
+  line.append(message);
+  LogConfig::emit(line);
+}
+
+}  // namespace condorg::util

@@ -1,0 +1,79 @@
+#include "condorg/util/table.h"
+
+#include <algorithm>
+
+namespace condorg::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table::Table(std::initializer_list<std::string> headers)
+    : headers_(headers) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  Row row;
+  row.cells = std::move(cells);
+  row.cells.resize(headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_row(std::initializer_list<std::string> cells) {
+  add_row(std::vector<std::string>(cells));
+}
+
+void Table::add_separator() {
+  Row row;
+  row.separator = true;
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t i = 0; i < row.cells.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  auto rule = [&] {
+    std::string line = "+";
+    for (const std::size_t w : widths) {
+      line.append(w + 2, '-');
+      line.push_back('+');
+    }
+    line.push_back('\n');
+    return line;
+  };
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      line.push_back(' ');
+      line.append(cell);
+      line.append(widths[i] - cell.size() + 1, ' ');
+      line.push_back('|');
+    }
+    line.push_back('\n');
+    return line;
+  };
+
+  std::string out = rule();
+  out += emit_row(headers_);
+  out += rule();
+  for (const Row& row : rows_) {
+    out += row.separator ? rule() : emit_row(row.cells);
+  }
+  out += rule();
+  return out;
+}
+
+std::string Table::render(const std::string& title) const {
+  std::string out = "\n=== " + title + " ===\n";
+  out += render();
+  return out;
+}
+
+}  // namespace condorg::util

@@ -1,0 +1,53 @@
+#include "condorg/workloads/cms_pipeline.h"
+
+#include "condorg/util/rng.h"
+#include "condorg/util/strings.h"
+
+namespace condorg::workloads {
+
+std::uint64_t cms_event_digest(const CmsConfig& config, int job_index,
+                               int event_index) {
+  std::uint64_t h = util::fnv1a_mix(config.run_seed,
+                                    static_cast<std::uint64_t>(job_index));
+  h = util::fnv1a_mix(h, static_cast<std::uint64_t>(event_index));
+  return util::fnv1a_mix(h, 0xC0115E0C0115E777ull);
+}
+
+std::string cms_job_output(const CmsConfig& config, int job_index) {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(config.events_per_job) * 17);
+  for (int e = 0; e < config.events_per_job; ++e) {
+    out += util::format("%016llx\n",
+                        static_cast<unsigned long long>(
+                            cms_event_digest(config, job_index, e)));
+  }
+  return out;
+}
+
+std::uint64_t cms_job_digest(const CmsConfig& config, int job_index) {
+  return util::fnv1a(cms_job_output(config, job_index));
+}
+
+std::uint64_t cms_reconstruction_digest(const CmsConfig& config) {
+  std::uint64_t h = config.run_seed;
+  for (int j = 0; j < config.simulation_jobs; ++j) {
+    h = util::fnv1a_mix(h, cms_job_digest(config, j));
+  }
+  return h;
+}
+
+std::uint64_t cms_reconstruct_from_files(
+    std::uint64_t run_seed, const std::vector<std::string>& job_files) {
+  std::uint64_t h = run_seed;
+  for (const std::string& content : job_files) {
+    h = util::fnv1a_mix(h, util::fnv1a(content));
+  }
+  return h;
+}
+
+std::uint64_t cms_job_output_bytes(const CmsConfig& config) {
+  return static_cast<std::uint64_t>(config.events_per_job) *
+         config.bytes_per_event;
+}
+
+}  // namespace condorg::workloads

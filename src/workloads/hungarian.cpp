@@ -1,0 +1,79 @@
+#include "condorg/workloads/hungarian.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace condorg::workloads {
+
+// Jonker/shortest-augmenting-path formulation of the Hungarian algorithm
+// with row/column potentials; O(n^3) worst case.
+AssignmentResult solve_assignment(const CostMatrix& cost) {
+  const int n = static_cast<int>(cost.size());
+  if (n == 0) throw std::invalid_argument("empty cost matrix");
+  for (const auto& row : cost) {
+    if (static_cast<int>(row.size()) != n) {
+      throw std::invalid_argument("cost matrix must be square");
+    }
+  }
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+  // 1-indexed internals, standard formulation.
+  std::vector<std::int64_t> u(n + 1, 0), v(n + 1, 0);
+  std::vector<int> p(n + 1, 0);    // p[col] = row assigned to col
+  std::vector<int> way(n + 1, 0);  // alternating-path backtracking
+
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<std::int64_t> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const int i0 = p[j0];
+      std::int64_t delta = kInf;
+      int j1 = 0;
+      for (int j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const std::int64_t cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0);
+  }
+
+  AssignmentResult result;
+  result.assignment.assign(n, -1);
+  for (int j = 1; j <= n; ++j) {
+    if (p[j] > 0) result.assignment[p[j] - 1] = j - 1;
+  }
+  for (int i = 0; i < n; ++i) {
+    result.cost += cost[i][result.assignment[i]];
+  }
+  return result;
+}
+
+std::int64_t assignment_cost(const CostMatrix& cost) {
+  return solve_assignment(cost).cost;
+}
+
+}  // namespace condorg::workloads

@@ -1,0 +1,53 @@
+// CMS-style event simulation / reconstruction workload (§6, second
+// experience): "100 simulation jobs ... Each of these jobs generates 500
+// events", all events shipped via GridFTP to a repository, then one
+// reconstruction job consumes them.
+//
+// Events are synthetic but *verifiable*: each event digest is derived
+// deterministically from (run_seed, job_index, event_index), a simulation
+// job's output file content is the fold of its event digests, and the
+// reconstruction digest folds all job digests in order. Any lost,
+// duplicated, or reordered event changes the final digest, so the pipeline
+// can assert end-to-end exactly-once delivery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace condorg::workloads {
+
+struct CmsConfig {
+  std::uint64_t run_seed = 2001;
+  int simulation_jobs = 100;
+  int events_per_job = 500;
+  std::uint64_t bytes_per_event = 1 << 20;  // 1 MB/event of simulated data
+  double seconds_per_event_sim = 25.0;      // simulation cost
+  double seconds_per_event_reco = 10.0;     // reconstruction cost
+};
+
+/// Digest of one simulated event.
+std::uint64_t cms_event_digest(const CmsConfig& config, int job_index,
+                               int event_index);
+
+/// Output-file content of one simulation job (fold of its event digests,
+/// rendered as hex so it doubles as the GASS file body).
+std::string cms_job_output(const CmsConfig& config, int job_index);
+
+/// Digest of a simulation job's output file.
+std::uint64_t cms_job_digest(const CmsConfig& config, int job_index);
+
+/// The reconstruction result over all jobs (fold of job digests). The
+/// ground truth a run must reproduce.
+std::uint64_t cms_reconstruction_digest(const CmsConfig& config);
+
+/// Reconstruction computed from actual transferred file contents; equals
+/// cms_reconstruction_digest(config) iff every job's data arrived intact,
+/// exactly once, in job order.
+std::uint64_t cms_reconstruct_from_files(
+    std::uint64_t run_seed, const std::vector<std::string>& job_files);
+
+/// Declared size of one simulation job's output file.
+std::uint64_t cms_job_output_bytes(const CmsConfig& config);
+
+}  // namespace condorg::workloads

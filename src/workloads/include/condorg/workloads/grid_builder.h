@@ -1,0 +1,81 @@
+// Testbed construction: multi-site grids of the shape the paper ran on
+// ("eight Condor pools, one cluster managed by PBS, and one supercomputer
+// managed by LSF"). Shared by tests, examples, and the benchmark harness.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "condorg/batch/background_load.h"
+#include "condorg/batch/local_scheduler.h"
+#include "condorg/gram/gatekeeper.h"
+#include "condorg/mds/giis.h"
+#include "condorg/mds/provider.h"
+#include "condorg/sim/world.h"
+
+namespace condorg::workloads {
+
+enum class SiteKind { kPbs, kLsf, kCondorPool };
+
+struct SiteSpec {
+  std::string name;  // becomes the gatekeeper host name
+  SiteKind kind = SiteKind::kPbs;
+  int cpus = 16;
+  double max_walltime = 1e18;
+  /// Optional competing local load.
+  bool background_load = false;
+  batch::BackgroundLoadOptions background;
+  gram::GatekeeperOptions gatekeeper;
+};
+
+/// One constructed site: separate failure domains for the front-end (the
+/// Gatekeeper/JobManager machine) and the compute cluster.
+struct Site {
+  SiteSpec spec;
+  sim::Host* frontend = nullptr;
+  sim::Host* cluster = nullptr;
+  std::unique_ptr<batch::LocalScheduler> scheduler;
+  std::unique_ptr<gram::Gatekeeper> gatekeeper;
+  std::unique_ptr<batch::BackgroundLoad> background;
+  std::unique_ptr<mds::InfoProvider> provider;
+
+  sim::Address gatekeeper_address() const {
+    return {spec.name, gram::kGatekeeperService};
+  }
+};
+
+class GridTestbed {
+ public:
+  explicit GridTestbed(std::uint64_t seed = 1);
+
+  sim::World& world() { return world_; }
+
+  Site& add_site(SiteSpec spec);
+
+  /// Add a submit machine (host only; the caller builds the agent on it).
+  sim::Host& add_submit_host(const std::string& name);
+
+  /// Stand up an MDS directory on its own host and make every current and
+  /// future site publish resource ads (FreeCpus, QueueLength, Arch,
+  /// GatekeeperHost) to it.
+  mds::GiisServer& enable_mds(const std::string& host_name,
+                              double period_seconds = 120.0);
+
+  const std::vector<std::unique_ptr<Site>>& sites() const { return sites_; }
+  Site& site(std::size_t index) { return *sites_[index]; }
+  std::vector<sim::Address> gatekeepers() const;
+
+  /// Total CPUs across all sites.
+  int total_cpus() const;
+
+ private:
+  void attach_provider(Site& site);
+
+  sim::World world_;
+  std::vector<std::unique_ptr<Site>> sites_;
+  std::unique_ptr<mds::GiisServer> giis_;
+  double mds_period_ = 120.0;
+};
+
+}  // namespace condorg::workloads

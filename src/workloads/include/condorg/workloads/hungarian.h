@@ -1,0 +1,28 @@
+// Linear Assignment Problem solver (Hungarian algorithm, O(n^3)).
+//
+// The paper's flagship computation solved "more than 540 billion Linear
+// Assignment Problems" as the bounding step of a branch-and-bound QAP
+// solver. This is that bounding step: given an n x n cost matrix, find the
+// minimum-cost perfect matching of rows to columns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace condorg::workloads {
+
+using CostMatrix = std::vector<std::vector<std::int64_t>>;
+
+struct AssignmentResult {
+  std::int64_t cost = 0;
+  /// assignment[row] = column matched to that row.
+  std::vector<int> assignment;
+};
+
+/// Solve min-cost assignment; `cost` must be square and non-empty.
+AssignmentResult solve_assignment(const CostMatrix& cost);
+
+/// Lower-bound-only variant (identical cost, skips building the matching).
+std::int64_t assignment_cost(const CostMatrix& cost);
+
+}  // namespace condorg::workloads

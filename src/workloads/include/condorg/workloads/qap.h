@@ -1,0 +1,54 @@
+// Quadratic Assignment Problem: branch-and-bound with Gilmore-Lawler
+// bounds, decomposable into independent subtrees for master-worker grid
+// execution (the Anstreicher/Brixius/Goux/Linderoth computation of §6).
+//
+// minimize  sum_{i,k} flow[i][k] * dist[perm[i]][perm[k]]
+// over permutations `perm` of {0..n-1} (facility i placed at perm[i]).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "condorg/util/rng.h"
+
+namespace condorg::workloads {
+
+struct QapInstance {
+  int n = 0;
+  std::vector<std::vector<std::int64_t>> flow;
+  std::vector<std::vector<std::int64_t>> dist;
+
+  /// Deterministic pseudo-random instance (symmetric, zero diagonal) —
+  /// Nugent-flavoured test data.
+  static QapInstance random(int n, util::Rng& rng, std::int64_t max_entry = 9);
+
+  std::int64_t evaluate(const std::vector<int>& perm) const;
+};
+
+struct QapResult {
+  std::int64_t best_cost = 0;
+  std::vector<int> best_perm;   // empty if the subtree beat nothing
+  std::uint64_t nodes = 0;      // B&B nodes explored
+  std::uint64_t laps_solved = 0;  // Hungarian calls (the paper's headline)
+};
+
+/// Gilmore-Lawler lower bound for a partial assignment (facilities
+/// 0..depth-1 placed at prefix[0..depth-1]).
+std::int64_t gilmore_lawler_bound(const QapInstance& instance,
+                                  const std::vector<int>& prefix,
+                                  std::uint64_t* laps_counter = nullptr);
+
+/// Exhaustively solve the subtree under `prefix`; prunes with the GL bound
+/// against `upper_bound` (pass the incumbent; defaults to +inf).
+QapResult solve_qap_subtree(
+    const QapInstance& instance, const std::vector<int>& prefix,
+    std::int64_t upper_bound = std::numeric_limits<std::int64_t>::max());
+
+/// Convenience: solve the whole instance.
+QapResult solve_qap(const QapInstance& instance);
+
+/// Brute force (for testing small n).
+QapResult solve_qap_bruteforce(const QapInstance& instance);
+
+}  // namespace condorg::workloads

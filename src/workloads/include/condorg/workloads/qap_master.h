@@ -1,0 +1,67 @@
+// Master side of the master-worker QAP computation (§6, first experience).
+//
+// "Each worker in this Master-Worker application was implemented as an
+// independent Condor job that used Remote I/O services to communicate with
+// the Master." The master enumerates the branch-and-bound frontier at a
+// fixed depth; each frontier prefix is an independent work unit a grid
+// worker solves to completion, reporting its subtree optimum and the
+// number of LAPs it solved. The master maintains the incumbent, which
+// tightens the bound handed to later units.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "condorg/workloads/qap.h"
+
+namespace condorg::workloads {
+
+struct QapWorkUnit {
+  std::uint64_t id = 0;
+  std::vector<int> prefix;
+  std::int64_t upper_bound = 0;  // incumbent at hand-out time
+};
+
+class QapMaster {
+ public:
+  /// Frontier at `branch_depth` levels (units = n!/(n-depth)! prefixes,
+  /// pre-pruned with the GL bound against a greedy initial incumbent).
+  QapMaster(QapInstance instance, int branch_depth);
+
+  /// Next unassigned unit (re-issues units whose worker failed if
+  /// `fail_unit` was called). nullopt when all are handed out.
+  std::optional<QapWorkUnit> next_unit();
+
+  /// Worker finished a unit.
+  void complete_unit(std::uint64_t id, const QapResult& result);
+
+  /// Worker lost (evicted without checkpoint, site failed): unit returns
+  /// to the pool.
+  void fail_unit(std::uint64_t id);
+
+  bool done() const { return completed_ == units_.size(); }
+  std::size_t total_units() const { return units_.size(); }
+  std::size_t completed_units() const { return completed_; }
+  std::int64_t incumbent() const { return incumbent_; }
+  const std::vector<int>& best_perm() const { return best_perm_; }
+  std::uint64_t total_laps() const { return laps_; }
+  std::uint64_t total_nodes() const { return nodes_; }
+  const QapInstance& instance() const { return instance_; }
+
+ private:
+  void expand(std::vector<int>& prefix, int remaining_depth);
+
+  QapInstance instance_;
+  std::vector<QapWorkUnit> units_;
+  std::vector<std::uint64_t> pool_;  // indices not yet handed out
+  std::map<std::uint64_t, bool> outstanding_;
+  std::size_t completed_ = 0;
+  std::int64_t incumbent_ = 0;
+  std::vector<int> best_perm_;
+  std::uint64_t laps_ = 0;
+  std::uint64_t nodes_ = 0;
+};
+
+}  // namespace condorg::workloads

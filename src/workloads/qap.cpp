@@ -1,0 +1,173 @@
+#include "condorg/workloads/qap.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "condorg/workloads/hungarian.h"
+
+namespace condorg::workloads {
+
+QapInstance QapInstance::random(int n, util::Rng& rng,
+                                std::int64_t max_entry) {
+  QapInstance instance;
+  instance.n = n;
+  instance.flow.assign(n, std::vector<std::int64_t>(n, 0));
+  instance.dist.assign(n, std::vector<std::int64_t>(n, 0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const auto f = static_cast<std::int64_t>(rng.range(0, max_entry));
+      const auto d = static_cast<std::int64_t>(rng.range(1, max_entry));
+      instance.flow[i][j] = instance.flow[j][i] = f;
+      instance.dist[i][j] = instance.dist[j][i] = d;
+    }
+  }
+  return instance;
+}
+
+std::int64_t QapInstance::evaluate(const std::vector<int>& perm) const {
+  std::int64_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < n; ++k) {
+      total += flow[i][k] * dist[perm[i]][perm[k]];
+    }
+  }
+  return total;
+}
+
+namespace {
+
+/// Minimum scalar product of two vectors over all pairings: sort one
+/// ascending, the other descending. The classic GL inner bound.
+std::int64_t min_scalar_product(std::vector<std::int64_t> a,
+                                std::vector<std::int64_t> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end(), std::greater<>());
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) total += a[i] * b[i];
+  return total;
+}
+
+}  // namespace
+
+std::int64_t gilmore_lawler_bound(const QapInstance& instance,
+                                  const std::vector<int>& prefix,
+                                  std::uint64_t* laps_counter) {
+  const int n = instance.n;
+  const int depth = static_cast<int>(prefix.size());
+
+  std::vector<char> location_used(n, false);
+  for (const int loc : prefix) location_used[loc] = true;
+
+  // Fixed-fixed interaction cost.
+  std::int64_t fixed_cost = 0;
+  for (int i = 0; i < depth; ++i) {
+    for (int k = 0; k < depth; ++k) {
+      fixed_cost += instance.flow[i][k] * instance.dist[prefix[i]][prefix[k]];
+    }
+  }
+  if (depth == n) return fixed_cost;
+
+  // Remaining facilities / locations.
+  std::vector<int> free_fac, free_loc;
+  for (int i = depth; i < n; ++i) free_fac.push_back(i);
+  for (int j = 0; j < n; ++j) {
+    if (!location_used[j]) free_loc.push_back(j);
+  }
+  const int m = static_cast<int>(free_fac.size());
+
+  // LAP cost c[a][b]: place facility free_fac[a] at location free_loc[b].
+  CostMatrix cost(m, std::vector<std::int64_t>(m, 0));
+  for (int a = 0; a < m; ++a) {
+    const int i = free_fac[a];
+    // Interaction of facility i with the remaining free facilities,
+    // bounded by the min scalar product against each candidate location's
+    // distances to remaining free locations.
+    std::vector<std::int64_t> flows;
+    flows.reserve(m - 1);
+    for (const int k : free_fac) {
+      if (k != i) flows.push_back(instance.flow[i][k]);
+    }
+    for (int b = 0; b < m; ++b) {
+      const int j = free_loc[b];
+      std::int64_t c = instance.flow[i][i] * instance.dist[j][j];
+      // Interaction with already-fixed facilities (exact).
+      for (int k = 0; k < depth; ++k) {
+        c += instance.flow[i][k] * instance.dist[j][prefix[k]] +
+             instance.flow[k][i] * instance.dist[prefix[k]][j];
+      }
+      // Interaction with free facilities (lower bound).
+      std::vector<std::int64_t> dists;
+      dists.reserve(m - 1);
+      for (const int l : free_loc) {
+        if (l != j) dists.push_back(instance.dist[j][l]);
+      }
+      c += min_scalar_product(flows, dists);
+      cost[a][b] = c;
+    }
+  }
+  if (laps_counter) ++*laps_counter;
+  return fixed_cost + assignment_cost(cost);
+}
+
+QapResult solve_qap_subtree(const QapInstance& instance,
+                            const std::vector<int>& prefix,
+                            std::int64_t upper_bound) {
+  QapResult result;
+  result.best_cost = upper_bound;
+
+  std::vector<int> current = prefix;
+  std::vector<char> used(instance.n, false);
+  for (const int loc : prefix) used[loc] = true;
+
+  // Depth-first branch and bound.
+  std::function<void()> recurse = [&] {
+    ++result.nodes;
+    const int depth = static_cast<int>(current.size());
+    if (depth == instance.n) {
+      const std::int64_t cost = instance.evaluate(current);
+      if (cost < result.best_cost) {
+        result.best_cost = cost;
+        result.best_perm = current;
+      }
+      return;
+    }
+    const std::int64_t bound =
+        gilmore_lawler_bound(instance, current, &result.laps_solved);
+    if (bound >= result.best_cost) return;  // prune
+    for (int loc = 0; loc < instance.n; ++loc) {
+      if (used[loc]) continue;
+      used[loc] = true;
+      current.push_back(loc);
+      recurse();
+      current.pop_back();
+      used[loc] = false;
+    }
+  };
+  recurse();
+  return result;
+}
+
+QapResult solve_qap(const QapInstance& instance) {
+  return solve_qap_subtree(instance, {});
+}
+
+QapResult solve_qap_bruteforce(const QapInstance& instance) {
+  QapResult result;
+  result.best_cost = std::numeric_limits<std::int64_t>::max();
+  std::vector<int> perm(instance.n);
+  std::iota(perm.begin(), perm.end(), 0);
+  do {
+    ++result.nodes;
+    const std::int64_t cost = instance.evaluate(perm);
+    if (cost < result.best_cost) {
+      result.best_cost = cost;
+      result.best_perm = perm;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return result;
+}
+
+}  // namespace condorg::workloads

@@ -1,0 +1,77 @@
+#include "condorg/workloads/qap_master.h"
+
+#include <numeric>
+
+namespace condorg::workloads {
+
+QapMaster::QapMaster(QapInstance instance, int branch_depth)
+    : instance_(std::move(instance)) {
+  // Greedy initial incumbent: identity permutation (always feasible).
+  std::vector<int> identity(instance_.n);
+  std::iota(identity.begin(), identity.end(), 0);
+  incumbent_ = instance_.evaluate(identity);
+  best_perm_ = identity;
+
+  std::vector<int> prefix;
+  expand(prefix, branch_depth);
+  pool_.reserve(units_.size());
+  for (std::uint64_t i = 0; i < units_.size(); ++i) pool_.push_back(i);
+}
+
+void QapMaster::expand(std::vector<int>& prefix, int remaining_depth) {
+  if (remaining_depth == 0) {
+    // Pre-prune hopeless prefixes so the unit count reflects real work.
+    if (gilmore_lawler_bound(instance_, prefix, &laps_) < incumbent_) {
+      QapWorkUnit unit;
+      unit.id = units_.size();
+      unit.prefix = prefix;
+      units_.push_back(std::move(unit));
+    }
+    return;
+  }
+  for (int loc = 0; loc < instance_.n; ++loc) {
+    bool used = false;
+    for (const int existing : prefix) {
+      if (existing == loc) {
+        used = true;
+        break;
+      }
+    }
+    if (used) continue;
+    prefix.push_back(loc);
+    expand(prefix, remaining_depth - 1);
+    prefix.pop_back();
+  }
+}
+
+std::optional<QapWorkUnit> QapMaster::next_unit() {
+  if (pool_.empty()) return std::nullopt;
+  const std::uint64_t index = pool_.back();
+  pool_.pop_back();
+  outstanding_[index] = true;
+  QapWorkUnit unit = units_[index];
+  unit.upper_bound = incumbent_;  // freshest bound at hand-out time
+  return unit;
+}
+
+void QapMaster::complete_unit(std::uint64_t id, const QapResult& result) {
+  const auto it = outstanding_.find(id);
+  if (it == outstanding_.end()) return;  // duplicate completion
+  outstanding_.erase(it);
+  ++completed_;
+  laps_ += result.laps_solved;
+  nodes_ += result.nodes;
+  if (!result.best_perm.empty() && result.best_cost < incumbent_) {
+    incumbent_ = result.best_cost;
+    best_perm_ = result.best_perm;
+  }
+}
+
+void QapMaster::fail_unit(std::uint64_t id) {
+  const auto it = outstanding_.find(id);
+  if (it == outstanding_.end()) return;
+  outstanding_.erase(it);
+  pool_.push_back(id);
+}
+
+}  // namespace condorg::workloads

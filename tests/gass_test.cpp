@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include "condorg/gass/client.h"
+#include "condorg/gass/file_service.h"
+#include "condorg/sim/world.h"
+
+namespace cg = condorg::gass;
+namespace cs = condorg::sim;
+namespace gsi = condorg::gsi;
+
+// ---------- FileStore ----------
+
+TEST(FileStore, PutGetEraseList) {
+  cg::FileStore store;
+  store.put("job/stdin", "input data");
+  store.put("job/exe", "binary", 1 << 20);
+  EXPECT_TRUE(store.contains("job/stdin"));
+  EXPECT_EQ(store.get("job/stdin")->content, "input data");
+  EXPECT_EQ(store.get("job/stdin")->size(), 10u);
+  EXPECT_EQ(store.get("job/exe")->size(), 1u << 20);  // declared size wins
+  EXPECT_EQ(store.list("job/").size(), 2u);
+  EXPECT_EQ(store.list("nope/").size(), 0u);
+  EXPECT_TRUE(store.erase("job/exe"));
+  EXPECT_FALSE(store.erase("job/exe"));
+  EXPECT_EQ(store.file_count(), 1u);
+}
+
+TEST(FileStore, AppendAccumulates) {
+  cg::FileStore store;
+  store.append("out.log", "chunk1:", 100);
+  store.append("out.log", "chunk2", 50);
+  EXPECT_EQ(store.get("out.log")->content, "chunk1:chunk2");
+  EXPECT_EQ(store.get("out.log")->size(), 150u);
+}
+
+TEST(FileStore, ChecksumDetectsContentChange) {
+  cg::FileStore store;
+  store.put("a", "hello");
+  store.put("b", "hellp");
+  EXPECT_NE(store.get("a")->checksum(), store.get("b")->checksum());
+}
+
+// ---------- FileService over the network ----------
+
+namespace {
+
+struct GassFixture : public ::testing::Test {
+  GassFixture()
+      : submit(world.add_host("submit.wisc.edu")),
+        site(world.add_host("gatekeeper.anl.gov")),
+        repo(world.add_host("mss.ncsa.edu")),
+        gass(submit, world.net(), "gass"),
+        gridftp(repo, world.net(), "gridftp"),
+        client(site, world.net(), "test.client") {}
+
+  cs::World world;
+  cs::Host& submit;
+  cs::Host& site;
+  cs::Host& repo;
+  cg::FileService gass;
+  cg::FileService gridftp;
+  cg::FileClient client;
+};
+
+}  // namespace
+
+TEST_F(GassFixture, StageInGet) {
+  gass.store().put("jobs/1/executable", "#!worker", 4 << 20);
+  std::optional<cg::FileInfo> got;
+  client.get(gass.address(), "jobs/1/executable",
+             [&](std::optional<cg::FileInfo> info) { got = std::move(info); });
+  world.sim().run();
+  ASSERT_TRUE(got);
+  EXPECT_EQ(got->content, "#!worker");
+  EXPECT_EQ(got->size, 4u << 20);
+  EXPECT_EQ(gass.gets_served(), 1u);
+  EXPECT_GT(world.now(), 0.0);
+}
+
+TEST_F(GassFixture, TransferTimeScalesWithFileSize) {
+  cs::LinkConfig link;
+  link.latency = 0.1;
+  link.jitter = 0.0;
+  link.bandwidth_bps = 8.0e6;  // 1 MB/s
+  world.net().set_default_link(link);
+  gass.store().put("small", "x", 1000);
+  gass.store().put("big", "y", 10'000'000);
+
+  double small_done = 0, big_done = 0;
+  client.get(gass.address(), "small",
+             [&](std::optional<cg::FileInfo>) { small_done = world.now(); });
+  world.sim().run();
+  client.get(gass.address(), "big",
+             [&](std::optional<cg::FileInfo>) { big_done = world.now(); });
+  world.sim().run();
+  // 10 MB at 1 MB/s ~ 10 s; 1 KB ~ instantaneous.
+  EXPECT_LT(small_done, 1.0);
+  EXPECT_GT(big_done - small_done, 9.0);
+}
+
+TEST_F(GassFixture, MissingFileFails) {
+  bool called = false;
+  client.get(gass.address(), "nope", [&](std::optional<cg::FileInfo> info) {
+    called = true;
+    EXPECT_FALSE(info.has_value());
+  });
+  world.sim().run();
+  EXPECT_TRUE(called);
+}
+
+TEST_F(GassFixture, PutAndStat) {
+  bool ok = false;
+  client.put(gridftp.address(), "events/run1.dat", "evtdata", 500 << 20,
+             [&](bool result) { ok = result; });
+  world.sim().run();
+  EXPECT_TRUE(ok);
+  ASSERT_TRUE(gridftp.store().contains("events/run1.dat"));
+  EXPECT_EQ(gridftp.store().get("events/run1.dat")->size(), 500u << 20);
+
+  std::optional<cg::FileInfo> stat;
+  client.stat(gridftp.address(), "events/run1.dat",
+              [&](std::optional<cg::FileInfo> info) { stat = std::move(info); });
+  world.sim().run();
+  ASSERT_TRUE(stat);
+  EXPECT_EQ(stat->size, 500u << 20);
+}
+
+TEST_F(GassFixture, AppendStreamsOutputChunks) {
+  // G-Cat style: partial-chunk appends build the remote file. Chunks are
+  // sent sequentially (each after the previous ack) — concurrent appends
+  // could be reordered by network jitter, which is why G-Cat serializes.
+  int acks = 0;
+  std::function<void(int)> send_chunk = [&](int i) {
+    if (i == 5) return;
+    client.append(gridftp.address(), "gaussian.out",
+                  "chunk" + std::to_string(i) + ";", 1 << 20, [&, i](bool ok) {
+                    acks += ok ? 1 : 0;
+                    send_chunk(i + 1);
+                  });
+  };
+  send_chunk(0);
+  world.sim().run();
+  EXPECT_EQ(acks, 5);
+  EXPECT_EQ(gridftp.store().get("gaussian.out")->content,
+            "chunk0;chunk1;chunk2;chunk3;chunk4;");
+  EXPECT_EQ(gridftp.store().get("gaussian.out")->size(), 5u << 20);
+  EXPECT_EQ(gridftp.appends_served(), 5u);
+}
+
+TEST_F(GassFixture, ThirdPartyPull) {
+  // Repository pulls a file straight from the GASS server (GridFTP-style),
+  // initiated by the site.
+  gass.store().put("glidein/condor_startd", "STARTD", 12 << 20);
+  bool ok = false;
+  client.pull(gridftp.address(), "cache/condor_startd", gass.address(),
+              "glidein/condor_startd", [&](bool result) { ok = result; });
+  world.sim().run();
+  EXPECT_TRUE(ok);
+  ASSERT_TRUE(gridftp.store().contains("cache/condor_startd"));
+  EXPECT_EQ(gridftp.store().get("cache/condor_startd")->content, "STARTD");
+  EXPECT_EQ(gridftp.store().get("cache/condor_startd")->size(), 12u << 20);
+}
+
+TEST_F(GassFixture, PullFromDeadSourceFails) {
+  submit.crash();
+  bool called = false;
+  client.pull(gridftp.address(), "cache/x", gass.address(), "nope",
+              [&](bool ok) {
+                called = true;
+                EXPECT_FALSE(ok);
+              });
+  world.sim().run();
+  EXPECT_TRUE(called);
+}
+
+TEST_F(GassFixture, PartitionTimesOutRequest) {
+  gass.store().put("f", "data");
+  world.net().set_partitioned("submit.wisc.edu", "gatekeeper.anl.gov", true);
+  bool called = false;
+  client.get(gass.address(), "f", [&](std::optional<cg::FileInfo> info) {
+    called = true;
+    EXPECT_FALSE(info.has_value());
+  });
+  world.sim().run();
+  EXPECT_TRUE(called);
+}
+
+TEST_F(GassFixture, ScratchStoreWipedByCrash) {
+  gridftp.set_survives_crash(false);
+  gridftp.store().put("scratch/tmp", "data");
+  repo.crash();
+  repo.restart();
+  EXPECT_FALSE(gridftp.store().contains("scratch/tmp"));
+}
+
+TEST_F(GassFixture, DurableStoreSurvivesCrash) {
+  gridftp.store().put("tape/archive", "data");
+  repo.crash();
+  repo.restart();
+  EXPECT_TRUE(gridftp.store().contains("tape/archive"));
+  // And the service still answers after the reboot.
+  std::optional<cg::FileInfo> got;
+  client.get(gridftp.address(), "tape/archive",
+             [&](std::optional<cg::FileInfo> info) { got = std::move(info); });
+  world.sim().run();
+  EXPECT_TRUE(got.has_value());
+}
+
+// ---------- authenticated service ----------
+
+namespace {
+
+struct AuthGassFixture : public ::testing::Test {
+  AuthGassFixture()
+      : pki(condorg::util::Rng(3)),
+        ca(pki, "/CN=CA"),
+        user(ca.issue(pki, "/O=UW/CN=todd", 0.0, 86400.0)),
+        stranger(ca.issue(pki, "/O=Elsewhere/CN=eve", 0.0, 86400.0)),
+        server_host(world.add_host("server")),
+        client_host(world.add_host("client")) {
+    gsi::AuthConfig auth;
+    auth.pki = &pki;
+    auth.anchors[ca.name()] = ca.public_key();
+    auth.gridmap.add("/O=UW/CN=todd", "todd");
+    auth.require_auth = true;
+    service = std::make_unique<cg::FileService>(server_host, world.net(),
+                                                "gass", std::move(auth));
+    service->store().put("data", "payload");
+    client = std::make_unique<cg::FileClient>(client_host, world.net(),
+                                              "client.rpc");
+  }
+  gsi::Pki pki;
+  gsi::CertificateAuthority ca;
+  gsi::Credential user;
+  gsi::Credential stranger;
+  cs::World world;
+  cs::Host& server_host;
+  cs::Host& client_host;
+  std::unique_ptr<cg::FileService> service;
+  std::unique_ptr<cg::FileClient> client;
+};
+
+}  // namespace
+
+TEST_F(AuthGassFixture, AuthorizedProxySucceeds) {
+  client->set_credential(user.delegate(pki, 0.0, 3600.0));
+  std::optional<cg::FileInfo> got;
+  client->get(service->address(), "data",
+              [&](std::optional<cg::FileInfo> info) { got = std::move(info); });
+  world.sim().run();
+  ASSERT_TRUE(got);
+  EXPECT_EQ(got->content, "payload");
+  EXPECT_EQ(service->auth_failures(), 0u);
+}
+
+TEST_F(AuthGassFixture, MissingCredentialRejected) {
+  bool called = false;
+  client->get(service->address(), "data",
+              [&](std::optional<cg::FileInfo> info) {
+                called = true;
+                EXPECT_FALSE(info.has_value());
+              });
+  world.sim().run();
+  EXPECT_TRUE(called);
+  EXPECT_EQ(service->auth_failures(), 1u);
+}
+
+TEST_F(AuthGassFixture, UnmappedIdentityRejected) {
+  client->set_credential(stranger.delegate(pki, 0.0, 3600.0));
+  bool called = false;
+  client->get(service->address(), "data",
+              [&](std::optional<cg::FileInfo> info) {
+                called = true;
+                EXPECT_FALSE(info.has_value());
+              });
+  world.sim().run();
+  EXPECT_TRUE(called);
+  EXPECT_EQ(service->auth_failures(), 1u);
+}
+
+TEST_F(AuthGassFixture, ExpiredProxyRejected) {
+  client->set_credential(user.delegate(pki, 0.0, 1.0));  // 1-second proxy
+  world.sim().run_until(100.0);
+  bool called = false;
+  client->get(service->address(), "data",
+              [&](std::optional<cg::FileInfo> info) {
+                called = true;
+                EXPECT_FALSE(info.has_value());
+              });
+  world.sim().run();
+  EXPECT_TRUE(called);
+  EXPECT_EQ(service->auth_failures(), 1u);
+}

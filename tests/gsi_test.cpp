@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "condorg/gsi/credential.h"
+#include "condorg/gsi/gridmap.h"
+#include "condorg/gsi/myproxy.h"
+#include "condorg/gsi/pki.h"
+#include "condorg/sim/world.h"
+
+namespace gsi = condorg::gsi;
+namespace cs = condorg::sim;
+
+namespace {
+
+struct GsiFixture : public ::testing::Test {
+  GsiFixture()
+      : pki(condorg::util::Rng(7)),
+        ca(pki, "/C=US/O=Globus/CN=Globus CA"),
+        user(ca.issue(pki, "/O=UW/CN=jfrey", 0.0, 365 * 86400.0)) {
+    anchors[ca.name()] = ca.public_key();
+  }
+  gsi::Pki pki;
+  gsi::CertificateAuthority ca;
+  gsi::Credential user;
+  gsi::TrustAnchors anchors;
+};
+
+}  // namespace
+
+// ---------- PKI ----------
+
+TEST(Pki, SignVerifyRoundTrip) {
+  gsi::Pki pki((condorg::util::Rng(1)));
+  const auto keys = pki.generate_keypair();
+  const auto sig = gsi::Pki::sign("hello", keys.private_key);
+  EXPECT_TRUE(pki.verify("hello", sig, keys.public_key));
+  EXPECT_FALSE(pki.verify("hellp", sig, keys.public_key));
+  EXPECT_FALSE(pki.verify("hello", sig + 1, keys.public_key));
+}
+
+TEST(Pki, WrongKeyFailsVerification) {
+  gsi::Pki pki((condorg::util::Rng(1)));
+  const auto a = pki.generate_keypair();
+  const auto b = pki.generate_keypair();
+  const auto sig = gsi::Pki::sign("msg", a.private_key);
+  EXPECT_FALSE(pki.verify("msg", sig, b.public_key));
+  EXPECT_FALSE(pki.verify("msg", sig, 0xdeadbeef));  // unregistered key
+}
+
+// ---------- certificates & chains ----------
+
+TEST_F(GsiFixture, EecVerifies) {
+  const auto identity = gsi::verify_credential(pki, user, anchors, 100.0);
+  ASSERT_TRUE(identity.has_value());
+  EXPECT_EQ(*identity, "/O=UW/CN=jfrey");
+  EXPECT_EQ(user.delegation_depth(), 0);
+}
+
+TEST_F(GsiFixture, UntrustedCaRejected) {
+  gsi::CertificateAuthority rogue(pki, "/CN=Rogue CA");
+  const auto cred = rogue.issue(pki, "/O=UW/CN=jfrey", 0.0, 86400.0);
+  EXPECT_FALSE(gsi::verify_credential(pki, cred, anchors, 10.0).has_value());
+}
+
+TEST_F(GsiFixture, ProxyChainVerifiesAndPreservesIdentity) {
+  const auto proxy = user.delegate(pki, 0.0, 43200.0);
+  EXPECT_EQ(proxy.delegation_depth(), 1);
+  EXPECT_EQ(proxy.identity(), "/O=UW/CN=jfrey");
+  EXPECT_EQ(proxy.leaf().subject, "/O=UW/CN=jfrey/CN=proxy");
+  const auto identity = gsi::verify_credential(pki, proxy, anchors, 1000.0);
+  ASSERT_TRUE(identity);
+  EXPECT_EQ(*identity, "/O=UW/CN=jfrey");
+
+  // Second-level delegation (submit machine -> remote GRAM server).
+  const auto proxy2 = proxy.delegate(pki, 100.0, 3600.0);
+  EXPECT_EQ(proxy2.delegation_depth(), 2);
+  EXPECT_TRUE(gsi::verify_credential(pki, proxy2, anchors, 500.0));
+}
+
+TEST_F(GsiFixture, ExpiredProxyRejectedButParentStillValid) {
+  const auto proxy = user.delegate(pki, 0.0, 100.0);
+  EXPECT_TRUE(gsi::verify_credential(pki, proxy, anchors, 50.0));
+  EXPECT_FALSE(gsi::verify_credential(pki, proxy, anchors, 101.0));
+  EXPECT_TRUE(gsi::verify_credential(pki, user, anchors, 101.0));
+  EXPECT_FALSE(proxy.valid_at(101.0));
+  EXPECT_DOUBLE_EQ(proxy.expires_at(), 100.0);
+}
+
+TEST_F(GsiFixture, ProxyLifetimeClampedToParent) {
+  const auto short_user = ca.issue(pki, "/O=UW/CN=x", 0.0, 1000.0);
+  const auto proxy = short_user.delegate(pki, 900.0, 3600.0);
+  EXPECT_DOUBLE_EQ(proxy.leaf().not_after, 1000.0);
+}
+
+TEST_F(GsiFixture, TamperedChainRejected) {
+  auto proxy = user.delegate(pki, 0.0, 43200.0);
+  // Forge: replace the proxy subject (e.g. to impersonate another user).
+  auto chain = proxy.chain();
+  chain[1].subject = "/O=UW/CN=mallory/CN=proxy";
+  EXPECT_FALSE(gsi::verify_chain(pki, chain, anchors, 10.0).has_value());
+
+  // Forge: proxy pretending to be an EEC at the chain head.
+  auto chain2 = proxy.chain();
+  chain2.erase(chain2.begin());
+  EXPECT_FALSE(gsi::verify_chain(pki, chain2, anchors, 10.0).has_value());
+
+  // Forge: extend validity without re-signing.
+  auto chain3 = proxy.chain();
+  chain3[1].not_after += 1e6;
+  EXPECT_FALSE(gsi::verify_chain(pki, chain3, anchors, 10.0).has_value());
+}
+
+TEST_F(GsiFixture, SignatureWithProxyKey) {
+  const auto proxy = user.delegate(pki, 0.0, 43200.0);
+  const auto sig = proxy.sign("submit job 42");
+  EXPECT_TRUE(pki.verify("submit job 42", sig, proxy.leaf().public_key));
+  EXPECT_FALSE(pki.verify("submit job 43", sig, proxy.leaf().public_key));
+  // The proxy's signature does NOT verify against the EEC key — separate
+  // keypair, which is the whole point of proxy credentials.
+  EXPECT_FALSE(pki.verify("submit job 42", sig, user.leaf().public_key));
+}
+
+TEST_F(GsiFixture, SerializeDeserializeRoundTrip) {
+  const auto proxy = user.delegate(pki, 0.0, 43200.0).delegate(pki, 1.0, 3600.0);
+  const auto restored = gsi::Credential::deserialize(proxy.serialize());
+  ASSERT_TRUE(restored);
+  EXPECT_EQ(restored->delegation_depth(), 2);
+  EXPECT_EQ(restored->identity(), proxy.identity());
+  EXPECT_TRUE(gsi::verify_credential(pki, *restored, anchors, 100.0));
+  // Restored credential can still sign.
+  const auto sig = restored->sign("x");
+  EXPECT_TRUE(pki.verify("x", sig, proxy.leaf().public_key));
+}
+
+TEST(CredentialSerialization, MalformedInputsRejected) {
+  EXPECT_FALSE(gsi::Credential::deserialize("").has_value());
+  EXPECT_FALSE(gsi::Credential::deserialize("garbage").has_value());
+  EXPECT_FALSE(gsi::Credential::deserialize("123").has_value());
+  EXPECT_FALSE(gsi::Certificate::deserialize("a\x1e b").has_value());
+}
+
+TEST(EmptyCredential, IsInvalid) {
+  const gsi::Credential cred;
+  EXPECT_TRUE(cred.empty());
+  EXPECT_FALSE(cred.valid_at(0.0));
+}
+
+// ---------- gridmap ----------
+
+TEST(Gridmap, MapsAndNormalizesProxies) {
+  gsi::Gridmap map;
+  map.add("/O=UW/CN=jfrey", "jfrey");
+  EXPECT_EQ(map.map("/O=UW/CN=jfrey"), "jfrey");
+  EXPECT_EQ(map.map("/O=UW/CN=jfrey/CN=proxy"), "jfrey");
+  EXPECT_EQ(map.map("/O=UW/CN=jfrey/CN=proxy/CN=proxy"), "jfrey");
+  EXPECT_FALSE(map.map("/O=UW/CN=mallory").has_value());
+  EXPECT_TRUE(map.authorized("/O=UW/CN=jfrey/CN=proxy"));
+  EXPECT_TRUE(map.remove("/O=UW/CN=jfrey/CN=proxy"));
+  EXPECT_FALSE(map.authorized("/O=UW/CN=jfrey"));
+}
+
+TEST(Gridmap, AddWithProxySubjectNormalizes) {
+  gsi::Gridmap map;
+  map.add("/O=UW/CN=u/CN=proxy", "u");
+  EXPECT_EQ(map.map("/O=UW/CN=u"), "u");
+  EXPECT_EQ(map.size(), 1u);
+}
+
+// ---------- MyProxy ----------
+
+namespace {
+
+struct MyProxyFixture : public ::testing::Test {
+  MyProxyFixture()
+      : pki(condorg::util::Rng(11)),
+        ca(pki, "/CN=CA"),
+        user(ca.issue(pki, "/O=UW/CN=miron", 0.0, 30 * 86400.0)),
+        server_host(world.add_host("myproxy.ncsa.edu")),
+        client_host(world.add_host("submit.wisc.edu")),
+        server(server_host, world.net(), pki),
+        client(client_host, world.net(), "myproxy.client") {
+    anchors[ca.name()] = ca.public_key();
+  }
+  gsi::Pki pki;
+  gsi::CertificateAuthority ca;
+  gsi::Credential user;
+  gsi::TrustAnchors anchors;
+  cs::World world;
+  cs::Host& server_host;
+  cs::Host& client_host;
+  gsi::MyProxyServer server;
+  gsi::MyProxyClient client;
+};
+
+}  // namespace
+
+TEST_F(MyProxyFixture, StoreAndRetrieveShortProxy) {
+  // Store a week-long proxy; retrieve a 12-hour one, as in §4.3.
+  const auto week_proxy = user.delegate(pki, 0.0, 7 * 86400.0);
+  bool stored = false;
+  client.store(server.address(), "miron", "s3cret", week_proxy,
+               [&](bool ok) { stored = ok; });
+  world.sim().run();
+  ASSERT_TRUE(stored);
+  EXPECT_EQ(server.stored_count(), 1u);
+
+  std::optional<gsi::Credential> got;
+  client.get(server.address(), "miron", "s3cret", 12 * 3600.0,
+             [&](std::optional<gsi::Credential> c) { got = std::move(c); });
+  world.sim().run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->identity(), "/O=UW/CN=miron");
+  EXPECT_EQ(got->delegation_depth(), 2);  // EEC -> week proxy -> short proxy
+  EXPECT_LE(got->expires_at(), world.now() + 12 * 3600.0 + 1.0);
+  EXPECT_TRUE(gsi::verify_credential(pki, *got, anchors, world.now() + 100));
+  EXPECT_EQ(server.proxies_issued(), 1u);
+}
+
+TEST_F(MyProxyFixture, WrongPassphraseRejected) {
+  const auto proxy = user.delegate(pki, 0.0, 7 * 86400.0);
+  client.store(server.address(), "miron", "s3cret", proxy, [](bool) {});
+  world.sim().run();
+  bool called = false;
+  client.get(server.address(), "miron", "wrong", 3600.0,
+             [&](std::optional<gsi::Credential> c) {
+               called = true;
+               EXPECT_FALSE(c.has_value());
+             });
+  world.sim().run();
+  EXPECT_TRUE(called);
+}
+
+TEST_F(MyProxyFixture, UnknownUserRejected) {
+  bool called = false;
+  client.get(server.address(), "nobody", "x", 3600.0,
+             [&](std::optional<gsi::Credential> c) {
+               called = true;
+               EXPECT_FALSE(c.has_value());
+             });
+  world.sim().run();
+  EXPECT_TRUE(called);
+}
+
+TEST_F(MyProxyFixture, RepositorySurvivesServerCrash) {
+  const auto proxy = user.delegate(pki, 0.0, 7 * 86400.0);
+  client.store(server.address(), "miron", "s3cret", proxy, [](bool) {});
+  world.sim().run();
+
+  server_host.crash();
+  server_host.restart();  // boot function reinstalls the service handler
+
+  std::optional<gsi::Credential> got;
+  client.get(server.address(), "miron", "s3cret", 3600.0,
+             [&](std::optional<gsi::Credential> c) { got = std::move(c); });
+  world.sim().run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->identity(), "/O=UW/CN=miron");
+}
+
+TEST_F(MyProxyFixture, ExpiredStoredCredentialRefused) {
+  const auto proxy = user.delegate(pki, 0.0, 10.0);  // expires at t=10
+  client.store(server.address(), "miron", "s3cret", proxy, [](bool) {});
+  world.sim().run();
+  world.sim().run_until(1000.0);
+  bool called = false;
+  client.get(server.address(), "miron", "s3cret", 3600.0,
+             [&](std::optional<gsi::Credential> c) {
+               called = true;
+               EXPECT_FALSE(c.has_value());
+             });
+  world.sim().run();
+  EXPECT_TRUE(called);
+}

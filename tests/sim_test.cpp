@@ -1,0 +1,590 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "condorg/sim/failure.h"
+#include "condorg/sim/rpc.h"
+#include "condorg/sim/world.h"
+
+namespace cs = condorg::sim;
+
+// ---------- Simulation kernel ----------
+
+TEST(Simulation, RunsEventsInTimeOrder) {
+  cs::Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulation, SameTimeEventsAreFifo) {
+  cs::Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulation, ScheduleInAccumulates) {
+  cs::Simulation sim;
+  double fired_at = -1;
+  sim.schedule_in(5.0, [&] {
+    sim.schedule_in(2.5, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulation, CancelPreventsDispatch) {
+  cs::Simulation sim;
+  bool fired = false;
+  const auto id = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, RunUntilAdvancesClockAndReportsPending) {
+  cs::Simulation sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(10.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.run_until(5.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_FALSE(sim.run_until(20.0));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, StopAbortsRun) {
+  cs::Simulation sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, PastSchedulingClampsToNow) {
+  cs::Simulation sim;
+  double fired_at = -1;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_at(1.0, [&] { fired_at = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Simulation, NullCallbackThrows) {
+  cs::Simulation sim;
+  EXPECT_THROW(sim.schedule_at(1.0, nullptr), std::invalid_argument);
+}
+
+// ---------- Host ----------
+
+TEST(Host, PostRunsWhenAlive) {
+  cs::World world;
+  cs::Host& h = world.add_host("submit");
+  int fired = 0;
+  h.post(1.0, [&] { ++fired; });
+  world.sim().run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Host, CrashFencesPendingCallbacks) {
+  cs::World world;
+  cs::Host& h = world.add_host("submit");
+  int fired = 0;
+  h.post(10.0, [&] { ++fired; });
+  world.sim().schedule_at(5.0, [&] { h.crash(); });
+  world.sim().schedule_at(6.0, [&] { h.restart(); });
+  world.sim().run();
+  // The callback belonged to epoch 1; the host is in epoch 2 at t=10.
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(h.alive());
+  EXPECT_EQ(h.epoch(), 2u);
+}
+
+TEST(Host, PostAnyEpochSurvivesRestart) {
+  cs::World world;
+  cs::Host& h = world.add_host("submit");
+  int fired = 0;
+  h.post_any_epoch(10.0, [&] { ++fired; });
+  world.sim().schedule_at(5.0, [&] { h.crash_for(1.0); });
+  world.sim().run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Host, PostAnyEpochSkipsDeadHost) {
+  cs::World world;
+  cs::Host& h = world.add_host("submit");
+  int fired = 0;
+  h.post_any_epoch(10.0, [&] { ++fired; });
+  world.sim().schedule_at(5.0, [&] { h.crash(); });  // never restarted
+  world.sim().run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Host, DiskSurvivesCrash) {
+  cs::World world;
+  cs::Host& h = world.add_host("submit");
+  h.disk().put("queue/job1", "state=idle");
+  h.crash();
+  h.restart();
+  ASSERT_TRUE(h.disk().get("queue/job1").has_value());
+  EXPECT_EQ(*h.disk().get("queue/job1"), "state=idle");
+}
+
+TEST(Host, BootFunctionsRunOnRestartOnly) {
+  cs::World world;
+  cs::Host& h = world.add_host("submit");
+  int boots = 0;
+  h.add_boot([&] { ++boots; });
+  EXPECT_EQ(boots, 0);
+  h.crash();
+  h.restart();
+  EXPECT_EQ(boots, 1);
+  h.crash();
+  h.restart();
+  EXPECT_EQ(boots, 2);
+}
+
+TEST(Host, CrashListenersFireAndCanBeRemoved) {
+  cs::World world;
+  cs::Host& h = world.add_host("submit");
+  int fired = 0;
+  const int id = h.add_crash_listener([&] { ++fired; });
+  h.crash();
+  h.restart();
+  h.remove_crash_listener(id);
+  h.crash();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(h.crash_count(), 2u);
+}
+
+TEST(Host, ServicesClearedByCrash) {
+  cs::World world;
+  cs::Host& h = world.add_host("submit");
+  h.register_service("gatekeeper", [](const cs::Message&) {});
+  EXPECT_NE(h.find_service("gatekeeper"), nullptr);
+  h.crash();
+  h.restart();
+  EXPECT_EQ(h.find_service("gatekeeper"), nullptr);
+}
+
+TEST(Host, DoubleCrashAndRestartAreNoOps) {
+  cs::World world;
+  cs::Host& h = world.add_host("submit");
+  h.crash();
+  const auto epoch = h.epoch();
+  h.crash();
+  EXPECT_EQ(h.epoch(), epoch);
+  h.restart();
+  h.restart();
+  EXPECT_TRUE(h.alive());
+}
+
+// ---------- StableStorage ----------
+
+TEST(StableStorage, KeyValueAndPrefix) {
+  cs::StableStorage disk;
+  disk.put("job/3", "c");
+  disk.put("job/1", "a");
+  disk.put("job/2", "b");
+  disk.put("cred/x", "y");
+  const auto keys = disk.keys_with_prefix("job/");
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "job/1");
+  EXPECT_EQ(keys[2], "job/3");
+  EXPECT_TRUE(disk.erase("job/2"));
+  EXPECT_FALSE(disk.erase("job/2"));
+  EXPECT_FALSE(disk.contains("job/2"));
+  EXPECT_EQ(disk.get("nope"), std::nullopt);
+}
+
+TEST(StableStorage, Journals) {
+  cs::StableStorage disk;
+  disk.append("log", "a");
+  disk.append("log", "b");
+  ASSERT_EQ(disk.journal("log").size(), 2u);
+  EXPECT_EQ(disk.journal("log")[1], "b");
+  EXPECT_TRUE(disk.journal("other").empty());
+  disk.truncate_journal("log");
+  EXPECT_TRUE(disk.journal("log").empty());
+  EXPECT_GT(disk.bytes_written(), 0u);
+}
+
+// ---------- World ----------
+
+TEST(World, HostLookup) {
+  cs::World world;
+  world.add_host("a");
+  world.add_host("b");
+  EXPECT_EQ(world.host_count(), 2u);
+  EXPECT_NE(world.find_host("a"), nullptr);
+  EXPECT_EQ(world.find_host("c"), nullptr);
+  EXPECT_THROW(world.host("c"), std::invalid_argument);
+  EXPECT_THROW(world.add_host("a"), std::invalid_argument);
+}
+
+// ---------- Network ----------
+
+namespace {
+
+/// Collects messages delivered to a service.
+struct Inbox {
+  std::vector<cs::Message> messages;
+  void attach(cs::Host& host, const std::string& service) {
+    host.register_service(
+        service, [this](const cs::Message& m) { messages.push_back(m); });
+  }
+};
+
+cs::Message make_message(const std::string& from, const std::string& to,
+                         const std::string& type) {
+  cs::Message m;
+  m.from = cs::Address::parse(from);
+  m.to = cs::Address::parse(to);
+  m.type = type;
+  return m;
+}
+
+}  // namespace
+
+TEST(Network, DeliversAfterLatency) {
+  cs::World world;
+  cs::Host& a = world.add_host("a");
+  (void)a;
+  cs::Host& b = world.add_host("b");
+  Inbox inbox;
+  inbox.attach(b, "svc");
+  cs::LinkConfig link;
+  link.latency = 2.0;
+  link.jitter = 0.0;
+  world.net().set_default_link(link);
+  world.net().send(make_message("a/x", "b/svc", "ping"));
+  world.sim().run();
+  ASSERT_EQ(inbox.messages.size(), 1u);
+  EXPECT_DOUBLE_EQ(world.now(), 2.0);
+  EXPECT_EQ(inbox.messages[0].type, "ping");
+  EXPECT_EQ(world.net().delivered(), 1u);
+}
+
+TEST(Network, DropsOnLossyLink) {
+  cs::World world(7);
+  world.add_host("a");
+  cs::Host& b = world.add_host("b");
+  Inbox inbox;
+  inbox.attach(b, "svc");
+  cs::LinkConfig link;
+  link.loss_probability = 1.0;
+  world.net().set_link("a", "b", link);
+  world.net().send(make_message("a/x", "b/svc", "ping"));
+  world.sim().run();
+  EXPECT_TRUE(inbox.messages.empty());
+  EXPECT_EQ(world.net().lost(), 1u);
+}
+
+TEST(Network, PartitionBlocksBothDirections) {
+  cs::World world;
+  cs::Host& a = world.add_host("a");
+  cs::Host& b = world.add_host("b");
+  Inbox in_a, in_b;
+  in_a.attach(a, "svc");
+  in_b.attach(b, "svc");
+  world.net().set_partitioned("a", "b", true);
+  world.net().send(make_message("a/x", "b/svc", "ping"));
+  world.net().send(make_message("b/x", "a/svc", "ping"));
+  world.sim().run();
+  EXPECT_TRUE(in_a.messages.empty());
+  EXPECT_TRUE(in_b.messages.empty());
+  EXPECT_EQ(world.net().blocked_by_partition(), 2u);
+
+  world.net().set_partitioned("a", "b", false);
+  world.net().send(make_message("a/x", "b/svc", "ping"));
+  world.sim().run();
+  EXPECT_EQ(in_b.messages.size(), 1u);
+}
+
+TEST(Network, IsolationBlocksHost) {
+  cs::World world;
+  world.add_host("a");
+  cs::Host& b = world.add_host("b");
+  Inbox inbox;
+  inbox.attach(b, "svc");
+  world.net().set_isolated("b", true);
+  world.net().send(make_message("a/x", "b/svc", "ping"));
+  world.sim().run();
+  EXPECT_TRUE(inbox.messages.empty());
+  world.net().set_isolated("b", false);
+  EXPECT_FALSE(world.net().partitioned("a", "b"));
+}
+
+TEST(Network, InFlightMessageLostToMidFlightPartition) {
+  cs::World world;
+  world.add_host("a");
+  cs::Host& b = world.add_host("b");
+  Inbox inbox;
+  inbox.attach(b, "svc");
+  cs::LinkConfig link;
+  link.latency = 10.0;
+  link.jitter = 0.0;
+  world.net().set_default_link(link);
+  world.net().send(make_message("a/x", "b/svc", "ping"));
+  world.sim().schedule_at(5.0,
+                          [&] { world.net().set_partitioned("a", "b", true); });
+  world.sim().run();
+  EXPECT_TRUE(inbox.messages.empty());
+}
+
+TEST(Network, DeadDestinationDropsMessage) {
+  cs::World world;
+  world.add_host("a");
+  cs::Host& b = world.add_host("b");
+  Inbox inbox;
+  inbox.attach(b, "svc");
+  b.crash();
+  world.net().send(make_message("a/x", "b/svc", "ping"));
+  world.sim().run();
+  EXPECT_TRUE(inbox.messages.empty());
+  EXPECT_EQ(world.net().dead_destination(), 1u);
+}
+
+TEST(Network, MissingServiceDropsMessage) {
+  cs::World world;
+  world.add_host("a");
+  world.add_host("b");
+  world.net().send(make_message("a/x", "b/nosuch", "ping"));
+  world.sim().run();
+  EXPECT_EQ(world.net().dead_destination(), 1u);
+}
+
+TEST(Network, LocalDeliveryBypassesLossAndPartition) {
+  cs::World world;
+  cs::Host& a = world.add_host("a");
+  Inbox inbox;
+  inbox.attach(a, "svc");
+  cs::LinkConfig link;
+  link.loss_probability = 1.0;
+  world.net().set_default_link(link);
+  world.net().send(make_message("a/x", "a/svc", "ping"));
+  world.sim().run();
+  EXPECT_EQ(inbox.messages.size(), 1u);
+}
+
+TEST(Network, TransferSecondsScalesWithSize) {
+  cs::World world;
+  cs::LinkConfig link;
+  link.latency = 1.0;
+  link.bandwidth_bps = 8.0e6;  // 1 MB/s
+  world.net().set_link("a", "b", link);
+  EXPECT_NEAR(world.net().transfer_seconds("a", "b", 1000000), 2.0, 1e-9);
+  EXPECT_LT(world.net().transfer_seconds("a", "a", 1u << 30), 0.01);
+}
+
+// ---------- Payload / Address ----------
+
+TEST(Payload, TypedAccessors) {
+  cs::Payload p;
+  p.set("s", "hello");
+  p.set_int("i", -42);
+  p.set_uint("u", 42);
+  p.set_double("d", 2.5);
+  p.set_bool("b", true);
+  EXPECT_EQ(p.get("s"), "hello");
+  EXPECT_EQ(p.get_int("i"), -42);
+  EXPECT_EQ(p.get_uint("u"), 42u);
+  EXPECT_DOUBLE_EQ(p.get_double("d"), 2.5);
+  EXPECT_TRUE(p.get_bool("b"));
+  EXPECT_EQ(p.get("missing", "fb"), "fb");
+  EXPECT_EQ(p.get_int("missing", 7), 7);
+  EXPECT_FALSE(p.get_bool("missing"));
+  p.set("junk", "not-a-number");
+  EXPECT_EQ(p.get_int("junk", 3), 3);
+  EXPECT_FALSE(p.debug_string().empty());
+}
+
+TEST(Address, ParseAndRoundTrip) {
+  const auto addr = cs::Address::parse("host1/gram.gatekeeper");
+  EXPECT_EQ(addr.host, "host1");
+  EXPECT_EQ(addr.service, "gram.gatekeeper");
+  EXPECT_EQ(addr.str(), "host1/gram.gatekeeper");
+  const auto bare = cs::Address::parse("host1");
+  EXPECT_EQ(bare.host, "host1");
+  EXPECT_EQ(bare.service, "");
+}
+
+// ---------- RPC ----------
+
+namespace {
+
+/// Echo server: replies to "echo" requests with the same payload + "pong"=1.
+struct EchoServer {
+  cs::Host& host;
+  cs::Network& net;
+  explicit EchoServer(cs::Host& h, cs::Network& n) : host(h), net(n) {
+    host.register_service("echo", [this](const cs::Message& m) {
+      cs::Payload reply;
+      reply.set("data", m.body.get("data"));
+      reply.set_bool("pong", true);
+      cs::rpc_reply(net, m, cs::Address{host.name(), "echo"},
+                    std::move(reply));
+    });
+  }
+};
+
+}  // namespace
+
+TEST(Rpc, CallAndReply) {
+  cs::World world;
+  cs::Host& client_host = world.add_host("client");
+  cs::Host& server_host = world.add_host("server");
+  EchoServer server(server_host, world.net());
+  cs::RpcClient rpc(client_host, world.net(), "cli.rpc");
+
+  bool got = false;
+  rpc.call(cs::Address{"server", "echo"}, "echo",
+           [] {
+             cs::Payload p;
+             p.set("data", "x");
+             return p;
+           }(),
+           30.0, [&](bool ok, const cs::Payload& reply) {
+             got = true;
+             EXPECT_TRUE(ok);
+             EXPECT_EQ(reply.get("data"), "x");
+             EXPECT_TRUE(reply.get_bool("pong"));
+           });
+  world.sim().run();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(rpc.pending(), 0u);
+}
+
+TEST(Rpc, TimeoutOnDeadServer) {
+  cs::World world;
+  cs::Host& client_host = world.add_host("client");
+  world.add_host("server").crash();
+  cs::RpcClient rpc(client_host, world.net(), "cli.rpc");
+  bool got = false;
+  rpc.call(cs::Address{"server", "echo"}, "echo", {}, 30.0,
+           [&](bool ok, const cs::Payload&) {
+             got = true;
+             EXPECT_FALSE(ok);
+           });
+  world.sim().run();
+  EXPECT_TRUE(got);
+  EXPECT_GE(world.now(), 30.0);
+}
+
+TEST(Rpc, TimeoutOnPartition) {
+  cs::World world;
+  cs::Host& client_host = world.add_host("client");
+  cs::Host& server_host = world.add_host("server");
+  EchoServer server(server_host, world.net());
+  world.net().set_partitioned("client", "server", true);
+  cs::RpcClient rpc(client_host, world.net(), "cli.rpc");
+  bool ok_result = true;
+  rpc.call(cs::Address{"server", "echo"}, "echo", {}, 10.0,
+           [&](bool ok, const cs::Payload&) { ok_result = ok; });
+  world.sim().run();
+  EXPECT_FALSE(ok_result);
+}
+
+TEST(Rpc, ClientCrashDropsPendingCallbacks) {
+  cs::World world;
+  cs::Host& client_host = world.add_host("client");
+  cs::Host& server_host = world.add_host("server");
+  EchoServer server(server_host, world.net());
+  cs::RpcClient rpc(client_host, world.net(), "cli.rpc");
+  int called = 0;
+  rpc.call(cs::Address{"server", "echo"}, "echo", {}, 30.0,
+           [&](bool, const cs::Payload&) { ++called; });
+  world.sim().schedule_at(0.001, [&] { client_host.crash(); });
+  world.sim().run();
+  EXPECT_EQ(called, 0);
+  EXPECT_EQ(rpc.pending(), 0u);
+}
+
+TEST(Rpc, LateReplyAfterTimeoutIsIgnored) {
+  cs::World world;
+  cs::Host& client_host = world.add_host("client");
+  cs::Host& server_host = world.add_host("server");
+  EchoServer server(server_host, world.net());
+  cs::LinkConfig slow;
+  slow.latency = 50.0;  // round trip = 100s > timeout
+  slow.jitter = 0.0;
+  world.net().set_default_link(slow);
+  cs::RpcClient rpc(client_host, world.net(), "cli.rpc");
+  int calls = 0;
+  bool ok_result = true;
+  rpc.call(cs::Address{"server", "echo"}, "echo", {}, 10.0,
+           [&](bool ok, const cs::Payload&) {
+             ++calls;
+             ok_result = ok;
+           });
+  world.sim().run();
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(ok_result);
+}
+
+// ---------- FailureInjector ----------
+
+TEST(FailureInjector, OneShotCrashAndRecovery) {
+  cs::World world;
+  cs::Host& h = world.add_host("site");
+  cs::FailureInjector chaos(world);
+  chaos.crash_at("site", 10.0, 5.0);
+  world.sim().schedule_at(12.0, [&] { EXPECT_FALSE(h.alive()); });
+  world.sim().schedule_at(16.0, [&] { EXPECT_TRUE(h.alive()); });
+  world.sim().run();
+  EXPECT_EQ(chaos.crashes_injected(), 1u);
+  ASSERT_EQ(chaos.incidents().size(), 1u);
+  EXPECT_EQ(chaos.incidents()[0].target, "site");
+}
+
+TEST(FailureInjector, OneShotPartitionHeals) {
+  cs::World world;
+  world.add_host("a");
+  world.add_host("b");
+  cs::FailureInjector chaos(world);
+  chaos.partition_at("a", "b", 5.0, 10.0);
+  world.sim().schedule_at(6.0,
+                          [&] { EXPECT_TRUE(world.net().partitioned("a", "b")); });
+  world.sim().schedule_at(16.0, [&] {
+    EXPECT_FALSE(world.net().partitioned("a", "b"));
+  });
+  world.sim().run();
+  EXPECT_EQ(chaos.partitions_injected(), 1u);
+}
+
+TEST(FailureInjector, RecurringCrashesRespectWindow) {
+  cs::World world(123);
+  world.add_host("site");
+  cs::FailureInjector chaos(world);
+  cs::CrashPlan plan;
+  plan.host = "site";
+  plan.mtbf_seconds = 100.0;
+  plan.mean_downtime_seconds = 1.0;
+  plan.start = 0.0;
+  plan.end = 5000.0;
+  chaos.add_crash_plan(plan);
+  world.sim().run_until(20000.0);
+  chaos.disarm();
+  world.sim().run();
+  EXPECT_GT(chaos.crashes_injected(), 10u);
+  for (const auto& incident : chaos.incidents()) {
+    EXPECT_LE(incident.at, 5000.0 + 1e-6);
+  }
+  EXPECT_TRUE(world.host("site").alive());
+}

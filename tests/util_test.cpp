@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "condorg/util/rng.h"
+#include "condorg/util/stats.h"
+#include "condorg/util/strings.h"
+#include "condorg/util/table.h"
+
+namespace cu = condorg::util;
+
+// ---------- Rng ----------
+
+TEST(Rng, DeterministicForSameSeed) {
+  cu::Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  cu::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  cu::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  cu::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(5.0, 9.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 9.0);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  cu::Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+  for (const auto v : seen) EXPECT_LT(v, 7u);
+}
+
+TEST(Rng, RangeInclusive) {
+  cu::Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  cu::Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximate) {
+  cu::Rng rng(19);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.2);
+}
+
+TEST(Rng, NormalMomentsApproximate) {
+  cu::Rng rng(23);
+  cu::Summary s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, HeavyTailedMeanApproximate) {
+  cu::Rng rng(29);
+  double sum = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) sum += rng.heavy_tailed(100.0, 2.5);
+  EXPECT_NEAR(sum / n / 100.0, 1.0, 0.1);
+}
+
+TEST(Rng, SplitIsStableAndIndependent) {
+  cu::Rng parent(99);
+  cu::Rng a1 = parent.split("gram");
+  // Drawing from the parent must not change what split() yields.
+  for (int i = 0; i < 10; ++i) parent();
+  cu::Rng a2 = parent.split("gram");
+  EXPECT_EQ(a1(), a2());
+
+  cu::Rng b = parent.split("gass");
+  cu::Rng a3 = parent.split("gram");
+  a3();  // consume the value a1/a2 compared
+  EXPECT_NE(a3(), b());
+}
+
+TEST(Fnv1a, KnownAndDistinct) {
+  constexpr auto h1 = cu::fnv1a("condor-g");
+  constexpr auto h2 = cu::fnv1a("condor-h");
+  static_assert(h1 != h2);
+  EXPECT_NE(cu::fnv1a("a"), cu::fnv1a("b"));
+  EXPECT_EQ(cu::fnv1a(""), 0xcbf29ce484222325ull);
+}
+
+TEST(Fnv1a, MixOrderSensitive) {
+  EXPECT_NE(cu::fnv1a_mix(1, 2), cu::fnv1a_mix(2, 1));
+}
+
+// ---------- strings ----------
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = cu::split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingle) {
+  const auto parts = cu::split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(cu::join(parts, "::"), "x::y::z");
+  EXPECT_EQ(cu::join({}, ","), "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(cu::trim("  hi \t\n"), "hi");
+  EXPECT_EQ(cu::trim(""), "");
+  EXPECT_EQ(cu::trim("   "), "");
+  EXPECT_EQ(cu::trim("x"), "x");
+}
+
+TEST(Strings, IEquals) {
+  EXPECT_TRUE(cu::iequals("Requirements", "requirements"));
+  EXPECT_TRUE(cu::iequals("", ""));
+  EXPECT_FALSE(cu::iequals("abc", "abd"));
+  EXPECT_FALSE(cu::iequals("abc", "ab"));
+}
+
+TEST(Strings, Affixes) {
+  EXPECT_TRUE(cu::starts_with("gram.submit", "gram."));
+  EXPECT_FALSE(cu::starts_with("gram", "gram."));
+  EXPECT_TRUE(cu::ends_with("job.log", ".log"));
+  EXPECT_FALSE(cu::ends_with("log", "job.log"));
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(cu::format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(cu::format("%.2f", 1.005), "1.00");
+}
+
+TEST(Strings, FormatDuration) {
+  EXPECT_EQ(cu::format_duration(0), "00:00:00");
+  EXPECT_EQ(cu::format_duration(3661), "01:01:01");
+  EXPECT_EQ(cu::format_duration(90061), "1d 01:01:01");
+}
+
+TEST(Strings, FormatBytes) {
+  EXPECT_EQ(cu::format_bytes(512), "512.0 B");
+  EXPECT_EQ(cu::format_bytes(2048), "2.0 KB");
+  EXPECT_EQ(cu::format_bytes(3.5 * 1024 * 1024), "3.5 MB");
+}
+
+// ---------- stats ----------
+
+TEST(Summary, Basic) {
+  cu::Summary s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Summary, MergeMatchesCombined) {
+  cu::Rng rng(31);
+  cu::Summary a, b, all;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(0, 1);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Samples, Percentiles) {
+  cu::Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+}
+
+TEST(Samples, EmptySafe) {
+  cu::Samples s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+}
+
+TEST(TimeWeightedGauge, AverageAndPeak) {
+  cu::TimeWeightedGauge g(0.0);
+  g.set(0.0, 2.0);   // 2 over [0,10)
+  g.set(10.0, 6.0);  // 6 over [10,20)
+  EXPECT_DOUBLE_EQ(g.peak(), 6.0);
+  EXPECT_DOUBLE_EQ(g.average(20.0), (2.0 * 10 + 6.0 * 10) / 20.0);
+  EXPECT_DOUBLE_EQ(g.integral(20.0), 80.0);
+}
+
+TEST(TimeWeightedGauge, AddDelta) {
+  cu::TimeWeightedGauge g(0.0);
+  g.add(0.0, 3.0);
+  g.add(5.0, -1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  EXPECT_DOUBLE_EQ(g.integral(10.0), 3.0 * 5 + 2.0 * 5);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  cu::Histogram h(0.0, 10.0, 5);
+  h.add(-1);       // underflow
+  h.add(0.0);      // bucket 0
+  h.add(1.99);     // bucket 0
+  h.add(5.0);      // bucket 2
+  h.add(10.0);     // overflow (hi is exclusive)
+  h.add(100.0);    // overflow
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(1), 4.0);
+  EXPECT_FALSE(h.render().empty());
+}
+
+// ---------- table ----------
+
+TEST(Table, RendersAligned) {
+  cu::Table t({"metric", "paper", "measured"});
+  t.add_row({"cpu-hours", "95000", "94211.5"});
+  t.add_separator();
+  t.add_row({"avg cpus", "653", "640"});
+  const std::string out = t.render("E1");
+  EXPECT_NE(out.find("cpu-hours"), std::string::npos);
+  EXPECT_NE(out.find("=== E1 ==="), std::string::npos);
+  // All non-title lines must have equal width.
+  const auto lines = cu::split(out, '\n');
+  std::size_t width = 0;
+  for (const auto& line : lines) {
+    if (line.empty() || line[0] == '=' || line[0] == '\0') continue;
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << line;
+  }
+}
+
+TEST(Table, PadsShortRows) {
+  cu::Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NE(t.render().find("only"), std::string::npos);
+}

@@ -1,0 +1,397 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "condorg/workloads/cms_pipeline.h"
+#include "condorg/gass/file_service.h"
+#include "condorg/workloads/gcat.h"
+#include "condorg/workloads/grid_builder.h"
+#include "condorg/workloads/hungarian.h"
+#include "condorg/workloads/qap.h"
+#include "condorg/workloads/qap_master.h"
+
+namespace cw = condorg::workloads;
+namespace cs = condorg::sim;
+
+// ---------- Hungarian / LAP ----------
+
+TEST(Hungarian, KnownSmallCases) {
+  // Diagonal is optimal.
+  cw::CostMatrix identity_best = {{1, 9, 9}, {9, 1, 9}, {9, 9, 1}};
+  const auto r1 = cw::solve_assignment(identity_best);
+  EXPECT_EQ(r1.cost, 3);
+  EXPECT_EQ(r1.assignment, (std::vector<int>{0, 1, 2}));
+
+  // Anti-diagonal is optimal.
+  cw::CostMatrix anti = {{9, 9, 1}, {9, 1, 9}, {1, 9, 9}};
+  EXPECT_EQ(cw::solve_assignment(anti).cost, 3);
+
+  // 1x1.
+  EXPECT_EQ(cw::solve_assignment({{7}}).cost, 7);
+
+  // Classic 4x4 with a known optimum of 13 (verified by brute force below).
+  cw::CostMatrix m = {{9, 2, 7, 8}, {6, 4, 3, 7}, {5, 8, 1, 8}, {7, 6, 9, 4}};
+  EXPECT_EQ(cw::solve_assignment(m).cost, 13);
+}
+
+TEST(Hungarian, NegativeCostsSupported) {
+  cw::CostMatrix m = {{-5, 0}, {0, -5}};
+  EXPECT_EQ(cw::solve_assignment(m).cost, -10);
+}
+
+TEST(Hungarian, RejectsMalformedInput) {
+  EXPECT_THROW(cw::solve_assignment({}), std::invalid_argument);
+  EXPECT_THROW(cw::solve_assignment({{1, 2}}), std::invalid_argument);
+}
+
+namespace {
+
+std::int64_t brute_force_assignment(const cw::CostMatrix& cost) {
+  const int n = static_cast<int>(cost.size());
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  do {
+    std::int64_t total = 0;
+    for (int i = 0; i < n; ++i) total += cost[i][perm[i]];
+    best = std::min(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+}  // namespace
+
+class HungarianProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HungarianProperty, MatchesBruteForceOnRandomInstances) {
+  condorg::util::Rng rng(1000 + GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = static_cast<int>(rng.range(2, 7));
+    cw::CostMatrix cost(n, std::vector<std::int64_t>(n));
+    for (auto& row : cost) {
+      for (auto& cell : row) cell = rng.range(-20, 50);
+    }
+    const auto result = cw::solve_assignment(cost);
+    EXPECT_EQ(result.cost, brute_force_assignment(cost));
+    // Assignment must be a permutation achieving the reported cost.
+    std::vector<char> used(n, false);
+    std::int64_t check = 0;
+    for (int i = 0; i < n; ++i) {
+      ASSERT_GE(result.assignment[i], 0);
+      ASSERT_LT(result.assignment[i], n);
+      EXPECT_FALSE(used[result.assignment[i]]);
+      used[result.assignment[i]] = true;
+      check += cost[i][result.assignment[i]];
+    }
+    EXPECT_EQ(check, result.cost);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HungarianProperty, ::testing::Range(0, 5));
+
+// ---------- QAP ----------
+
+TEST(Qap, EvaluateIdentity) {
+  condorg::util::Rng rng(5);
+  const auto instance = cw::QapInstance::random(5, rng);
+  std::vector<int> identity{0, 1, 2, 3, 4};
+  std::int64_t manual = 0;
+  for (int i = 0; i < 5; ++i) {
+    for (int k = 0; k < 5; ++k) {
+      manual += instance.flow[i][k] * instance.dist[i][k];
+    }
+  }
+  EXPECT_EQ(instance.evaluate(identity), manual);
+}
+
+class QapProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(QapProperty, BranchAndBoundMatchesBruteForce) {
+  condorg::util::Rng rng(4242 + GetParam());
+  const int n = 6;
+  const auto instance = cw::QapInstance::random(n, rng);
+  const auto exact = cw::solve_qap_bruteforce(instance);
+  const auto bnb = cw::solve_qap(instance);
+  EXPECT_EQ(bnb.best_cost, exact.best_cost);
+  EXPECT_EQ(instance.evaluate(bnb.best_perm), bnb.best_cost);
+  // Pruning must actually prune relative to exhaustive enumeration.
+  EXPECT_LT(bnb.nodes, exact.nodes);
+  EXPECT_GT(bnb.laps_solved, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QapProperty, ::testing::Range(0, 6));
+
+TEST(Qap, GilmoreLawlerIsALowerBound) {
+  condorg::util::Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto instance = cw::QapInstance::random(6, rng);
+    const auto exact = cw::solve_qap_bruteforce(instance);
+    EXPECT_LE(cw::gilmore_lawler_bound(instance, {}), exact.best_cost);
+    // And for partial prefixes: bound <= best completion of that prefix.
+    const auto subtree =
+        cw::solve_qap_subtree(instance, {exact.best_perm[0]});
+    EXPECT_LE(cw::gilmore_lawler_bound(instance, {exact.best_perm[0]}),
+              subtree.best_cost);
+  }
+}
+
+TEST(Qap, SubtreeDecompositionCoversSearchSpace) {
+  // Solving every depth-1 subtree must find the global optimum.
+  condorg::util::Rng rng(99);
+  const auto instance = cw::QapInstance::random(7, rng);
+  const auto exact = cw::solve_qap(instance);
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  for (int loc = 0; loc < instance.n; ++loc) {
+    const auto sub = cw::solve_qap_subtree(instance, {loc}, best);
+    if (!sub.best_perm.empty()) best = std::min(best, sub.best_cost);
+  }
+  EXPECT_EQ(best, exact.best_cost);
+}
+
+TEST(QapMaster, MasterWorkerFindsOptimum) {
+  condorg::util::Rng rng(123);
+  const auto instance = cw::QapInstance::random(7, rng);
+  const auto exact = cw::solve_qap(instance);
+
+  cw::QapMaster master(instance, 2);
+  EXPECT_GT(master.total_units(), 0u);
+  // Simulate workers pulling units (sequentially here).
+  while (auto unit = master.next_unit()) {
+    const auto result =
+        cw::solve_qap_subtree(instance, unit->prefix, unit->upper_bound);
+    master.complete_unit(unit->id, result);
+  }
+  EXPECT_TRUE(master.done());
+  EXPECT_EQ(master.incumbent(), exact.best_cost);
+  EXPECT_EQ(instance.evaluate(master.best_perm()), exact.best_cost);
+  EXPECT_GT(master.total_laps(), 0u);
+}
+
+TEST(QapMaster, FailedUnitsAreReissued) {
+  condorg::util::Rng rng(321);
+  const auto instance = cw::QapInstance::random(6, rng);
+  cw::QapMaster master(instance, 1);
+  const auto unit = master.next_unit();
+  ASSERT_TRUE(unit.has_value());
+  master.fail_unit(unit->id);  // worker evicted
+  // The unit comes back.
+  bool reissued = false;
+  while (auto next = master.next_unit()) {
+    if (next->id == unit->id) reissued = true;
+    master.complete_unit(
+        next->id,
+        cw::solve_qap_subtree(instance, next->prefix, next->upper_bound));
+  }
+  EXPECT_TRUE(reissued);
+  EXPECT_TRUE(master.done());
+  EXPECT_EQ(master.incumbent(), cw::solve_qap(instance).best_cost);
+}
+
+TEST(QapMaster, DuplicateCompletionIgnored) {
+  condorg::util::Rng rng(55);
+  const auto instance = cw::QapInstance::random(6, rng);
+  cw::QapMaster master(instance, 1);
+  const auto unit = master.next_unit();
+  const auto result =
+      cw::solve_qap_subtree(instance, unit->prefix, unit->upper_bound);
+  master.complete_unit(unit->id, result);
+  const auto completed = master.completed_units();
+  master.complete_unit(unit->id, result);  // duplicate (retried message)
+  EXPECT_EQ(master.completed_units(), completed);
+}
+
+// ---------- CMS events ----------
+
+TEST(Cms, DigestsDeterministicAndDistinct) {
+  cw::CmsConfig config;
+  EXPECT_EQ(cw::cms_event_digest(config, 3, 14),
+            cw::cms_event_digest(config, 3, 14));
+  EXPECT_NE(cw::cms_event_digest(config, 3, 14),
+            cw::cms_event_digest(config, 3, 15));
+  EXPECT_NE(cw::cms_event_digest(config, 3, 14),
+            cw::cms_event_digest(config, 4, 14));
+  cw::CmsConfig other = config;
+  other.run_seed = 999;
+  EXPECT_NE(cw::cms_event_digest(config, 3, 14),
+            cw::cms_event_digest(other, 3, 14));
+}
+
+TEST(Cms, ReconstructionMatchesGroundTruthIffIntact) {
+  cw::CmsConfig config;
+  config.simulation_jobs = 5;
+  config.events_per_job = 20;
+  std::vector<std::string> files;
+  for (int j = 0; j < config.simulation_jobs; ++j) {
+    files.push_back(cw::cms_job_output(config, j));
+  }
+  EXPECT_EQ(cw::cms_reconstruct_from_files(config.run_seed, files),
+            cw::cms_reconstruction_digest(config));
+
+  // Any corruption / loss / reorder breaks the digest.
+  auto corrupted = files;
+  corrupted[2][0] = 'X';
+  EXPECT_NE(cw::cms_reconstruct_from_files(config.run_seed, corrupted),
+            cw::cms_reconstruction_digest(config));
+  auto missing = files;
+  missing.pop_back();
+  EXPECT_NE(cw::cms_reconstruct_from_files(config.run_seed, missing),
+            cw::cms_reconstruction_digest(config));
+  auto reordered = files;
+  std::swap(reordered[0], reordered[1]);
+  EXPECT_NE(cw::cms_reconstruct_from_files(config.run_seed, reordered),
+            cw::cms_reconstruction_digest(config));
+}
+
+TEST(Cms, OutputSizing) {
+  cw::CmsConfig config;
+  config.events_per_job = 500;
+  config.bytes_per_event = 1 << 20;
+  EXPECT_EQ(cw::cms_job_output_bytes(config), 500ull << 20);
+  EXPECT_EQ(cw::cms_job_output(config, 0).size(), 500u * 17u);
+}
+
+// ---------- G-Cat ----------
+
+namespace {
+
+struct GcatFixture : public ::testing::Test {
+  GcatFixture()
+      : job_host(world.add_host("worker.site.edu")),
+        mss_host(world.add_host("mss.ncsa.edu")),
+        mss(mss_host, world.net(), "mss") {
+    cs::LinkConfig slow;
+    slow.latency = 0.2;
+    slow.jitter = 0.0;
+    slow.bandwidth_bps = 8e6;  // 1 MB/s
+    world.net().set_default_link(slow);
+  }
+  cs::World world;
+  cs::Host& job_host;
+  cs::Host& mss_host;
+  condorg::gass::FileService mss;
+};
+
+}  // namespace
+
+TEST_F(GcatFixture, StreamsAllOutputWithoutBlocking) {
+  cw::GCatOptions options;
+  options.chunk_bytes = 1 << 20;
+  options.flush_interval = 30.0;
+  cw::GCat gcat(job_host, world.net(), mss.address(), "gaussian.out",
+                options);
+  // Producer: 256 KB every 10 s for 100 ticks = 25.6 MB.
+  int ticks = 0;
+  std::function<void()> produce = [&] {
+    if (ticks++ >= 100) {
+      gcat.finish(nullptr);
+      return;
+    }
+    gcat.on_output("chunk-" + std::to_string(ticks) + ";", 256 << 10);
+    job_host.post(10.0, produce);
+  };
+  job_host.post(0.0, produce);
+  world.sim().run_until(5000.0);
+  EXPECT_EQ(gcat.bytes_produced(), 100ull * (256 << 10));
+  EXPECT_EQ(gcat.bytes_acked(), gcat.bytes_produced());
+  ASSERT_TRUE(mss.store().contains("gaussian.out"));
+  EXPECT_EQ(mss.store().get("gaussian.out")->size(), gcat.bytes_produced());
+  EXPECT_GE(gcat.chunks_sent(), 10u);
+}
+
+TEST_F(GcatFixture, RidesOutNetworkOutage) {
+  cw::GCatOptions options;
+  options.chunk_bytes = 1 << 20;
+  options.retry_delay = 20.0;
+  cw::GCat gcat(job_host, world.net(), mss.address(), "out", options);
+
+  // Outage from t=100 to t=600.
+  world.sim().schedule_at(100.0, [&] {
+    world.net().set_partitioned("worker.site.edu", "mss.ncsa.edu", true);
+  });
+  world.sim().schedule_at(600.0, [&] {
+    world.net().set_partitioned("worker.site.edu", "mss.ncsa.edu", false);
+  });
+
+  int ticks = 0;
+  std::function<void()> produce = [&] {
+    if (ticks++ >= 80) {
+      gcat.finish(nullptr);
+      return;
+    }
+    gcat.on_output("x", 512 << 10);
+    job_host.post(10.0, produce);
+  };
+  job_host.post(0.0, produce);
+  world.sim().run_until(5000.0);
+  // Production never stopped (the job was not stalled by the outage) and
+  // everything eventually landed.
+  EXPECT_EQ(gcat.bytes_produced(), 80ull * (512 << 10));
+  EXPECT_EQ(gcat.bytes_acked(), gcat.bytes_produced());
+  // The buffer absorbed the outage.
+  EXPECT_GT(gcat.peak_buffer_bytes(), 10ull << 20);
+}
+
+TEST_F(GcatFixture, DirectWriterStallsProducer) {
+  cw::DirectWriter writer(job_host, world.net(), mss.address(), "out");
+  // 20 writes of 2 MB over a 1 MB/s link: each blocks ~2s.
+  int writes = 0;
+  double finished_at = 0;
+  std::function<void()> produce = [&] {
+    if (writes++ >= 20) {
+      finished_at = world.now();
+      return;
+    }
+    writer.write("data", 2 << 20, [&] { job_host.post(1.0, produce); });
+  };
+  job_host.post(0.0, produce);
+  world.sim().run_until(10000.0);
+  EXPECT_EQ(writer.bytes_acked(), 20ull * (2 << 20));
+  EXPECT_GT(writer.total_stall_seconds(), 20.0);  // ~2s x 20 writes
+  EXPECT_GT(finished_at, 40.0);
+}
+
+// ---------- grid builder ----------
+
+TEST(GridBuilder, BuildsSitesWithSeparateFailureDomains) {
+  cw::GridTestbed testbed(3);
+  cw::SiteSpec spec;
+  spec.name = "site.a";
+  spec.cpus = 32;
+  cw::Site& site = testbed.add_site(spec);
+  EXPECT_EQ(testbed.total_cpus(), 32);
+  EXPECT_NE(site.frontend, site.cluster);
+  // Front-end crash must not disturb the scheduler.
+  const auto id = site.scheduler->submit({});
+  site.frontend->crash();
+  testbed.world().sim().run();
+  EXPECT_EQ(site.scheduler->status(id)->state,
+            condorg::batch::JobState::kCompleted);
+}
+
+TEST(GridBuilder, MdsPublishesSiteAds) {
+  cw::GridTestbed testbed(5);
+  cw::SiteSpec spec;
+  spec.name = "site.a";
+  spec.cpus = 8;
+  testbed.add_site(spec);
+  auto& giis = testbed.enable_mds("giis");
+  // Site added *after* MDS enablement also publishes.
+  spec.name = "site.b";
+  testbed.add_site(spec);
+  testbed.world().sim().run_until(10.0);
+  EXPECT_EQ(giis.live_count(), 2u);
+}
+
+TEST(GridBuilder, BackgroundLoadKeepsSiteBusy) {
+  cw::GridTestbed testbed(7);
+  cw::SiteSpec spec;
+  spec.name = "busy.site";
+  spec.cpus = 8;
+  spec.background_load = true;
+  spec.background.mean_interarrival_seconds = 30.0;
+  spec.background.mean_runtime_seconds = 900.0;
+  cw::Site& site = testbed.add_site(spec);
+  testbed.world().sim().run_until(4 * 3600.0);
+  EXPECT_GT(site.background->jobs_submitted(), 50u);
+  EXPECT_GT(site.scheduler->cpu_seconds_delivered(), 0.0);
+}
