@@ -9,6 +9,8 @@
 //                     from a week-long credential in the repository and
 //                     re-forwards them to remote JobManagers.
 #include <cstdio>
+#include <functional>
+#include <memory>
 
 #include "condorg/core/agent.h"
 #include "condorg/core/broker.h"
@@ -16,6 +18,9 @@
 #include "condorg/util/strings.h"
 #include "condorg/util/table.h"
 #include "condorg/workloads/grid_builder.h"
+#ifdef CONDORG_AUDIT
+#include "condorg/core/audit.h"
+#endif
 
 namespace core = condorg::core;
 namespace cw = condorg::workloads;
@@ -80,6 +85,17 @@ Outcome run_policy(Policy policy) {
   agent.set_site_chooser(core::make_static_chooser(testbed.gatekeepers()));
   agent.start();
 
+#ifdef CONDORG_AUDIT
+  // Audited run: §4.3's contract — an expired proxy never leaves live grid
+  // jobs behind — must hold under every policy, including "no management".
+  core::StandardAuditor auditor(testbed.world().sim(), /*period=*/512);
+  auditor.attach_agent(agent);
+  for (const auto& site : testbed.sites()) {
+    auditor.attach_gatekeeper(*site->gatekeeper);
+  }
+  auditor.auditor().set_fail_fast(true);
+#endif
+
   // Seed the repository with a week-long credential (myproxy-init).
   {
     gsi::MyProxyClient boot(agent.host(), testbed.world().net(),
@@ -105,7 +121,12 @@ Outcome run_policy(Policy policy) {
   if (policy == Policy::kManual) {
     auto watcher = std::make_shared<std::function<void()>>();
     auto* world = &testbed.world();
-    *watcher = [&agent, &pki, &user, world, watcher] {
+    // The function body must not own the shared_ptr that owns it (cycle);
+    // the scheduled-event closures hold the strong references instead.
+    std::weak_ptr<std::function<void()>> weak = watcher;
+    *watcher = [&agent, &pki, &user, world, weak] {
+      const auto self = weak.lock();
+      if (!self) return;
       bool any_held = false;
       for (const auto& [id, job] : agent.schedd().jobs()) {
         if (job.status == core::JobStatus::kHeld &&
@@ -119,9 +140,9 @@ Outcome run_policy(Policy policy) {
           agent.credentials().set_credential(
               user.delegate(pki, world->now(), kProxyLifetime));
         });
-        world->sim().schedule_in(7 * 3600.0, [watcher] { (*watcher)(); });
+        world->sim().schedule_in(7 * 3600.0, [self] { (*self)(); });
       } else {
-        world->sim().schedule_in(1800.0, [watcher] { (*watcher)(); });
+        world->sim().schedule_in(1800.0, [self] { (*self)(); });
       }
     };
     testbed.world().sim().schedule_at(600.0, [watcher] { (*watcher)(); });

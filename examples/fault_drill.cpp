@@ -7,6 +7,9 @@
 #include "condorg/core/broker.h"
 #include "condorg/util/strings.h"
 #include "condorg/workloads/grid_builder.h"
+#ifdef CONDORG_AUDIT
+#include "condorg/core/audit.h"
+#endif
 
 namespace core = condorg::core;
 namespace cw = condorg::workloads;
@@ -24,6 +27,16 @@ int main() {
   core::CondorGAgent agent(testbed.world(), "submit.wisc.edu");
   agent.set_site_chooser(core::make_static_chooser(testbed.gatekeepers()));
   agent.start();
+
+#ifdef CONDORG_AUDIT
+  // Audit aggressively: the drills are exactly the mutations the invariants
+  // are meant to survive.
+  core::StandardAuditor auditor(testbed.world().sim(), /*period=*/64);
+  auditor.attach_agent(agent);
+  for (const auto& site : testbed.sites()) {
+    auditor.attach_gatekeeper(*site->gatekeeper);
+  }
+#endif
 
   std::vector<std::uint64_t> ids;
   for (int i = 0; i < 16; ++i) {
@@ -103,8 +116,12 @@ int main() {
   std::printf("probes sent:               %llu\n",
               static_cast<unsigned long long>(
                   agent.gridmanager().probes_sent()));
-  const bool ok =
+  bool ok =
       completed == static_cast<int>(ids.size()) && executions == ids.size();
+#ifdef CONDORG_AUDIT
+  std::printf("\n%s", auditor.report().c_str());
+  ok = ok && auditor.ok();
+#endif
   std::printf("\n%s\n", ok ? "ALL JOBS RECOVERED, EXACTLY ONCE."
                            : "RECOVERY INCOMPLETE OR DUPLICATED WORK!");
   return ok ? 0 : 1;

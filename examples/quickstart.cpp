@@ -7,6 +7,9 @@
 #include "condorg/core/broker.h"
 #include "condorg/util/strings.h"
 #include "condorg/workloads/grid_builder.h"
+#ifdef CONDORG_AUDIT
+#include "condorg/core/audit.h"
+#endif
 
 namespace core = condorg::core;
 namespace cw = condorg::workloads;
@@ -31,6 +34,14 @@ int main() {
   core::CondorGAgent agent(testbed.world(), "desktop.wisc.edu");
   agent.set_site_chooser(core::make_static_chooser(testbed.gatekeepers()));
   agent.start();
+
+#ifdef CONDORG_AUDIT
+  core::StandardAuditor auditor(testbed.world().sim(), /*period=*/256);
+  auditor.attach_agent(agent);
+  for (const auto& site : testbed.sites()) {
+    auditor.attach_gatekeeper(*site->gatekeeper);
+  }
+#endif
 
   // --- submit 20 jobs exactly as one would to a local queue ---
   std::vector<std::uint64_t> ids;
@@ -75,5 +86,10 @@ int main() {
                 static_cast<unsigned long long>(event.job_id),
                 core::to_string(event.kind), event.detail.c_str());
   }
+
+#ifdef CONDORG_AUDIT
+  std::printf("\n%s", auditor.report().c_str());
+  if (!auditor.ok()) return 2;
+#endif
   return completed == static_cast<int>(ids.size()) ? 0 : 1;
 }

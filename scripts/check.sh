@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full correctness gate: determinism lint, a warnings-as-errors build with
+# the plain test suite, then the same suite under ASan+UBSan (with the
+# invariant auditor compiled into examples/benches). Mirrors what CI runs;
+# use the CMake presets (dev / asan / tsan) for the individual pieces.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== determinism lint =="
+python3 tools/lint/condorg_lint.py --root .
+python3 tools/lint/condorg_lint.py --root . --self-test
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== dev build (warnings are errors) + tests =="
+cmake --preset dev >/dev/null
+cmake --build --preset dev -j "${jobs}"
+ctest --preset dev -j "${jobs}"
+
+echo "== ASan+UBSan build + tests (auditor enabled) =="
+cmake --preset asan >/dev/null
+cmake --build --preset asan -j "${jobs}"
+ctest --preset asan -j "${jobs}"
+
+echo "ALL CHECKS PASSED"

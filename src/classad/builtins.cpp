@@ -4,6 +4,13 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+
+// GCC's -Wmaybe-uninitialized fires inside libstdc++'s <regex> machinery
+// (std::function moves in _State<char>) when ASan instrumentation is on —
+// GCC PR 105562, a false positive in the header, not in this file.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 #include <regex>
 #include <string>
 #include <vector>

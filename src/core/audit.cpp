@@ -1,0 +1,133 @@
+#include "condorg/core/audit.h"
+
+#include <map>
+
+#include "condorg/core/agent.h"
+#include "condorg/core/credential_manager.h"
+#include "condorg/core/gridmanager.h"
+#include "condorg/core/schedd.h"
+#include "condorg/gram/gatekeeper.h"
+#include "condorg/gram/jobmanager.h"
+#include "condorg/sim/simulation.h"
+
+namespace condorg::core {
+
+StandardAuditor::StandardAuditor(sim::Simulation& sim, std::uint64_t period)
+    : sim_(sim) {
+  // The cross-daemon checks close over the attach lists, so daemons can be
+  // attached in any order after construction.
+  auditor_.add_check(
+      "cross/unique-jobmanager", [this](std::vector<std::string>& out) {
+        // callback|tag -> contact of the JobManager already running the job.
+        // The tag alone is not unique across users; qualified by the client
+        // callback address it names exactly one queue entry.
+        std::map<std::string, std::string> owner;
+        for (gram::Gatekeeper* gatekeeper : gatekeepers_) {
+          if (!gatekeeper->options().dedup_submissions) continue;  // A1 mode
+          gatekeeper->for_each_jobmanager([&](const gram::JobManager& jm) {
+            if (!jm.process_alive() || !jm.committed() ||
+                gram::is_terminal(jm.state())) {
+              return;
+            }
+            const std::string key =
+                jm.client_callback().str() + "|" + jm.spec().tag;
+            const auto [it, inserted] = owner.emplace(key, jm.contact());
+            if (!inserted) {
+              out.push_back("job " + jm.spec().tag +
+                            " live in two jobmanagers: " + it->second +
+                            " and " + jm.contact());
+            }
+          });
+        }
+      });
+  auditor_.add_check(
+      "cross/seq-monotonic", [this](std::vector<std::string>& out) {
+        // allocate_seq() persists the bumped allocator before handing a seq
+        // out, so a queue entry at or above the allocator carries a sequence
+        // number that was never allocated.
+        for (GridManager* gridmanager : gridmanagers_) {
+          const std::uint64_t next = gridmanager->gram().next_seq();
+          for (const auto& [id, job] : gridmanager->schedd().jobs()) {
+            if (job.gram_seq != 0 && job.gram_seq >= next) {
+              out.push_back("job " + std::to_string(id) + " carries seq " +
+                            std::to_string(job.gram_seq) +
+                            " but the client allocator is at " +
+                            std::to_string(next));
+            }
+          }
+        }
+      });
+  auditor_.add_check(
+      "cross/record-on-disk", [this](std::vector<std::string>& out) {
+        // A Running grid job's contact must be backed by a JobManager record
+        // on the site front-end's stable storage (persisted before the
+        // submit reply, never deleted) — it is what the §4.2 restart ladder
+        // reattaches to after any front-end crash.
+        for (GridManager* gridmanager : gridmanagers_) {
+          for (const auto& [id, job] : gridmanager->schedd().jobs()) {
+            if (job.desc.universe != Universe::kGrid ||
+                job.status != JobStatus::kRunning ||
+                job.gram_contact.empty()) {
+              continue;
+            }
+            const auto colon = job.gram_contact.rfind(':');
+            const std::string site = colon == std::string::npos
+                                         ? job.gram_contact
+                                         : job.gram_contact.substr(0, colon);
+            for (gram::Gatekeeper* gatekeeper : gatekeepers_) {
+              if (gatekeeper->host().name() != site) continue;
+              if (!gatekeeper->host().disk().contains(
+                      gram::JobManager::record_key(job.gram_contact))) {
+                out.push_back("running job " + std::to_string(id) +
+                              " has no stable record for contact " +
+                              job.gram_contact + " at " + site);
+              }
+            }
+          }
+        }
+      });
+  sim_.attach_auditor(&auditor_, period);
+}
+
+StandardAuditor::~StandardAuditor() {
+  if (sim_.auditor() == &auditor_) sim_.attach_auditor(nullptr);
+}
+
+void StandardAuditor::attach_schedd(Schedd& schedd) {
+  auditor_.add_check("schedd/" + schedd.host().name(),
+                     [&schedd](std::vector<std::string>& out) {
+                       schedd.audit(out);
+                     });
+}
+
+void StandardAuditor::attach_gridmanager(GridManager& gridmanager) {
+  gridmanagers_.push_back(&gridmanager);
+  auditor_.add_check("gridmanager/" + gridmanager.schedd().host().name(),
+                     [&gridmanager](std::vector<std::string>& out) {
+                       gridmanager.audit(out);
+                     });
+}
+
+void StandardAuditor::attach_credential_manager(
+    CredentialManager& credentials) {
+  auditor_.add_check("credentials/#" + std::to_string(auditor_.check_count()),
+                     [&credentials](std::vector<std::string>& out) {
+                       credentials.audit(out);
+                     });
+}
+
+void StandardAuditor::attach_gatekeeper(gram::Gatekeeper& gatekeeper) {
+  gatekeepers_.push_back(&gatekeeper);
+  auditor_.add_check("gatekeeper/" + gatekeeper.host().name(),
+                     [&gatekeeper](std::vector<std::string>& out) {
+                       gatekeeper.audit(out);
+                     });
+}
+
+void StandardAuditor::attach_agent(CondorGAgent& agent) {
+  attach_schedd(agent.schedd());
+  attach_gridmanager(agent.gridmanager());
+  attach_credential_manager(agent.credentials());
+}
+
+}  // namespace condorg::core

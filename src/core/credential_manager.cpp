@@ -64,6 +64,25 @@ void CredentialManager::scan() {
   host_.post(options_.scan_interval, [this] { scan(); });
 }
 
+void CredentialManager::audit(std::vector<std::string>& out) const {
+  if (!started_ || !host_.alive() || !credential_) return;
+  const double overdue = host_.now() - credential_->expires_at();
+  // Two full scan intervals is enough for the loop to have noticed the
+  // expiry and held every live grid job (the hold actually fires
+  // refresh_threshold seconds *before* expiry) or refreshed via MyProxy.
+  if (overdue <= 2 * options_.scan_interval) return;
+  for (const auto& [id, job] : schedd_.jobs()) {
+    if (job.desc.universe != Universe::kGrid) continue;
+    if (job.status == JobStatus::kIdle || job.status == JobStatus::kRunning) {
+      out.push_back("job " + std::to_string(id) + " still " +
+                    (job.status == JobStatus::kIdle ? "idle" : "running") +
+                    " " +
+                    std::to_string(static_cast<long long>(overdue)) +
+                    "s after proxy expiry");
+    }
+  }
+}
+
 void CredentialManager::hold_grid_jobs() {
   bool any = false;
   for (const auto& [id, job] : schedd_.jobs()) {

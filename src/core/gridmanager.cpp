@@ -411,6 +411,58 @@ void GridManager::recover_after_boot() {
   tick();
 }
 
+void GridManager::audit(std::vector<std::string>& out) const {
+  // Conservation, schedd -> gridmanager: every grid job the queue believes
+  // is running at a site must be tracked here (otherwise its callbacks are
+  // dropped and the probe ladder never watches it), unless the host is down
+  // or the daemon has not started managing the queue yet.
+  if (host_.alive() && started_) {
+    for (const auto& [id, job] : schedd_.jobs()) {
+      if (job.desc.universe != Universe::kGrid ||
+          job.status != JobStatus::kRunning || job.gram_contact.empty()) {
+        continue;
+      }
+      const auto tracked = contact_to_job_.find(job.gram_contact);
+      if (tracked == contact_to_job_.end()) {
+        out.push_back("running job " + std::to_string(id) + " contact " +
+                      job.gram_contact + " untracked by the gridmanager");
+      } else if (tracked->second != id) {
+        out.push_back("contact " + job.gram_contact + " of running job " +
+                      std::to_string(id) + " tracked for job " +
+                      std::to_string(tracked->second));
+      }
+    }
+  }
+  // Conservation, gridmanager -> schedd: tracked state must refer to real
+  // queue entries. Stale contact entries for jobs that moved on are part of
+  // the design (late callbacks must be droppable), but entries for unknown
+  // jobs mean the maps and the queue have diverged.
+  for (const auto& [contact, id] : contact_to_job_) {
+    const auto job = schedd_.query(id);
+    if (!job) {
+      out.push_back("contact " + contact + " tracked for unknown job " +
+                    std::to_string(id));
+      continue;
+    }
+    if (job->status == JobStatus::kRunning && !job->gram_contact.empty() &&
+        job->gram_contact != contact &&
+        contact_to_job_.count(job->gram_contact) == 0) {
+      out.push_back("running job " + std::to_string(id) +
+                    " reachable only via stale contact " + contact);
+    }
+  }
+  for (const std::uint64_t id : submitting_) {
+    if (!schedd_.query(id)) {
+      out.push_back("in-flight submit for unknown job " + std::to_string(id));
+    }
+  }
+  for (const std::uint64_t id : probing_) {
+    if (!schedd_.query(id)) {
+      out.push_back("probe loop for unknown job " + std::to_string(id));
+    }
+  }
+}
+
 void GridManager::reforward_credential() {
   for (const auto& [contact, job_id] : contact_to_job_) {
     const auto job = schedd_.query(job_id);

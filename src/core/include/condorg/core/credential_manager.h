@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "condorg/core/gridmanager.h"
 #include "condorg/core/schedd.h"
@@ -50,6 +51,12 @@ class CredentialManager {
 
   /// Start the periodic scan loop.
   void start();
+
+  /// Invariant audit hook (§4.3): once the proxy has been expired for more
+  /// than two scan intervals, no grid job may still be live (Idle/Running) —
+  /// each must have been held, or the proxy refreshed (which replaces the
+  /// credential and clears the condition). Appends one line per violation.
+  void audit(std::vector<std::string>& out) const;
 
   std::uint64_t holds_issued() const { return holds_; }
   std::uint64_t refreshes() const { return refreshes_; }

@@ -81,6 +81,14 @@ class GridManager {
   void reforward_credential();
 
   gram::GramClient& gram() { return gram_; }
+  const gram::GramClient& gram() const { return gram_; }
+  Schedd& schedd() { return schedd_; }
+  const Schedd& schedd() const { return schedd_; }
+
+  /// Invariant audit hook: queue-count conservation between the Schedd's
+  /// view (Running grid jobs) and this daemon's contact tracking, plus
+  /// bookkeeping-set sanity. Appends one line per violation.
+  void audit(std::vector<std::string>& out) const;
 
   // --- statistics for benches ---
   std::uint64_t submissions() const { return submissions_; }

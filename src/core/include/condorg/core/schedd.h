@@ -30,6 +30,7 @@ class Schedd {
   Schedd& operator=(const Schedd&) = delete;
 
   sim::Host& host() { return host_; }
+  const sim::Host& host() const { return host_; }
   UserLog& log() { return log_; }
   const UserLog& log() const { return log_; }
 
@@ -62,6 +63,12 @@ class Schedd {
   std::size_t count(JobStatus status) const;
   bool all_terminal() const;
   std::size_t active_count() const;  // idle + running + held
+
+  /// Invariant audit hook (see sim::InvariantAuditor): appends one line per
+  /// violated queue invariant — duplicate live GRAM sequence numbers,
+  /// incoherent status bookkeeping, a job id at or past the persisted
+  /// allocator. Appending nothing means the queue is sound.
+  void audit(std::vector<std::string>& out) const;
 
   /// Fires after every queue mutation (submit or state change).
   void add_queue_listener(std::function<void(const Job&)> listener);

@@ -207,6 +207,57 @@ std::size_t Schedd::active_count() const {
          count(JobStatus::kRemoved);
 }
 
+void Schedd::audit(std::vector<std::string>& out) const {
+  std::map<std::uint64_t, std::uint64_t> seq_owner;  // gram_seq -> job id
+  for (const auto& [id, job] : jobs_) {
+    if (job.id != id) {
+      out.push_back("job " + std::to_string(id) + " stored under wrong key");
+    }
+    if (id >= next_id_) {
+      out.push_back("job " + std::to_string(id) +
+                    " at or past the persisted id allocator (" +
+                    std::to_string(next_id_) + ")");
+    }
+    // Exactly-once bedrock: a live sequence number names one job, ever.
+    // Completed/removed jobs keep their seq for the log, but two *live* jobs
+    // sharing one means a re-driven submission could adopt another job's
+    // JobManager.
+    const bool live = job.status == JobStatus::kIdle ||
+                      job.status == JobStatus::kRunning ||
+                      job.status == JobStatus::kHeld;
+    if (live && job.gram_seq != 0) {
+      const auto [it, inserted] = seq_owner.emplace(job.gram_seq, id);
+      if (!inserted) {
+        out.push_back("gram_seq " + std::to_string(job.gram_seq) +
+                      " shared by live jobs " + std::to_string(it->second) +
+                      " and " + std::to_string(id));
+      }
+    }
+    if (job.desc.universe == Universe::kGrid &&
+        job.status == JobStatus::kRunning && job.gram_seq == 0) {
+      out.push_back("job " + std::to_string(id) +
+                    " running at a site without an allocated gram_seq");
+    }
+    if (!job.gram_contact.empty() && job.gram_seq == 0 &&
+        job.status != JobStatus::kCompleted &&
+        job.status != JobStatus::kRemoved) {
+      out.push_back("job " + std::to_string(id) +
+                    " holds contact " + job.gram_contact + " without a seq");
+    }
+    if (job.status == JobStatus::kHeld && job.hold_reason.empty()) {
+      out.push_back("job " + std::to_string(id) + " held with no reason");
+    }
+    if (job.first_execute_time >= 0 &&
+        job.first_execute_time < job.submit_time) {
+      out.push_back("job " + std::to_string(id) + " executed before submit");
+    }
+    if (job.status == JobStatus::kCompleted &&
+        job.completion_time < job.submit_time) {
+      out.push_back("job " + std::to_string(id) + " completed before submit");
+    }
+  }
+}
+
 void Schedd::add_queue_listener(std::function<void(const Job&)> listener) {
   listeners_.push_back(std::move(listener));
 }

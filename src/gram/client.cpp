@@ -41,6 +41,12 @@ std::uint64_t GramClient::allocate_seq() {
   return seq;
 }
 
+std::uint64_t GramClient::next_seq() const {
+  const std::string key = "gram.client/" + client_id_ + "/next_seq";
+  if (const auto stored = host_.disk().get(key)) return std::stoull(*stored);
+  return 1;
+}
+
 std::optional<std::string> GramClient::contact_for_seq(
     std::uint64_t seq) const {
   return host_.disk().get(seq_contact_key(seq));

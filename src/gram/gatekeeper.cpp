@@ -60,6 +60,35 @@ bool Gatekeeper::kill_jobmanager(const std::string& contact) {
   return true;
 }
 
+void Gatekeeper::audit(std::vector<std::string>& out) const {
+  // callback|tag -> contact of the live JobManager already running that job.
+  std::map<std::string, std::string> job_owner;
+  for (const auto& [contact, jm] : jobmanagers_) {
+    if (contact != jm->contact()) {
+      out.push_back("jobmanager for " + jm->contact() +
+                    " registered under contact " + contact);
+    }
+    if (!jm->process_alive()) continue;
+    jm->audit(out);
+    // Exactly-once, resource side: once dedup is on, a retransmitted submit
+    // maps to the existing JobManager, so two live committed non-terminal
+    // JobManagers for one client job mean the job is running twice.
+    // Uncommitted JobManagers never start the job and the A1 ablation
+    // (dedup off) duplicates by design, so both are exempt.
+    if (!options_.dedup_submissions || !jm->committed() ||
+        is_terminal(jm->state())) {
+      continue;
+    }
+    const std::string key =
+        jm->client_callback().str() + "|" + jm->spec().tag;
+    const auto [it, inserted] = job_owner.emplace(key, contact);
+    if (!inserted) {
+      out.push_back("job " + jm->spec().tag + " live in two jobmanagers: " +
+                    it->second + " and " + contact);
+    }
+  }
+}
+
 void Gatekeeper::on_message(const sim::Message& message) {
   sim::Payload reply;
   reply.set_bool("ok", false);

@@ -57,6 +57,11 @@ class GramClient {
   /// first send is what makes crash-recovery dedup work.
   std::uint64_t allocate_seq();
 
+  /// The next sequence number allocate_seq() would hand out (read-only;
+  /// every seq ever allocated by this client is strictly below it). Used by
+  /// the invariant auditor to check seq monotonicity.
+  std::uint64_t next_seq() const;
+
   /// Contact recorded for a sequence number (if the submit got that far).
   std::optional<std::string> contact_for_seq(std::uint64_t seq) const;
 

@@ -10,9 +10,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "condorg/batch/local_scheduler.h"
 #include "condorg/gram/jobmanager.h"
@@ -45,7 +47,9 @@ class Gatekeeper {
 
   sim::Address address() const { return {host_.name(), kGatekeeperService}; }
   sim::Host& host() { return host_; }
+  const sim::Host& host() const { return host_; }
   batch::LocalScheduler& scheduler() { return scheduler_; }
+  const GatekeeperOptions& options() const { return options_; }
 
   /// The JobManager for a contact, if one is currently running.
   JobManager* find_jobmanager(const std::string& contact);
@@ -53,6 +57,19 @@ class Gatekeeper {
   /// Kill one JobManager process (failure type F1) without touching the
   /// host, the local job, or stable storage.
   bool kill_jobmanager(const std::string& contact);
+
+  /// Visit every JobManager this gatekeeper manages, in contact order
+  /// (read-only; used by cross-site auditing).
+  void for_each_jobmanager(
+      const std::function<void(const JobManager&)>& visit) const {
+    for (const auto& [contact, jm] : jobmanagers_) visit(*jm);
+  }
+
+  /// Invariant audit hook: audits every live JobManager, checks each is
+  /// registered under its own contact, and — with two-phase dedup on — that
+  /// no client job (callback + tag) is being run by two live JobManagers at
+  /// this site at once. Appends one line per violation.
+  void audit(std::vector<std::string>& out) const;
 
   std::size_t jobmanager_count() const { return jobmanagers_.size(); }
   std::uint64_t submissions_accepted() const { return accepted_; }

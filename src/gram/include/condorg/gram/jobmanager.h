@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "condorg/batch/local_scheduler.h"
 #include "condorg/gass/client.h"
@@ -46,9 +47,19 @@ class JobManager {
 
   const std::string& contact() const { return contact_; }
   GramJobState state() const { return state_; }
+  const GramJobSpec& spec() const { return spec_; }
+  const sim::Address& client_callback() const { return client_callback_; }
+  bool committed() const { return committed_; }
+  std::uint64_t local_job_id() const { return local_job_id_; }
   sim::Address address() const {
     return {host_.name(), jobmanager_service(contact_)};
   }
+
+  /// Invariant audit hook: the in-memory state machine must agree with the
+  /// stable-storage record it claims to have persisted (commit-before-run,
+  /// a local job behind every PENDING/ACTIVE state). Appends one line per
+  /// violation; no-op for a dead process, whose record is the only truth.
+  void audit(std::vector<std::string>& out) const;
 
   /// Simulate a crash of just this JobManager process (failure type F1):
   /// its service handler disappears but the host, the Gatekeeper, and the

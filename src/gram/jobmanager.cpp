@@ -142,6 +142,38 @@ void JobManager::load_record() {
   streamed_chunks_ = record.get_uint("streamed_chunks");
 }
 
+void JobManager::audit(std::vector<std::string>& out) const {
+  if (!process_alive_) return;
+  if (!committed_ && state_ != GramJobState::kUnsubmitted) {
+    out.push_back(contact_ + " reached " + to_string(state_) +
+                  " without a commit");
+  }
+  if ((state_ == GramJobState::kPending || state_ == GramJobState::kActive) &&
+      local_job_id_ == 0) {
+    out.push_back(contact_ + " is " + to_string(state_) +
+                  " with no local scheduler job");
+  }
+  // The record on stable storage is what a post-crash replacement would be
+  // rebuilt from; if it lags the in-memory state, recovery would silently
+  // rewind the job.
+  const auto text = host_.disk().get(record_key(contact_));
+  if (!text) {
+    out.push_back(contact_ + " has no stable-storage record");
+    return;
+  }
+  const sim::Payload record = sim::Payload::deserialize(*text);
+  if (record.get("state") != to_string(state_)) {
+    out.push_back(contact_ + " persisted state " + record.get("state") +
+                  " but is " + to_string(state_));
+  }
+  if (record.get_bool("committed") != committed_) {
+    out.push_back(contact_ + " commit flag not persisted");
+  }
+  if (record.get_uint("local_job_id") != local_job_id_) {
+    out.push_back(contact_ + " local job id not persisted");
+  }
+}
+
 void JobManager::on_message(const sim::Message& message) {
   if (!process_alive_) return;
   sim::Payload reply;

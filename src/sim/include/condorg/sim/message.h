@@ -40,7 +40,10 @@ class Payload {
     fields_[key] = util::format("%.17g", value);
   }
   void set_bool(const std::string& key, bool value) {
-    fields_[key] = value ? "1" : "0";
+    // Delegating to set() keeps the assignment on the std::string move path;
+    // the const char* operator= path trips GCC 12's -Wrestrict false
+    // positive (PR105329) once inlined into message handlers.
+    set(key, value ? "1" : "0");
   }
 
   bool has(const std::string& key) const { return fields_.count(key) > 0; }

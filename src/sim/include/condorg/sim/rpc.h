@@ -9,8 +9,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
-#include <unordered_map>
 
 #include "condorg/sim/host.h"
 #include "condorg/sim/message.h"
@@ -58,7 +58,9 @@ class RpcClient {
   Network& network_;
   std::string service_;
   std::uint64_t next_id_ = 1;
-  std::unordered_map<std::uint64_t, Pending> pending_;
+  // Ordered by call id so crash/destructor sweeps run in issue order — an
+  // unordered map here leaks iteration order into the event queue.
+  std::map<std::uint64_t, Pending> pending_;
   int crash_listener_ = 0;
   int boot_id_ = 0;
 };

@@ -19,6 +19,8 @@
 
 namespace condorg::sim {
 
+class InvariantAuditor;
+
 class Simulation {
  public:
   explicit Simulation(std::uint64_t seed = 1);
@@ -28,12 +30,19 @@ class Simulation {
 
   Time now() const { return now_; }
 
-  /// Schedule a callback at an absolute time (>= now).
+  /// Schedule a callback at an absolute time (>= now). Events with equal
+  /// timestamps dispatch in FIFO (scheduling) order — this tie-break is part
+  /// of the kernel's contract and is pinned by tests: protocol layers rely
+  /// on "schedule A then B at time t => A runs before B".
   EventId schedule_at(Time when, std::function<void()> fn);
 
   /// Schedule a callback after a delay (>= 0).
   EventId schedule_in(Time delay, std::function<void()> fn) {
-    return schedule_at(now_ + delay, fn ? std::move(fn) : nullptr);
+    // Pass through untouched: schedule_at rejects null callbacks, and
+    // conditionally moving here (`fn ? std::move(fn) : nullptr`) reads fn's
+    // state in one operand while the other moves it out — the moved-from
+    // pattern the determinism lint exists to keep out of the kernel.
+    return schedule_at(now_ + delay, std::move(fn));
   }
 
   /// Cancel a pending event. Returns true if the event was still pending.
@@ -60,10 +69,25 @@ class Simulation {
   /// Deterministic per-component stream derived from the master seed.
   util::Rng make_rng(std::string_view label) const { return rng_.split(label); }
 
+  /// Rolling FNV-1a hash over every dispatched (time, id) pair — a digest of
+  /// the run's event order. Two runs of the same scenario from the same seed
+  /// must produce identical digests; a mismatch is the determinism
+  /// self-check's proof that hidden state (wall clock, unordered iteration,
+  /// ambient RNG) leaked into scheduling.
+  std::uint64_t trace_digest() const { return trace_digest_; }
+
+  /// Attach an invariant auditor: dispatch runs its checks between events,
+  /// every `period` dispatches (the world is quiescent there — no callback
+  /// is mid-flight). Pass nullptr to detach. The auditor must outlive the
+  /// attachment.
+  void attach_auditor(InvariantAuditor* auditor, std::uint64_t period = 1024);
+  InvariantAuditor* auditor() const { return auditor_; }
+
  private:
   struct QueuedEvent {
     Time when;
-    EventId id;  // also the tiebreaker: FIFO among same-time events
+    EventId id;  // also the tiebreaker: FIFO among same-time events, since
+                 // ids are allocated in scheduling order and never reused
     bool operator>(const QueuedEvent& other) const {
       if (when != other.when) return when > other.when;
       return id > other.id;
@@ -81,6 +105,9 @@ class Simulation {
       queue_;
   std::unordered_map<EventId, std::function<void()>> handlers_;
   util::Rng rng_;
+  std::uint64_t trace_digest_ = 14695981039346656037ull;  // FNV-1a basis
+  InvariantAuditor* auditor_ = nullptr;
+  std::uint64_t audit_period_ = 1024;
 };
 
 }  // namespace condorg::sim

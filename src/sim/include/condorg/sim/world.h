@@ -2,9 +2,9 @@
 // experiment. Owns all hosts; services and agents hold references.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "condorg/sim/host.h"
@@ -38,7 +38,9 @@ class World {
 
  private:
   Simulation sim_;
-  std::unordered_map<std::string, std::unique_ptr<Host>> hosts_;
+  // Ordered by name so host_names() — which seeds brokers and experiment
+  // loops — enumerates identically on every run.
+  std::map<std::string, std::unique_ptr<Host>> hosts_;
   Network net_;
 };
 

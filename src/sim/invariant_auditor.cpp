@@ -1,0 +1,56 @@
+#include "condorg/sim/invariant_auditor.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "condorg/util/strings.h"
+
+namespace condorg::sim {
+
+void InvariantAuditor::add_check(std::string name, Check check) {
+  if (!check) throw std::invalid_argument("add_check: null check");
+  checks_.push_back(NamedCheck{std::move(name), std::move(check)});
+}
+
+std::size_t InvariantAuditor::run(Time now) {
+  ++audits_;
+  std::size_t found = 0;
+  std::vector<std::string> out;
+  for (const NamedCheck& named : checks_) {
+    out.clear();
+    named.check(out);
+    for (std::string& detail : out) {
+      ++found;
+      if (fail_fast_) {
+        throw std::logic_error("invariant violated at t=" +
+                               std::to_string(now) + " [" + named.name +
+                               "]: " + detail);
+      }
+      if (violations_.size() < kMaxRecorded) {
+        violations_.push_back(
+            AuditViolation{now, named.name, std::move(detail)});
+      }
+    }
+  }
+  return found;
+}
+
+std::string InvariantAuditor::report() const {
+  std::string text = util::format(
+      "invariant auditor: %llu audit pass(es), %zu check(s), %zu "
+      "violation(s)\n",
+      static_cast<unsigned long long>(audits_), checks_.size(),
+      violations_.size());
+  std::size_t shown = 0;
+  for (const AuditViolation& v : violations_) {
+    if (++shown > 16) {
+      text += util::format("  ... %zu more\n", violations_.size() - 16);
+      break;
+    }
+    text += util::format("  t=%.3f [%s] %s\n", v.when, v.check.c_str(),
+                         v.detail.c_str());
+  }
+  return text;
+}
+
+}  // namespace condorg::sim

@@ -1,11 +1,31 @@
 #include "condorg/sim/simulation.h"
 
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 
+#include "condorg/sim/invariant_auditor.h"
+
 namespace condorg::sim {
+namespace {
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a_mix(std::uint64_t digest, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    digest ^= (value >> (byte * 8)) & 0xff;
+    digest *= kFnvPrime;
+  }
+  return digest;
+}
+}  // namespace
 
 Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+
+void Simulation::attach_auditor(InvariantAuditor* auditor,
+                                std::uint64_t period) {
+  auditor_ = auditor;
+  audit_period_ = period > 0 ? period : 1;
+}
 
 EventId Simulation::schedule_at(Time when, std::function<void()> fn) {
   if (!fn) throw std::invalid_argument("schedule_at: null callback");
@@ -27,7 +47,16 @@ void Simulation::dispatch(const QueuedEvent& ev) {
   handlers_.erase(it);
   now_ = ev.when;
   ++dispatched_;
+  std::uint64_t when_bits = 0;
+  static_assert(sizeof(when_bits) == sizeof(ev.when));
+  std::memcpy(&when_bits, &ev.when, sizeof(when_bits));
+  trace_digest_ = fnv1a_mix(fnv1a_mix(trace_digest_, when_bits), ev.id);
   fn();
+  // Audit after the callback returns: between events every daemon's state is
+  // quiescent, so cross-daemon invariants are meaningful.
+  if (auditor_ != nullptr && dispatched_ % audit_period_ == 0) {
+    auditor_->run(now_);
+  }
 }
 
 void Simulation::run() {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "condorg/sim/failure.h"
+#include "condorg/sim/invariant_auditor.h"
 #include "condorg/sim/rpc.h"
 #include "condorg/sim/world.h"
 
@@ -89,6 +90,116 @@ TEST(Simulation, PastSchedulingClampsToNow) {
 TEST(Simulation, NullCallbackThrows) {
   cs::Simulation sim;
   EXPECT_THROW(sim.schedule_at(1.0, nullptr), std::invalid_argument);
+}
+
+TEST(Simulation, CancelFromEarlierEventPreventsDispatch) {
+  cs::Simulation sim;
+  bool fired = false;
+  const auto id = sim.schedule_at(2.0, [&] { fired = true; });
+  sim.schedule_at(1.0, [&] { EXPECT_TRUE(sim.cancel(id)); });
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CancelMiddleOfSameTimeBatchKeepsFifo) {
+  cs::Simulation sim;
+  std::vector<char> order;
+  sim.schedule_at(1.0, [&] { order.push_back('a'); });
+  const auto b = sim.schedule_at(1.0, [&] { order.push_back('b'); });
+  sim.schedule_at(1.0, [&] { order.push_back('c'); });
+  EXPECT_TRUE(sim.cancel(b));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<char>{'a', 'c'}));
+}
+
+TEST(Simulation, CancelUnknownIdIsFalse) {
+  cs::Simulation sim;
+  EXPECT_FALSE(sim.cancel(123456));
+}
+
+// ---------- Trace digest (determinism self-check) ----------
+
+TEST(Simulation, TraceDigestIsReproducible) {
+  const auto run_one = [] {
+    cs::Simulation sim;
+    for (int i = 0; i < 5; ++i) {
+      sim.schedule_at(1.0 + i, [] {});
+    }
+    sim.run();
+    return sim.trace_digest();
+  };
+  EXPECT_EQ(run_one(), run_one());
+}
+
+TEST(Simulation, TraceDigestDistinguishesSchedules) {
+  cs::Simulation a;
+  a.schedule_at(1.0, [] {});
+  a.schedule_at(2.0, [] {});
+  a.run();
+  cs::Simulation b;
+  b.schedule_at(2.0, [] {});
+  b.schedule_at(1.0, [] {});  // same dispatch times, different event ids
+  b.run();
+  EXPECT_NE(a.trace_digest(), b.trace_digest());
+}
+
+TEST(Simulation, CancelledEventsLeaveNoDigestMark) {
+  cs::Simulation a;
+  a.schedule_at(1.0, [] {});
+  a.run();
+  cs::Simulation b;
+  b.schedule_at(1.0, [] {});
+  const auto ghost = b.schedule_at(2.0, [] {});
+  b.cancel(ghost);
+  b.run();
+  EXPECT_EQ(a.trace_digest(), b.trace_digest());
+}
+
+// ---------- InvariantAuditor engine ----------
+
+TEST(InvariantAuditor, RecordsViolationsWithTimeAndCheckName) {
+  cs::InvariantAuditor auditor;
+  int calls = 0;
+  auditor.add_check("counts", [&calls](std::vector<std::string>& out) {
+    if (++calls >= 2) out.push_back("boom");
+  });
+  EXPECT_EQ(auditor.run(1.0), 0u);
+  EXPECT_TRUE(auditor.ok());
+  EXPECT_EQ(auditor.run(2.0), 1u);
+  EXPECT_FALSE(auditor.ok());
+  ASSERT_EQ(auditor.violations().size(), 1u);
+  EXPECT_EQ(auditor.violations()[0].check, "counts");
+  EXPECT_DOUBLE_EQ(auditor.violations()[0].when, 2.0);
+  EXPECT_EQ(auditor.audits_run(), 2u);
+  EXPECT_NE(auditor.report().find("boom"), std::string::npos);
+}
+
+TEST(InvariantAuditor, NullCheckRejected) {
+  cs::InvariantAuditor auditor;
+  EXPECT_THROW(auditor.add_check("x", nullptr), std::invalid_argument);
+}
+
+TEST(InvariantAuditor, FailFastThrowsOnFirstViolation) {
+  cs::InvariantAuditor auditor;
+  auditor.add_check("always", [](std::vector<std::string>& out) {
+    out.push_back("broken");
+  });
+  auditor.set_fail_fast(true);
+  EXPECT_THROW(auditor.run(5.0), std::logic_error);
+}
+
+TEST(Simulation, AttachedAuditorRunsEveryPeriodEvents) {
+  cs::Simulation sim;
+  cs::InvariantAuditor auditor;
+  auditor.add_check("noop", [](std::vector<std::string>&) {});
+  sim.attach_auditor(&auditor, 2);
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(1.0 + i, [] {});
+  }
+  sim.run();
+  EXPECT_EQ(auditor.audits_run(), 5u);
+  sim.attach_auditor(nullptr);
+  EXPECT_EQ(sim.auditor(), nullptr);
 }
 
 // ---------- Host ----------

@@ -1,0 +1,366 @@
+#!/usr/bin/env python3
+"""Determinism / correctness lint for the Condor-G reproduction.
+
+Every run of the simulation must be exactly reproducible from its seed:
+protocol timeouts, crash schedules, and brokering decisions are all events in
+one deterministic queue (src/sim/simulation.h). This lint scans sim-visible
+code (everything under src/) for constructs that historically break that
+guarantee or the paper's exactly-once protocol:
+
+  banned-rand            std::rand / srand / std::random_device — all
+                         randomness must come from util::Rng streams derived
+                         from the run seed.
+  wall-clock             system_clock / steady_clock / time(...) /
+                         gettimeofday / localtime — simulated daemons must use
+                         sim::Simulation::now(), never the host clock.
+  unordered-iteration    range-for over a variable declared as
+                         std::unordered_map / std::unordered_set — iteration
+                         order is implementation-defined and leaks
+                         nondeterminism into event scheduling and protocol
+                         message order. Iterate a std::map/std::set or a
+                         sorted copy instead.
+  virtual-in-derived     `virtual` on a member function of a class that has a
+                         base-clause — overrides must say `override` (the
+                         compiler backstop is -Wsuggest-override); a derived
+                         class introducing a brand-new virtual is rare enough
+                         to deserve an explicit allow.
+  unchecked-function-call invoking a declared std::function object in a file
+                         that never null-checks it — moved-from or
+                         default-constructed std::function invocation is UB
+                         (std::bad_function_call at best).
+
+Suppressions, in order of preference:
+  1. Fix the code.
+  2. Inline, for a single audited line:   // lint-allow(<rule>): <why>
+     (on the offending line or the line directly above it)
+  3. File-level, in tools/lint/allowlist.txt:   <relpath>:<rule>  # why
+     for rules that are structurally fine in that one file.
+
+Exit status: 0 = clean, 1 = unallowlisted violations, 2 = usage error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SRC_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+
+# ---------------------------------------------------------------------------
+# Simple single-line rules: (rule, regex, message)
+# ---------------------------------------------------------------------------
+LINE_RULES = [
+    (
+        "banned-rand",
+        re.compile(r"\b(std::rand\b|std::srand\b|(?<![:\w])s?rand\s*\(|"
+                   r"random_device\b|mt19937\b|default_random_engine\b)"),
+        "use util::Rng streams seeded from the run seed, not ambient RNGs",
+    ),
+    (
+        "wall-clock",
+        re.compile(r"\b(system_clock|steady_clock|high_resolution_clock|"
+                   r"gettimeofday|clock_gettime|timespec_get|"
+                   r"localtime|gmtime|mktime|strftime|"
+                   r"(?<![:\w.>])time\s*\(\s*(?:nullptr|NULL|0|&)|"
+                   r"(?<![:\w.>])clock\s*\(\s*\))"),
+        "simulated code must read sim::Simulation::now(), not the host clock",
+    ),
+]
+
+DECL_UNORDERED = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<")
+# `name` of a variable/member declared on a line that mentions an unordered
+# container: last identifier before `;`, `=`, `{`, or `(`.
+DECL_NAME = re.compile(r"([A-Za-z_]\w*)\s*(?:;|=|\{|\()")
+RANGE_FOR = re.compile(r"\bfor\s*\(.*?:\s*\*?\s*(?:this->)?([A-Za-z_][\w.>-]*)\s*\)")
+
+CLASS_DERIVED = re.compile(
+    r"\b(?:class|struct)\s+[A-Za-z_]\w*\s*(?:final\s*)?:\s*(?:virtual\s+)?"
+    r"(?:public|protected|private)\b")
+CLASS_ANY = re.compile(r"\b(?:class|struct)\s+[A-Za-z_]\w*")
+VIRTUAL_DECL = re.compile(r"^\s*virtual\b")
+
+DECL_FUNCTION_OBJ = re.compile(
+    r"\bstd::function\s*<[^;]*>\s+([A-Za-z_]\w*)\s*[;={(]")
+ALLOW_INLINE = re.compile(r"lint-allow\(([\w,-]+)\)")
+
+COMMENT_LINE = re.compile(r"^\s*(//|\*|/\*)")
+STRING_LITERAL = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+class Violation:
+    def __init__(self, path, line_no, rule, message):
+        self.path = path
+        self.line_no = line_no
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line_no}: [{self.rule}] {self.message}"
+
+
+def strip_noise(line):
+    """Drop string literals and trailing // comments before matching."""
+    line = STRING_LITERAL.sub('""', line)
+    cut = line.find("//")
+    if cut != -1:
+        line = line[:cut]
+    return line
+
+
+def inline_allows(lines, idx):
+    """Rules allowed for line idx (0-based) via lint-allow on it or above."""
+    allowed = set()
+    for probe in (idx, idx - 1):
+        if 0 <= probe < len(lines):
+            m = ALLOW_INLINE.search(lines[probe])
+            if m:
+                allowed.update(r.strip() for r in m.group(1).split(","))
+    return allowed
+
+
+INCLUDE_PROJECT = re.compile(r'#include\s+"(condorg/[\w/.]+)"')
+
+
+def _project_header_decls(root, lines, cache):
+    """Names of unordered containers / std::function objects declared in the
+    project headers a file includes — so a .cpp iterating a member declared
+    in its own header is still caught."""
+    unordered, functions = set(), set()
+    for line in lines:
+        m = INCLUDE_PROJECT.search(line)
+        if not m:
+            continue
+        header = m.group(1)
+        if header not in cache:
+            names = (set(), set())
+            for module in sorted(os.listdir(os.path.join(root, "src"))):
+                candidate = os.path.join(root, "src", module, "include",
+                                         header)
+                if os.path.isfile(candidate):
+                    with open(candidate, encoding="utf-8",
+                              errors="replace") as fh:
+                        names = _collect_decls(fh.read().splitlines())
+                    break
+            cache[header] = names
+        unordered.update(cache[header][0])
+        functions.update(cache[header][1])
+    return unordered, functions
+
+
+def _collect_decls(lines):
+    unordered_names, function_names = set(), set()
+    for line in lines:
+        if COMMENT_LINE.match(line):
+            continue
+        bare = strip_noise(line)
+        if DECL_UNORDERED.search(bare):
+            tail = bare[DECL_UNORDERED.search(bare).start():]
+            m = DECL_NAME.search(_skip_template(tail))
+            if m:
+                unordered_names.add(m.group(1))
+        m = DECL_FUNCTION_OBJ.search(bare)
+        if m:
+            function_names.add(m.group(1))
+    return unordered_names, function_names
+
+
+def lint_file(path, rel, file_allows, root, header_cache):
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        lines = fh.read().splitlines()
+
+    violations = []
+
+    def report(idx, rule, message):
+        if rule in file_allows:
+            return
+        if rule in inline_allows(lines, idx):
+            return
+        violations.append(Violation(rel, idx + 1, rule, message))
+
+    # Pass 1: collect names of unordered containers and std::function objects
+    # declared in this file (members and locals alike) or in the project
+    # headers it includes.
+    unordered_names, function_names = _collect_decls(lines)
+    header_unordered, _header_functions = _project_header_decls(
+        root, lines, header_cache)
+    unordered_names |= header_unordered
+    # Header-declared std::function members are deliberately NOT pulled into
+    # the unchecked-call rule: the declaring file already owns that audit and
+    # cross-file flow analysis from a line-based lint would be all noise.
+
+    # A single null-check anywhere in the file is accepted as evidence the
+    # author thought about emptiness; the rule targets files that invoke
+    # std::function objects with no check at all.
+    joined = "\n".join(strip_noise(l) for l in lines)
+    checked_functions = set()
+    for name in function_names:
+        if re.search(
+                rf"(\bif\s*\(\s*!?\s*(?:\w+(?:\.|->))?{name}\b)|"
+                rf"(\b{name}\s*(?:\?|==|!=))|(assert\s*\(\s*{name}\b)|"
+                rf"(!\s*{name}\b)",
+                joined):
+            checked_functions.add(name)
+
+    # Pass 2: line rules + context-sensitive rules.
+    in_derived_class = False
+    brace_depth = 0
+    class_depth_stack = []
+    for idx, raw in enumerate(lines):
+        if COMMENT_LINE.match(raw):
+            continue
+        line = strip_noise(raw)
+
+        for rule, pattern, message in LINE_RULES:
+            if pattern.search(line):
+                report(idx, rule, message)
+
+        m = RANGE_FOR.search(line)
+        if m and m.group(1).split(".")[0].split("->")[0] in unordered_names:
+            report(idx, "unordered-iteration",
+                   f"range-for over unordered container '{m.group(1)}'; "
+                   "iteration order is nondeterministic")
+
+        if CLASS_DERIVED.search(line):
+            class_depth_stack.append(brace_depth)
+            in_derived_class = True
+        brace_depth += line.count("{") - line.count("}")
+        if class_depth_stack and brace_depth <= class_depth_stack[-1]:
+            class_depth_stack.pop()
+            in_derived_class = bool(class_depth_stack)
+
+        if in_derived_class and VIRTUAL_DECL.search(line) \
+                and "override" not in line and "final" not in line:
+            report(idx, "virtual-in-derived",
+                   "derived-class member uses 'virtual'; say 'override' "
+                   "(or lint-allow a genuinely new virtual)")
+
+        for name in function_names:
+            if name in checked_functions:
+                continue
+            # Direct invocation `name(...)` that is not the declaration.
+            if re.search(rf"(?<![\w.>]){name}\s*\(", line) \
+                    and not DECL_FUNCTION_OBJ.search(line) \
+                    and "std::function" not in line:
+                report(idx, "unchecked-function-call",
+                       f"std::function '{name}' invoked but never "
+                       "null-checked in this file")
+
+    return violations
+
+
+def _skip_template(text):
+    """Return text after the matching '>' of the leading 'std::unordered_x<'."""
+    depth = 0
+    for i, ch in enumerate(text):
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            depth -= 1
+            if depth == 0:
+                return text[i + 1:]
+    return text
+
+
+def load_allowlist(path):
+    """Map relpath -> set of allowed rules."""
+    allows = {}
+    if not os.path.exists(path):
+        return allows
+    with open(path, encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            if ":" not in line:
+                print(f"allowlist: malformed entry (need path:rule): {line}",
+                      file=sys.stderr)
+                sys.exit(2)
+            rel, rule = line.rsplit(":", 1)
+            allows.setdefault(rel.strip(), set()).add(rule.strip())
+    return allows
+
+
+def self_test(root):
+    """Lint the bundled fixture and require one hit per rule — guards the
+    rules themselves against regressions."""
+    fixture = os.path.join(root, "tools", "lint", "testdata",
+                           "violations.cpp")
+    found = lint_file(fixture, os.path.relpath(fixture, root), set(), root,
+                      {})
+    got = sorted({v.rule for v in found})
+    want = sorted(["banned-rand", "wall-clock", "unordered-iteration",
+                   "virtual-in-derived", "unchecked-function-call"])
+    ok = got == want
+    # The inline-allowed std::rand at the bottom must NOT be reported twice.
+    rand_hits = sum(1 for v in found if v.rule == "banned-rand")
+    ok = ok and rand_hits == 1
+    if not ok:
+        print(f"condorg_lint self-test FAILED: rules hit {got}, "
+              f"wanted {want}; banned-rand hits {rand_hits} (want 1)")
+        for v in found:
+            print(f"  {v}")
+        return 1
+    print("condorg_lint self-test passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (contains src/ and tools/)")
+    parser.add_argument("--allowlist", default=None,
+                        help="override allowlist path "
+                             "(default: tools/lint/allowlist.txt under root)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="lint the bundled fixture and check every rule "
+                             "fires")
+    parser.add_argument("paths", nargs="*",
+                        help="restrict the scan to these files/dirs "
+                             "(default: src/)")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test(os.path.abspath(args.root))
+
+    root = os.path.abspath(args.root)
+    allowlist_path = args.allowlist or os.path.join(root, "tools", "lint",
+                                                    "allowlist.txt")
+    allows = load_allowlist(allowlist_path)
+
+    scan_roots = args.paths or [os.path.join(root, "src")]
+    files = []
+    for scan in scan_roots:
+        scan = os.path.join(root, scan) if not os.path.isabs(scan) else scan
+        if os.path.isfile(scan):
+            files.append(scan)
+            continue
+        for dirpath, _, names in os.walk(scan):
+            for name in sorted(names):
+                if name.endswith(SRC_EXTENSIONS):
+                    files.append(os.path.join(dirpath, name))
+    files.sort()
+    if not files:
+        print("condorg_lint: no source files found", file=sys.stderr)
+        return 2
+
+    violations = []
+    header_cache = {}
+    for path in files:
+        rel = os.path.relpath(path, root)
+        violations.extend(
+            lint_file(path, rel, allows.get(rel, set()), root, header_cache))
+
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"\ncondorg_lint: {len(violations)} violation(s) in "
+              f"{len(files)} files — fix, lint-allow with a reason, or "
+              f"allowlist in {os.path.relpath(allowlist_path, root)}")
+        return 1
+    print(f"condorg_lint: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+// Fixture for condorg_lint.py --self-test: every block below must trip
+// exactly the rule named in the comment. This file is never compiled.
+#include <cstdlib>
+#include <ctime>
+#include <functional>
+#include <unordered_map>
+
+// banned-rand
+int noisy() { return std::rand(); }                    // banned-rand
+// wall-clock
+long stamp() { return time(nullptr); }                 // wall-clock
+
+struct Table {
+  std::unordered_map<int, int> cells_;
+  int sum() const {
+    int total = 0;
+    for (const auto& [k, v] : cells_) total += v;      // unordered-iteration
+    return total;
+  }
+};
+
+struct Base {
+  virtual ~Base() = default;
+  virtual void poke();                                 // fine: not derived
+};
+struct Derived : public Base {
+  virtual void poke();                                 // virtual-in-derived
+};
+
+void fire() {
+  std::function<void()> hook;
+  hook();                                              // unchecked-function-call
+}
+
+// Suppression forms must keep working:
+int allowed_noise() {
+  // lint-allow(banned-rand): fixture proves inline allows suppress
+  return std::rand();
+}
