@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 
+#include "bench_report.h"
 #include "condorg/core/agent.h"
 #include "condorg/core/broker.h"
 #include "condorg/gsi/myproxy.h"
@@ -179,12 +180,21 @@ int main() {
       {Policy::kManual, "hold + e-mail + manual refresh"},
       {Policy::kMyProxy, "MyProxy auto-refresh"},
   };
+  cu::JsonValue policies_json = cu::JsonValue::array();
   for (const auto& [policy, name] : policies) {
     const Outcome o = run_policy(policy);
     table.add_row({name, cu::format("%d/%d", o.completed, kJobs),
                    std::to_string(o.holds), std::to_string(o.refreshes),
                    std::to_string(o.emails),
                    cu::format("%.2f", o.wall_days)});
+    cu::JsonValue row = cu::JsonValue::object();
+    row["policy"] = name;
+    row["completed"] = o.completed;
+    row["holds"] = o.holds;
+    row["refreshes"] = o.refreshes;
+    row["emails"] = o.emails;
+    row["wall_days"] = o.wall_days;
+    policies_json.push_back(std::move(row));
   }
   std::fputs(table.render("A2: credential lifecycle ablation").c_str(),
              stdout);
@@ -192,5 +202,8 @@ int main() {
       "\npaper claim preserved: unmanaged campaigns stall at the first "
       "expiry; hold+e-mail\nrecovers with user-latency gaps; MyProxy keeps "
       "the campaign running hands-free.\n");
-  return 0;
+  cu::JsonValue report = cu::JsonValue::object();
+  report["jobs"] = kJobs;
+  report["policies"] = std::move(policies_json);
+  return condorg::bench::write_report("A2", std::move(report));
 }

@@ -18,6 +18,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "bench_report.h"
 #include "condorg/core/agent.h"
 #include "condorg/sim/failure.h"
 #include <map>
@@ -253,5 +254,21 @@ int main() {
               total_demand_seconds / 3600.0,
               100.0 * static_cast<double>(completed) /
                   static_cast<double>(ids.size()));
-  return completed == ids.size() ? 0 : 1;
+
+  cu::JsonValue report = cu::JsonValue::object();
+  report["sites"] = 10;
+  report["cpus_authorized"] = total_cpus;
+  report["glidein_cap_total"] = total_cap;
+  report["jobs"] = ids.size();
+  report["completed"] = completed;
+  report["cpu_hours"] = cpu_hours;
+  report["avg_busy_cpus"] = busy.average(wall);
+  report["max_busy_cpus"] = busy.peak();
+  report["wall_days"] = wall / 86400.0;
+  report["laps_modelled"] = laps;
+  report["site_crashes"] = chaos.crashes_injected();
+  report["evictions"] = agent.log().count(core::LogEventKind::kEvicted);
+  report["glideins_launched"] = glideins.glideins_started();
+  const int write_rc = condorg::bench::write_report("E1", std::move(report));
+  return completed == ids.size() && write_rc == 0 ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 // by digest equality.
 #include <cstdio>
 
+#include "bench_report.h"
 #include "condorg/core/agent.h"
 #include "condorg/gass/client.h"
 #include "condorg/gass/file_service.h"
@@ -143,5 +144,16 @@ int main() {
   table.add_row({"exactly-once digest check", "-",
                  verified ? "PASS" : "FAIL"});
   std::fputs(table.render("E2: CMS two-stage DAG").c_str(), stdout);
-  return (dagman->complete() && verified) ? 0 : 1;
+
+  cu::JsonValue report = cu::JsonValue::object();
+  report["simulation_jobs"] = config.simulation_jobs;
+  report["events"] = config.simulation_jobs * config.events_per_job;
+  report["cpu_hours"] = cpu_hours;
+  report["wall_days"] = wall / 86400.0;
+  report["transfers_to_mss"] = transfers_done;
+  report["bytes_at_repository"] = bytes_at_mss;
+  report["dag_complete"] = dagman->complete();
+  report["digest_verified"] = verified;
+  const int write_rc = condorg::bench::write_report("E2", std::move(report));
+  return (dagman->complete() && verified && write_rc == 0) ? 0 : 1;
 }

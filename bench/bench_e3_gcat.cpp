@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <functional>
 
+#include "bench_report.h"
 #include "condorg/gass/file_service.h"
 #include "condorg/sim/world.h"
 #include "condorg/util/stats.h"
@@ -168,9 +169,24 @@ int main() {
   };
   cu::Table table({"scenario", "writer", "job wall", "job stalled",
                    "lag p50 (MB)", "lag max (MB)", "stored intact"});
+  cu::JsonValue rows = cu::JsonValue::array();
+  const auto to_json = [](const char* scenario, const char* writer,
+                          const Result& r) {
+    cu::JsonValue row = cu::JsonValue::object();
+    row["scenario"] = scenario;
+    row["writer"] = writer;
+    row["job_wall_seconds"] = r.job_wall;
+    row["stall_seconds"] = r.stall_seconds;
+    row["lag_p50_mb"] = r.staleness_p50;
+    row["lag_max_mb"] = r.staleness_max;
+    row["intact"] = r.intact;
+    return row;
+  };
   for (const Scenario& s : scenarios) {
     const Result g = run_gcat(s);
     const Result d = run_direct(s);
+    rows.push_back(to_json(s.name, "gcat", g));
+    rows.push_back(to_json(s.name, "direct", d));
     table.add_row({s.name, "G-Cat", cu::format_duration(g.job_wall),
                    cu::format_duration(g.stall_seconds),
                    cu::format("%.1f", g.staleness_p50),
@@ -189,5 +205,7 @@ int main() {
       "\npaper claim preserved: G-Cat never stalls the job and rides out\n"
       "bandwidth dips and outages via local scratch; direct writes stall\n"
       "the computation whenever the network misbehaves.\n");
-  return 0;
+  cu::JsonValue report = cu::JsonValue::object();
+  report["rows"] = std::move(rows);
+  return condorg::bench::write_report("E3", std::move(report));
 }

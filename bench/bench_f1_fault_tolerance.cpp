@@ -12,9 +12,11 @@
 // be 0), and recovery machinery activity.
 #include <cstdio>
 
+#include "bench_report.h"
 #include "condorg/core/agent.h"
 #include "condorg/core/broker.h"
 #include "condorg/sim/failure.h"
+#include "condorg/util/stats.h"
 #include "condorg/util/strings.h"
 #include "condorg/util/table.h"
 #include "condorg/workloads/grid_builder.h"
@@ -36,12 +38,17 @@ struct Outcome {
   std::size_t jm_lost_events = 0;
   double wall_hours = 0;
   std::size_t incidents = 0;
+  /// recovery.begin -> recovery.end windows from the trace (seconds).
+  cu::Samples recovery;
 };
 
 enum class Failure { kNone, kF1, kF2, kF3, kF4 };
 
 Outcome run_scenario(Failure failure, std::uint64_t seed) {
   cw::GridTestbed testbed(seed);
+  // Recovery latency comes from the trace's recovery.begin/end pairs, so
+  // tracing must be on before any daemon exists.
+  testbed.world().sim().tracer().set_enabled(true);
   cw::SiteSpec spec;
   spec.name = "pbs.anl.gov";
   spec.cpus = 24;
@@ -159,6 +166,10 @@ Outcome run_scenario(Failure failure, std::uint64_t seed) {
                           ? f1_kills
                           : chaos.crashes_injected() +
                                 chaos.partitions_injected();
+  for (const double latency : testbed.world().sim().tracer().
+           paired_event_latencies("recovery.begin", "recovery.end")) {
+    outcome.recovery.add(latency);
+  }
   return outcome;
 }
 
@@ -177,21 +188,51 @@ int main() {
       {Failure::kF4, "F4: network partitions"},
   };
   cu::Table table({"scenario", "incidents", "completed", "duplicates",
-                   "lost", "JM restarts", "wall (h)"});
+                   "lost", "JM restarts", "recovery p50/p99 (s)",
+                   "wall (h)"});
   bool all_ok = true;
+  cu::JsonValue scenarios_json = cu::JsonValue::array();
   for (const auto& [failure, name] : scenarios) {
     const Outcome o = run_scenario(failure, 5150);
+    const std::string recovery_cell =
+        o.recovery.empty()
+            ? "-"
+            : cu::format("%.0f / %.0f", o.recovery.percentile(50),
+                         o.recovery.percentile(99));
     table.add_row({name, std::to_string(o.incidents),
                    cu::format("%d/%d", o.completed, kJobs),
                    std::to_string(o.duplicates), std::to_string(o.lost),
-                   std::to_string(o.jm_restarts),
+                   std::to_string(o.jm_restarts), recovery_cell,
                    cu::format("%.1f", o.wall_hours)});
     all_ok = all_ok && o.completed == kJobs && o.duplicates == 0;
+
+    cu::JsonValue row = cu::JsonValue::object();
+    row["scenario"] = name;
+    row["incidents"] = o.incidents;
+    row["completed"] = o.completed;
+    row["duplicates"] = o.duplicates;
+    row["lost"] = o.lost;
+    row["jm_restarts"] = o.jm_restarts;
+    row["wall_hours"] = o.wall_hours;
+    cu::JsonValue recovery = cu::JsonValue::object();
+    recovery["windows"] = o.recovery.count();
+    if (!o.recovery.empty()) {
+      recovery["p50_seconds"] = o.recovery.percentile(50);
+      recovery["p99_seconds"] = o.recovery.percentile(99);
+      recovery["max_seconds"] = o.recovery.max();
+    }
+    row["recovery"] = std::move(recovery);
+    scenarios_json.push_back(std::move(row));
   }
   std::fputs(table.render("F1: fault-tolerance matrix").c_str(), stdout);
   std::printf("\n%s\n", all_ok
                             ? "paper claim preserved: every failure type "
                               "recovered; 0 duplicates, 0 lost."
                             : "VIOLATION: duplicates or losses detected!");
-  return all_ok ? 0 : 1;
+  cu::JsonValue report = cu::JsonValue::object();
+  report["jobs_per_scenario"] = kJobs;
+  report["all_ok"] = all_ok;
+  report["scenarios"] = std::move(scenarios_json);
+  const int write_rc = condorg::bench::write_report("F1", std::move(report));
+  return all_ok && write_rc == 0 ? 0 : 1;
 }

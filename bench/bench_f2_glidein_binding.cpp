@@ -14,6 +14,7 @@
 // first execution) and campaign makespan.
 #include <cstdio>
 
+#include "bench_report.h"
 #include "condorg/core/agent.h"
 #include "condorg/core/broker.h"
 #include "condorg/util/stats.h"
@@ -137,6 +138,7 @@ int main() {
                    "wait max", "makespan"});
   const Outcome early = run_early_binding(31);
   const Outcome late = run_late_binding(31);
+  cu::JsonValue strategies = cu::JsonValue::array();
   for (const auto& [name, o] :
        {std::pair<const char*, const Outcome&>{"early binding (plain GRAM)",
                                                early},
@@ -147,6 +149,14 @@ int main() {
                    cu::format_duration(o.waits.percentile(90)),
                    cu::format_duration(o.waits.max()),
                    cu::format_duration(o.makespan)});
+    cu::JsonValue row = cu::JsonValue::object();
+    row["strategy"] = name;
+    row["completed"] = o.completed;
+    row["wait_p50_seconds"] = o.waits.percentile(50);
+    row["wait_p90_seconds"] = o.waits.percentile(90);
+    row["wait_max_seconds"] = o.waits.max();
+    row["makespan_seconds"] = o.makespan;
+    strategies.push_back(std::move(row));
   }
   std::fputs(table.render("F2: delayed binding via GlideIn").c_str(),
              stdout);
@@ -154,5 +164,12 @@ int main() {
       "\npaper claim preserved when late binding's tail waits (p90/max) and "
       "makespan\nbeat early binding's: no job waits at a busy site while "
       "another site is free.\n");
-  return (early.completed == kJobs && late.completed == kJobs) ? 0 : 1;
+  cu::JsonValue report = cu::JsonValue::object();
+  report["jobs"] = kJobs;
+  report["strategies"] = std::move(strategies);
+  const int write_rc = condorg::bench::write_report("F2", std::move(report));
+  return (early.completed == kJobs && late.completed == kJobs &&
+          write_rc == 0)
+             ? 0
+             : 1;
 }

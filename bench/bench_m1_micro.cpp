@@ -3,6 +3,7 @@
 // in the substrate are visible.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
 #include "condorg/batch/fifo_scheduler.h"
 #include "condorg/classad/parser.h"
 #include "condorg/condor/negotiator.h"
@@ -169,6 +170,46 @@ void BM_SchedulerThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerThroughput);
 
+// Console output as usual, but every run is also captured so main() can
+// drop the machine-readable BENCH_M1.json alongside.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    namespace cu = condorg::util;
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      cu::JsonValue row = cu::JsonValue::object();
+      row["name"] = run.benchmark_name();
+      row["iterations"] = static_cast<double>(run.iterations);
+      row["real_time_ns"] = run.GetAdjustedRealTime();
+      row["cpu_time_ns"] = run.GetAdjustedCPUTime();
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        row["items_per_second"] = static_cast<double>(items->second);
+      }
+      results.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<condorg::util::JsonValue> results;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  namespace cu = condorg::util;
+  cu::JsonValue benchmarks = cu::JsonValue::array();
+  for (cu::JsonValue& row : reporter.results) {
+    benchmarks.push_back(std::move(row));
+  }
+  cu::JsonValue report = cu::JsonValue::object();
+  report["benchmarks"] = std::move(benchmarks);
+  return condorg::bench::write_report("M1", std::move(report));
+}

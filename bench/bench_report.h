@@ -1,0 +1,28 @@
+// Machine-readable bench telemetry: every bench_* binary renders its
+// human-readable tables as before AND drops a BENCH_<id>.json next to the
+// working directory so experiment harnesses can diff runs without scraping
+// stdout. The document always carries the bench id; everything else is
+// bench-specific.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "condorg/util/json.h"
+
+namespace condorg::bench {
+
+/// Write `body` (plus a "bench" id member) to BENCH_<id>.json. Returns 0 on
+/// success so main() can fold it into its exit code.
+inline int write_report(const std::string& id, util::JsonValue body) {
+  body["bench"] = id;
+  const std::string path = "BENCH_" + id + ".json";
+  if (!util::write_text_file(path, body.dump() + "\n")) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("telemetry: %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace condorg::bench

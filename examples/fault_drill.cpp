@@ -2,6 +2,7 @@
 // a live campaign and narrate the agent's recovery: F1 JobManager crash,
 // F2 site front-end crash, F3 submit-machine crash, F4 network partition.
 #include <cstdio>
+#include <cstdlib>
 
 #include "condorg/core/agent.h"
 #include "condorg/core/broker.h"
@@ -16,6 +17,10 @@ namespace cw = condorg::workloads;
 
 int main() {
   cw::GridTestbed testbed(1984);
+  // Tracing is always on here: the drill doubles as the exercise for the
+  // auditor's trace-root check (every terminal job must close its root span
+  // even across the crashes below). CONDORG_TRACE=<path> exports it.
+  testbed.world().sim().tracer().set_enabled(true);
   cw::SiteSpec spec;
   spec.name = "pbs.anl.gov";
   spec.cpus = 16;
@@ -122,6 +127,17 @@ int main() {
   std::printf("\n%s", auditor.report().c_str());
   ok = ok && auditor.ok();
 #endif
+  const auto& tracer = testbed.world().sim().tracer();
+  std::printf("trace records:             %zu (%zu spans still open)\n",
+              tracer.records().size(), tracer.open_span_count());
+  const auto recoveries =
+      tracer.paired_event_latencies("recovery.begin", "recovery.end");
+  std::printf("recovery windows traced:   %zu\n", recoveries.size());
+  if (const char* trace_path = std::getenv("CONDORG_TRACE")) {
+    if (tracer.write_jsonl(trace_path)) {
+      std::printf("trace written to:          %s\n", trace_path);
+    }
+  }
   std::printf("\n%s\n", ok ? "ALL JOBS RECOVERED, EXACTLY ONCE."
                            : "RECOVERY INCOMPLETE OR DUPLICATED WORK!");
   return ok ? 0 : 1;

@@ -2,9 +2,11 @@
 // machine, run 20 grid-universe jobs across the sites, and read the user
 // log — the paper's §4.1 user experience in ~60 lines of calling code.
 #include <cstdio>
+#include <cstdlib>
 
 #include "condorg/core/agent.h"
 #include "condorg/core/broker.h"
+#include "condorg/util/json.h"
 #include "condorg/util/strings.h"
 #include "condorg/workloads/grid_builder.h"
 #ifdef CONDORG_AUDIT
@@ -17,6 +19,15 @@ namespace cw = condorg::workloads;
 int main() {
   // --- the grid: one PBS cluster at ANL, one LSF machine at NCSA ---
   cw::GridTestbed testbed(/*seed=*/2001);
+  // Observability: CONDORG_TRACE=<path> exports the run's trace as JSONL,
+  // CONDORG_METRICS=<path> a metrics snapshot — both readable with
+  // tools/condorg_report. Tracing goes on before any daemon exists so every
+  // job has a complete root span.
+  const char* trace_path = std::getenv("CONDORG_TRACE");
+  const char* metrics_path = std::getenv("CONDORG_METRICS");
+  if (trace_path != nullptr) {
+    testbed.world().sim().tracer().set_enabled(true);
+  }
   cw::SiteSpec pbs;
   pbs.name = "pbs.anl.gov";
   pbs.kind = cw::SiteKind::kPbs;
@@ -91,5 +102,25 @@ int main() {
   std::printf("\n%s", auditor.report().c_str());
   if (!auditor.ok()) return 2;
 #endif
+
+  // --- export the observability artifacts, if asked for ---
+  if (trace_path != nullptr) {
+    if (!testbed.world().sim().tracer().write_jsonl(trace_path)) {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_path);
+      return 3;
+    }
+    std::printf("trace: %zu records -> %s\n",
+                testbed.world().sim().tracer().records().size(), trace_path);
+  }
+  if (metrics_path != nullptr) {
+    const std::string json =
+        testbed.world().sim().metrics().to_json(testbed.world().now());
+    if (!condorg::util::write_text_file(metrics_path, json + "\n")) {
+      std::fprintf(stderr, "failed to write metrics to %s\n", metrics_path);
+      return 3;
+    }
+    std::printf("metrics: %zu series -> %s\n",
+                testbed.world().sim().metrics().size(), metrics_path);
+  }
   return completed == static_cast<int>(ids.size()) ? 0 : 1;
 }

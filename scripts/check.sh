@@ -17,6 +17,20 @@ cmake --preset dev >/dev/null
 cmake --build --preset dev -j "${jobs}"
 ctest --preset dev -j "${jobs}"
 
+echo "== trace determinism + report self-check =="
+# Two same-seed quickstart runs must export byte-identical trace JSONL, and
+# the report tool must find no structural problems in it.
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "${trace_dir}"' EXIT
+(cd "${trace_dir}" &&
+  CONDORG_TRACE=run1.jsonl CONDORG_METRICS=run1-metrics.json \
+    "${OLDPWD}/build/examples/quickstart" >/dev/null &&
+  CONDORG_TRACE=run2.jsonl \
+    "${OLDPWD}/build/examples/quickstart" >/dev/null)
+cmp "${trace_dir}/run1.jsonl" "${trace_dir}/run2.jsonl"
+./build/tools/condorg_report --trace "${trace_dir}/run1.jsonl" \
+  --metrics "${trace_dir}/run1-metrics.json" --self-check
+
 echo "== ASan+UBSan build + tests (auditor enabled) =="
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "${jobs}"

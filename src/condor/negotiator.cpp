@@ -52,6 +52,9 @@ void Negotiator::start() {
 
 std::size_t Negotiator::negotiate_once() {
   ++cycles_;
+  host_.metrics()
+      .counter("negotiator.cycles", {{"host", host_.name()}})
+      .inc();
   static const classad::ExprPtr kUnclaimed =
       classad::parse_expr("State == \"Unclaimed\"");
   const std::vector<classad::ClassAd> slots = collector_.query(kUnclaimed);
@@ -59,6 +62,9 @@ std::size_t Negotiator::negotiate_once() {
   const std::vector<Match> matches = match_jobs_to_slots(jobs, slots);
   for (const Match& match : matches) {
     ++matches_;
+    host_.metrics()
+        .counter("negotiator.matches", {{"host", host_.name()}})
+        .inc();
     sink_(match);
   }
   return matches.size();

@@ -86,6 +86,52 @@ StandardAuditor::StandardAuditor(sim::Simulation& sim, std::uint64_t period)
           }
         }
       });
+  auditor_.add_check(
+      "cross/trace-roots", [this](std::vector<std::string>& out) {
+        // Observability must tell the truth about lifecycles: with tracing
+        // on, a terminal queue entry has exactly one closed root span, an
+        // open root belongs to a live entry, and no root was begun twice.
+        const sim::Tracer& tracer = sim_.tracer();
+        if (!tracer.enabled()) return;
+        for (Schedd* schedd : schedds_) {
+          const std::string& host = schedd->host().name();
+          for (const auto& [id, job] : schedd->jobs()) {
+            const bool terminal = job.status == JobStatus::kCompleted ||
+                                  job.status == JobStatus::kRemoved;
+            const sim::Tracer::RootState state =
+                tracer.job_root_state(host, id);
+            if (state == sim::Tracer::RootState::kNone) {
+              continue;  // submitted before tracing was switched on
+            }
+            if (state == sim::Tracer::RootState::kDuplicate) {
+              out.push_back("job " + std::to_string(id) + " on " + host +
+                            " has a duplicated root span");
+            } else if (terminal &&
+                       state != sim::Tracer::RootState::kClosed) {
+              out.push_back("terminal job " + std::to_string(id) + " on " +
+                            host + " lacks a closed root span");
+            } else if (!terminal &&
+                       state == sim::Tracer::RootState::kClosed) {
+              out.push_back("live job " + std::to_string(id) + " on " + host +
+                            " already has a closed root span");
+            }
+          }
+        }
+        // Orphans: a root claiming an audited submit host for a job that
+        // host's Schedd has never heard of. Roots from unattached hosts are
+        // left alone (the auditor may cover only part of a world).
+        for (const auto& [host, job_id, state] : tracer.root_states()) {
+          (void)state;
+          for (Schedd* schedd : schedds_) {
+            if (schedd->host().name() != host) continue;
+            if (schedd->jobs().count(job_id) == 0) {
+              out.push_back("orphan root span for job " +
+                            std::to_string(job_id) + " on " + host);
+            }
+            break;
+          }
+        }
+      });
   sim_.attach_auditor(&auditor_, period);
 }
 
@@ -94,6 +140,7 @@ StandardAuditor::~StandardAuditor() {
 }
 
 void StandardAuditor::attach_schedd(Schedd& schedd) {
+  schedds_.push_back(&schedd);
   auditor_.add_check("schedd/" + schedd.host().name(),
                      [&schedd](std::vector<std::string>& out) {
                        schedd.audit(out);

@@ -45,6 +45,9 @@ void CredentialManager::scan() {
       // specified time remains before a credential expires."
       alarm_sent_for_current_ = true;
       ++alarms_;
+      host_.metrics()
+          .counter("credential.alarms", {{"host", host_.name()}})
+          .inc();
       schedd_.send_email(
           "credential expiry alarm",
           "your grid proxy expires in " +
@@ -90,6 +93,14 @@ void CredentialManager::hold_grid_jobs() {
     if (job.status == JobStatus::kIdle || job.status == JobStatus::kRunning) {
       schedd_.hold(id, kHoldReason);
       ++holds_;
+      host_.metrics()
+          .counter("credential.holds", {{"host", host_.name()}})
+          .inc();
+      sim::Tracer& tracer = host_.tracer();
+      if (tracer.enabled()) {
+        tracer.event("credential.hold", id, host_.name(), host_.epoch(),
+                     kHoldReason);
+      }
       any = true;
     }
   }
@@ -122,6 +133,14 @@ void CredentialManager::refresh_from_myproxy() {
           return;
         }
         ++refreshes_;
+        host_.metrics()
+            .counter("credential.refreshes", {{"host", host_.name()}})
+            .inc();
+        sim::Tracer& tracer = host_.tracer();
+        if (tracer.enabled()) {
+          tracer.event("credential.refresh", 0, host_.name(), host_.epoch(),
+                       "refreshed from myproxy");
+        }
         set_credential(std::move(*fresh));
       });
 }

@@ -39,6 +39,34 @@ sim::Address GridManager::callback_address() const {
   return {host_.name(), "gridmanager." + user_};
 }
 
+void GridManager::count(std::string_view name) {
+  host_.metrics().counter(name, {{"user", user_}}).inc();
+}
+
+void GridManager::note_degraded(std::uint64_t job_id, std::string_view why) {
+  if (degraded_since_.count(job_id)) return;  // outage already open
+  degraded_since_.emplace(job_id, host_.now());
+  sim::Tracer& tracer = host_.tracer();
+  if (tracer.enabled()) {
+    tracer.event("recovery.begin", job_id, host_.name(), host_.epoch(), why);
+  }
+}
+
+void GridManager::note_recovered(std::uint64_t job_id,
+                                 std::string_view how) {
+  const auto it = degraded_since_.find(job_id);
+  if (it == degraded_since_.end()) return;
+  const double latency = host_.now() - it->second;
+  degraded_since_.erase(it);
+  host_.metrics()
+      .histogram("gridmanager.recovery_seconds", {{"user", user_}})
+      .observe(latency);
+  sim::Tracer& tracer = host_.tracer();
+  if (tracer.enabled()) {
+    tracer.event("recovery.end", job_id, host_.name(), host_.epoch(), how);
+  }
+}
+
 void GridManager::set_credential_text(const std::string& serialized) {
   gram_.set_credential_text(serialized);
 }
@@ -158,23 +186,33 @@ void GridManager::submit_to(std::uint64_t job_id,
     });
   }
   ++submissions_;
+  count("gridmanager.submissions");
+  const sim::SpanId submit_span = host_.tracer().begin_span(
+      "gram.submit", job_id, host_.name(), host_.epoch(),
+      host_.tracer().job_root(host_.name(), job_id),
+      "site=" + gatekeeper.host + " seq=" + std::to_string(seq));
   gram_.submit_with_seq(
       seq, gatekeeper, spec_for(*job), callback_address(),
-      [this, job_id, seq, gatekeeper](std::optional<std::string> contact) {
+      [this, job_id, seq, gatekeeper,
+       submit_span](std::optional<std::string> contact) {
         submitting_.erase(job_id);
         const auto current = schedd_.query(job_id);
         if (!current || current->status == JobStatus::kRemoved) {
+          host_.tracer().end_span(submit_span, "stale", "job removed");
           if (contact) gram_.cancel(*contact, [](bool) {});
           return;
         }
         if (!contact) {
           // Site never answered (or refused): release the job to be
           // brokered elsewhere.
+          host_.tracer().end_span(submit_span, "error", "site unreachable");
           schedd_.mark_idle_again(job_id, LogEventKind::kResubmitted,
                                   "site unreachable: " + gatekeeper.host);
           ++resubmissions_;
+          count("gridmanager.resubmissions");
           return;
         }
+        host_.tracer().end_span(submit_span, "ok", "contact=" + *contact);
         contact_to_job_[*contact] = job_id;
         schedd_.mark_grid_submitted(job_id, seq, gatekeeper.host, *contact);
         if (!probing_.count(job_id)) {
@@ -208,14 +246,17 @@ void GridManager::handle_remote_state(std::uint64_t job_id,
   if (state == "DONE") {
     schedd_.mark_completed(job_id);
     probing_.erase(job_id);
+    degraded_since_.erase(job_id);  // job left the site; outage moot
     return;
   }
   if (state == "FAILED") {
     probing_.erase(job_id);
+    degraded_since_.erase(job_id);
     if (migrating_.erase(job_id)) {
       // This FAILED is our own migration cancel taking effect: re-broker
       // without charging the job an attempt.
       ++queued_migrations_;
+      count("gridmanager.migrations");
       contact_to_job_.erase(job->gram_contact);
       schedd_.mark_idle_again(job_id, LogEventKind::kResubmitted,
                               "migrated: queued too long at " +
@@ -226,6 +267,7 @@ void GridManager::handle_remote_state(std::uint64_t job_id,
       schedd_.hold(job_id, "too many failures; last: " + why);
     } else {
       ++resubmissions_;
+      count("gridmanager.resubmissions");
       schedd_.mark_idle_again(job_id, LogEventKind::kResubmitted,
                               "remote failure: " + why);
     }
@@ -278,6 +320,7 @@ void GridManager::maybe_migrate_pending(std::uint64_t job_id) {
     probing_.erase(job_id);
     contact_to_job_.erase(contact);
     ++queued_migrations_;
+    count("gridmanager.migrations");
     schedd_.mark_idle_again(job_id, LogEventKind::kResubmitted,
                             "migrated: queued too long at " + site);
   });
@@ -294,8 +337,12 @@ void GridManager::probe(std::uint64_t job_id) {
   }
   const std::string contact = job->gram_contact;
   ++probes_;
+  count("gridmanager.probes");
   gram_.ping_jobmanager(contact, [this, job_id, contact](bool jm_ok) {
     if (jm_ok) {
+      // An open outage ends the moment the JobManager answers again
+      // (F2/F4 reconnect; F1 usually closes via the restart path below).
+      note_recovered(job_id, "jobmanager answered probe");
       // Backstop status poll: callbacks can be lost on the wire.
       gram_.status(contact,
                    [this, job_id](std::optional<gram::GramJobState> state) {
@@ -307,6 +354,7 @@ void GridManager::probe(std::uint64_t job_id) {
       host_.post(options_.probe_interval, [this, job_id] { probe(job_id); });
       return;
     }
+    note_degraded(job_id, "jobmanager silent: " + contact);
     // JobManager silent: probe the Gatekeeper to classify the failure.
     gram_.ping_gatekeeper(
         gram::gatekeeper_address_for(contact),
@@ -323,8 +371,10 @@ void GridManager::probe(std::uint64_t job_id) {
                                  LogEventKind::kJobManagerLost,
                                  "gatekeeper up; restarting jobmanager");
             ++jm_restarts_;
+            count("gridmanager.jm_restarts");
             gram_.restart_jobmanager(
                 contact, [this, job_id](std::optional<gram::GramJobState>) {
+                  note_recovered(job_id, "jobmanager restarted");
                   schedd_.log().record(host_.now(), job_id,
                                        LogEventKind::kReconnected, "");
                   host_.post(options_.probe_interval,
@@ -346,6 +396,8 @@ void GridManager::recover_after_boot() {
   submitting_.clear();
   contact_to_job_.clear();
   probing_.clear();
+  degraded_since_.clear();  // outage windows restart from the reboot
+  count("gridmanager.boot_recoveries");
   for (const auto& [id, job] : schedd_.jobs()) {
     if (job.desc.universe != Universe::kGrid) continue;
     if (job.status == JobStatus::kCompleted ||
@@ -356,17 +408,23 @@ void GridManager::recover_after_boot() {
     if (!job.gram_contact.empty()) {
       // We had an acknowledged submission: reconnect. Tell the JobManager
       // our (possibly new) GASS address, ask the gatekeeper to restart the
-      // JobManager if it is gone, and resume probing.
+      // JobManager if it is gone, and resume probing. Recovery latency for
+      // F3 is measured from the reboot to the re-established contact.
+      note_degraded(id, "submit machine rebooted");
       contact_to_job_[job.gram_contact] = id;
       const std::string contact = job.gram_contact;
       const std::uint64_t job_id = id;
       gram_.ping_jobmanager(contact, [this, job_id, contact](bool ok) {
         if (ok) {
+          note_recovered(job_id, "reattached after reboot");
           gram_.update_gass(contact, gass_.address(), [](bool) {});
         } else {
           ++jm_restarts_;
+          count("gridmanager.jm_restarts");
           gram_.restart_jobmanager(
-              contact, [this, contact](std::optional<gram::GramJobState>) {
+              contact,
+              [this, job_id, contact](std::optional<gram::GramJobState>) {
+                note_recovered(job_id, "jobmanager restarted after reboot");
                 gram_.update_gass(contact, gass_.address(), [](bool) {});
               });
         }

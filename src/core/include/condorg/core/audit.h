@@ -15,7 +15,11 @@
 //     exists to prevent);
 //   * submission records on stable storage — a Running grid job's contact at
 //     an attached site is backed by a JobManager record on that site's disk,
-//     so the §4.2 restart ladder always has something to reattach to.
+//     so the §4.2 restart ladder always has something to reattach to;
+//   * trace-root conservation — when tracing is on, every terminal job in an
+//     attached Schedd has exactly one closed root span in the Tracer, no
+//     root was opened twice, and no closed root belongs to a still-live job
+//     (the observability layer must not lie about job lifecycles).
 //
 // Queue-count conservation lives in Schedd/GridManager::audit and the
 // expired-proxy lease check in CredentialManager::audit; attaching those
@@ -68,6 +72,7 @@ class StandardAuditor {
  private:
   sim::Simulation& sim_;
   sim::InvariantAuditor auditor_;
+  std::vector<Schedd*> schedds_;
   std::vector<GridManager*> gridmanagers_;
   std::vector<gram::Gatekeeper*> gatekeepers_;
 };

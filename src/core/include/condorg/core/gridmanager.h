@@ -22,6 +22,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 
 #include "condorg/core/schedd.h"
 #include "condorg/gass/file_service.h"
@@ -109,6 +110,14 @@ class GridManager {
   void stage_executable(const Job& job);
   gram::GramJobSpec spec_for(const Job& job) const;
   sim::Address callback_address() const;
+  /// Registry counter scoped to this daemon's user.
+  void count(std::string_view name);
+  /// Recovery bracketing for the trace: note_degraded opens (at most once
+  /// per outage) when the probe ladder loses the JobManager or the submit
+  /// machine reboots; note_recovered closes it, emits the paired trace
+  /// event, and feeds the recovery-latency histogram.
+  void note_degraded(std::uint64_t job_id, std::string_view why);
+  void note_recovered(std::uint64_t job_id, std::string_view how);
 
   Schedd& schedd_;
   sim::Host& host_;
@@ -125,6 +134,7 @@ class GridManager {
   std::set<std::uint64_t> probing_;     // jobs with an active probe loop
   std::map<std::uint64_t, double> pending_since_;  // queued-at-site watch
   std::set<std::uint64_t> migrating_;  // cancel-for-migration in flight
+  std::map<std::uint64_t, double> degraded_since_;  // open recovery windows
 
   std::uint64_t submissions_ = 0;
   std::uint64_t resubmissions_ = 0;

@@ -8,6 +8,7 @@
 // GridManager re-drives every non-terminal job.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -80,12 +81,23 @@ class Schedd {
   void persist(const Job& job);
   void reload();
   void notify(const Job& job);
+  /// Observability choke point: every queue mutation (submit and every
+  /// with_job status change) flows through here. Maintains the O(1) status
+  /// counts, the per-status queue-depth gauges, the transition counters, and
+  /// the job's root trace span (opened at submit, closed exactly once when
+  /// the entry turns terminal).
+  void on_status_change(const Job& job, JobStatus previous, bool is_new);
+  void set_depth_gauge(JobStatus status);
+  static std::size_t status_index(JobStatus status) {
+    return static_cast<std::size_t>(status);
+  }
   static std::string job_key(std::uint64_t id);
 
   sim::Host& host_;
   UserLog log_;
   std::map<std::uint64_t, Job> jobs_;
   std::uint64_t next_id_ = 1;
+  std::array<std::size_t, 5> status_counts_{};  // indexed by JobStatus
   std::vector<std::function<void(const Job&)>> listeners_;
   int boot_id_ = 0;
 };

@@ -12,6 +12,15 @@ std::string Schedd::job_key(std::uint64_t id) {
 Schedd::Schedd(sim::Host& host) : host_(host) {
   reload();
   boot_id_ = host_.add_boot([this] { reload(); });
+  // Every user-log event doubles as a trace event, which is what gives the
+  // per-job timelines in tools/condorg_report their submit/execute/
+  // reconnect detail without instrumenting each call site twice.
+  log_.add_listener([this](const LogEvent& event) {
+    sim::Tracer& tracer = host_.tracer();
+    if (!tracer.enabled()) return;
+    tracer.event(std::string("userlog.") + to_string(event.kind),
+                 event.job_id, host_.name(), host_.epoch(), event.detail);
+  });
 }
 
 Schedd::~Schedd() { host_.remove_boot(boot_id_); }
@@ -27,6 +36,10 @@ void Schedd::reload() {
   if (const auto stored = host_.disk().get(kNextIdKey)) {
     next_id_ = std::stoull(*stored);
   }
+  status_counts_ = {};
+  for (const auto& [id, job] : jobs_) {
+    ++status_counts_[status_index(job.status)];
+  }
 }
 
 void Schedd::persist(const Job& job) {
@@ -38,6 +51,50 @@ void Schedd::notify(const Job& job) {
   for (const auto& listener : listeners) listener(job);
 }
 
+void Schedd::set_depth_gauge(JobStatus status) {
+  host_.metrics()
+      .gauge("schedd.queue_depth",
+             {{"host", host_.name()}, {"status", to_string(status)}})
+      .set(host_.now(),
+           static_cast<double>(status_counts_[status_index(status)]));
+}
+
+void Schedd::on_status_change(const Job& job, JobStatus previous,
+                              bool is_new) {
+  sim::Tracer& tracer = host_.tracer();
+  if (is_new) {
+    ++status_counts_[status_index(job.status)];
+    host_.metrics().counter("schedd.submits", {{"host", host_.name()}}).inc();
+    set_depth_gauge(job.status);
+    if (tracer.enabled()) {
+      tracer.begin_job(job.id, host_.name(), host_.epoch(),
+                       std::string(to_string(job.desc.universe)) +
+                           " universe");
+    }
+    return;
+  }
+  if (previous == job.status) return;
+  --status_counts_[status_index(previous)];
+  ++status_counts_[status_index(job.status)];
+  host_.metrics()
+      .counter("schedd.transitions", {{"host", host_.name()},
+                                      {"from", to_string(previous)},
+                                      {"to", to_string(job.status)}})
+      .inc();
+  set_depth_gauge(previous);
+  set_depth_gauge(job.status);
+  // Close the root span exactly once: terminal states never transition
+  // again (mark_completed / remove both refuse terminal entries), so this
+  // is the unique closing edge.
+  if (tracer.enabled() && (job.status == JobStatus::kCompleted ||
+                           job.status == JobStatus::kRemoved)) {
+    tracer.end_job(
+        job.id, host_.name(),
+        job.status == JobStatus::kCompleted ? "completed" : "removed",
+        job.hold_reason);
+  }
+}
+
 std::uint64_t Schedd::submit(JobDescription description) {
   const std::uint64_t id = next_id_++;
   host_.disk().put(kNextIdKey, std::to_string(next_id_));
@@ -47,6 +104,7 @@ std::uint64_t Schedd::submit(JobDescription description) {
   job.submit_time = host_.now();
   persist(job);
   const auto [it, inserted] = jobs_.emplace(id, std::move(job));
+  on_status_change(it->second, it->second.status, /*is_new=*/true);
   log_.record(host_.now(), id, LogEventKind::kSubmit,
               std::string(to_string(it->second.desc.universe)) + " universe");
   notify(it->second);
@@ -63,8 +121,10 @@ bool Schedd::with_job(std::uint64_t id,
                       const std::function<void(Job&)>& mutate) {
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) return false;
+  const JobStatus previous = it->second.status;
   mutate(it->second);
   persist(it->second);
+  on_status_change(it->second, previous, /*is_new=*/false);
   notify(it->second);
   return true;
 }
@@ -185,21 +245,15 @@ std::vector<std::uint64_t> Schedd::idle_jobs(Universe universe) const {
 }
 
 std::size_t Schedd::count(JobStatus status) const {
-  std::size_t n = 0;
-  for (const auto& [id, job] : jobs_) {
-    if (job.status == status) ++n;
-  }
-  return n;
+  // O(1) from the counts maintained by on_status_change (cross-checked
+  // against a full scan in audit()); callers poll this in driver loops.
+  return status_counts_[status_index(status)];
 }
 
 bool Schedd::all_terminal() const {
-  for (const auto& [id, job] : jobs_) {
-    if (job.status != JobStatus::kCompleted &&
-        job.status != JobStatus::kRemoved) {
-      return false;
-    }
-  }
-  return true;
+  return status_counts_[status_index(JobStatus::kCompleted)] +
+             status_counts_[status_index(JobStatus::kRemoved)] ==
+         jobs_.size();
 }
 
 std::size_t Schedd::active_count() const {
@@ -209,7 +263,9 @@ std::size_t Schedd::active_count() const {
 
 void Schedd::audit(std::vector<std::string>& out) const {
   std::map<std::uint64_t, std::uint64_t> seq_owner;  // gram_seq -> job id
+  std::array<std::size_t, 5> scanned{};
   for (const auto& [id, job] : jobs_) {
+    ++scanned[status_index(job.status)];
     if (job.id != id) {
       out.push_back("job " + std::to_string(id) + " stored under wrong key");
     }
@@ -255,6 +311,11 @@ void Schedd::audit(std::vector<std::string>& out) const {
         job.completion_time < job.submit_time) {
       out.push_back("job " + std::to_string(id) + " completed before submit");
     }
+  }
+  // The incremental status counts must agree with a full scan, or every
+  // count()/all_terminal() caller is being lied to.
+  if (scanned != status_counts_) {
+    out.push_back("status count cache diverges from a queue scan");
   }
 }
 

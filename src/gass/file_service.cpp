@@ -12,7 +12,17 @@ FileService::FileService(sim::Host& host, sim::Network& network,
     : host_(host),
       network_(network),
       service_(std::move(service)),
-      auth_(std::move(auth)) {
+      auth_(std::move(auth)),
+      bytes_counter_(host.metrics().counter("gass.bytes_served",
+                                            {{"service", service_}})),
+      auth_failures_counter_(host.metrics().counter(
+          "gass.auth_failures", {{"service", service_}})),
+      gets_counter_(
+          host.metrics().counter("gass.gets", {{"service", service_}})),
+      puts_counter_(
+          host.metrics().counter("gass.puts", {{"service", service_}})),
+      appends_counter_(
+          host.metrics().counter("gass.appends", {{"service", service_}})) {
   install();
   pull_rpc_ = std::make_unique<sim::RpcClient>(host_, network_,
                                                service_ + ".pull");
@@ -49,6 +59,7 @@ void FileService::reply_after_transfer(const sim::Message& request,
   const double delay =
       network_.transfer_seconds(host_.name(), request.from.host, bytes);
   bytes_served_ += bytes;
+  bytes_counter_.inc(bytes);
   host_.post(delay, [this, request, reply = std::move(reply)]() mutable {
     sim::rpc_reply(network_, request, address(), std::move(reply));
   });
@@ -60,6 +71,7 @@ void FileService::on_message(const sim::Message& message) {
 
   if (!authenticate(message, reply)) {
     ++auth_failures_;
+    auth_failures_counter_.inc();
     sim::rpc_reply(network_, message, address(), std::move(reply));
     return;
   }
@@ -74,6 +86,7 @@ void FileService::on_message(const sim::Message& message) {
       return;
     }
     ++gets_;
+    gets_counter_.inc();
     reply.set_bool("ok", true);
     reply.set("content", file->content);
     reply.set_uint("size", file->size());
@@ -86,6 +99,7 @@ void FileService::on_message(const sim::Message& message) {
     const std::uint64_t size = message.body.get_uint("size");
     store_.put(path, message.body.get("content"), size);
     ++puts_;
+    puts_counter_.inc();
     reply.set_bool("ok", true);
     reply_after_transfer(message, std::move(reply),
                          size ? size : message.body.get("content").size());
@@ -105,6 +119,7 @@ void FileService::on_message(const sim::Message& message) {
     if (!duplicate) {
       store_.append(path, message.body.get("content"), size);
       ++appends_;
+      appends_counter_.inc();
     }
     reply.set_bool("ok", true);
     reply.set_uint("new_size", store_.get(path) ? store_.get(path)->size() : 0);

@@ -26,6 +26,7 @@
 #include "condorg/gsi/auth.h"
 #include "condorg/sim/host.h"
 #include "condorg/sim/network.h"
+#include "condorg/util/metrics.h"
 #include "condorg/sim/rpc.h"
 
 namespace condorg::gass {
@@ -77,6 +78,13 @@ class FileService {
   bool survives_crash_ = true;
   int boot_id_ = 0;
   int crash_listener_ = 0;
+  // Cached registry references (stable for the registry's lifetime) so the
+  // per-transfer path does not rebuild label strings.
+  util::Counter& bytes_counter_;
+  util::Counter& auth_failures_counter_;
+  util::Counter& gets_counter_;
+  util::Counter& puts_counter_;
+  util::Counter& appends_counter_;
   std::uint64_t gets_ = 0;
   std::uint64_t puts_ = 0;
   std::uint64_t appends_ = 0;

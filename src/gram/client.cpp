@@ -1,8 +1,16 @@
 #include "condorg/gram/client.h"
 
+#include "condorg/util/logging.h"
 #include "condorg/util/strings.h"
 
 namespace condorg::gram {
+namespace {
+// Referenced only from CONDORG_LOG_TRACE sites (discarded-if-constexpr).
+[[maybe_unused]] const util::Logger& gram_logger() {
+  static const util::Logger logger("gram");
+  return logger;
+}
+}  // namespace
 
 sim::Address jobmanager_address(const std::string& contact) {
   const auto colon = contact.find(':');
@@ -20,7 +28,11 @@ GramClient::GramClient(sim::Host& host, sim::Network& network,
       network_(network),
       client_id_(std::move(client_id)),
       options_(options),
-      rpc_(host, network, "gram.client." + client_id_) {}
+      rpc_(host, network, "gram.client." + client_id_),
+      submits_counter_(host.metrics().counter("gram.submits_sent",
+                                              {{"client", client_id_}})),
+      commits_counter_(host.metrics().counter("gram.commits_sent",
+                                              {{"client", client_id_}})) {}
 
 sim::Payload GramClient::base_payload() const {
   sim::Payload payload;
@@ -82,6 +94,9 @@ void GramClient::drive_submit(std::uint64_t seq,
   payload.set("callback", callback.str());
   spec.to_payload(payload);
   ++submits_sent_;
+  submits_counter_.inc();
+  CONDORG_LOG_TRACE(gram_logger(), client_id_, " submit seq=", seq, " to ",
+                    gatekeeper.host, " attempts_left=", attempts_left);
   rpc_.call(
       gatekeeper, "gram.submit", std::move(payload), options_.rpc_timeout,
       [this, seq, gatekeeper, spec, callback, done = std::move(done),
@@ -121,6 +136,9 @@ void GramClient::drive_commit(const std::string& contact, SubmitCallback done,
   sim::Payload payload = base_payload();
   payload.set("contact", contact);
   ++commits_sent_;
+  commits_counter_.inc();
+  CONDORG_LOG_TRACE(gram_logger(), client_id_, " commit ", contact,
+                    " attempts_left=", attempts_left);
   rpc_.call(jobmanager_address(contact), "jm.commit", std::move(payload),
             options_.rpc_timeout,
             [this, contact, done = std::move(done),

@@ -17,7 +17,14 @@ Gatekeeper::Gatekeeper(sim::Host& host, sim::Network& network,
     : host_(host),
       network_(network),
       scheduler_(scheduler),
-      options_(std::move(options)) {
+      options_(std::move(options)),
+      accepted_counter_(count("gatekeeper.accepted")),
+      duplicates_counter_(count("gatekeeper.duplicates")),
+      auth_failures_counter_(count("gatekeeper.auth_failures")),
+      jm_started_counter_(count("gatekeeper.jm_started")),
+      jm_restarted_counter_(count("gatekeeper.jm_restarted")),
+      jm_state_counters_(JobManagerStateCounters::for_site(host.metrics(),
+                                                           host.name())) {
   install();
   boot_id_ = host_.add_boot([this] { install(); });
   // Host crash: every JobManager process dies. Their stable records remain;
@@ -45,6 +52,10 @@ std::string Gatekeeper::new_contact() {
   ++counter;
   host_.disk().put(kContactCounterKey, std::to_string(counter));
   return host_.name() + ":" + std::to_string(counter);
+}
+
+util::Counter& Gatekeeper::count(const char* name) {
+  return host_.metrics().counter(name, {{"site", host_.name()}});
 }
 
 JobManager* Gatekeeper::find_jobmanager(const std::string& contact) {
@@ -97,6 +108,7 @@ void Gatekeeper::on_message(const sim::Message& message) {
       gsi::authenticate(options_.auth, message.body, host_.now());
   if (!auth.ok) {
     ++auth_failures_;
+    auth_failures_counter_.inc();
     reply.set("why", auth.why);
     sim::rpc_reply(network_, message, address(), std::move(reply));
     return;
@@ -133,6 +145,7 @@ void Gatekeeper::handle_submit(const sim::Message& message) {
   if (options_.dedup_submissions) {
     if (const auto existing = host_.disk().get(key)) {
       ++duplicates_;
+      duplicates_counter_.inc();
       reply.set_bool("ok", true);
       reply.set("contact", *existing);
       reply.set_bool("duplicate", true);
@@ -153,9 +166,11 @@ void Gatekeeper::handle_submit(const sim::Message& message) {
       sim::Address::parse(message.body.get("callback"));
   jobmanagers_[contact] = std::make_unique<JobManager>(
       host_, network_, scheduler_, contact, std::move(spec), callback,
-      auto_commit, message.body.get("credential"));
+      auto_commit, message.body.get("credential"), &jm_state_counters_);
   ++accepted_;
   ++jm_started_;
+  accepted_counter_.inc();
+  jm_started_counter_.inc();
 
   reply.set_bool("ok", true);
   reply.set("contact", contact);
@@ -181,9 +196,11 @@ void Gatekeeper::handle_restart(const sim::Message& message) {
   }
   // Reattach from stable storage; the new JobManager works out whether the
   // local job is queued, running, or finished while unobserved.
-  jobmanagers_[contact] =
-      std::make_unique<JobManager>(host_, network_, scheduler_, contact);
+  jobmanagers_[contact] = std::make_unique<JobManager>(
+      host_, network_, scheduler_, contact, &jm_state_counters_);
   ++jm_started_;
+  jm_started_counter_.inc();
+  jm_restarted_counter_.inc();
   reply.set_bool("ok", true);
   reply.set("state", to_string(jobmanagers_[contact]->state()));
   sim::rpc_reply(network_, message, address(), std::move(reply));

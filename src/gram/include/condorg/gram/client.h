@@ -18,6 +18,7 @@
 #include "condorg/sim/host.h"
 #include "condorg/sim/network.h"
 #include "condorg/sim/rpc.h"
+#include "condorg/util/metrics.h"
 
 namespace condorg::gram {
 
@@ -117,6 +118,10 @@ class GramClient {
   std::string client_id_;
   GramClientOptions options_;
   sim::RpcClient rpc_;
+  // Registry references are stable for the registry's lifetime; caching
+  // them keeps metric_key() string-building off the per-submit hot path.
+  util::Counter& submits_counter_;
+  util::Counter& commits_counter_;
   std::string credential_;
   std::uint64_t submits_sent_ = 0;
   std::uint64_t commits_sent_ = 0;

@@ -22,6 +22,7 @@
 #include "condorg/gsi/auth.h"
 #include "condorg/sim/host.h"
 #include "condorg/sim/network.h"
+#include "condorg/util/metrics.h"
 
 namespace condorg::gram {
 
@@ -83,6 +84,9 @@ class Gatekeeper {
   void handle_submit(const sim::Message& message);
   void handle_restart(const sim::Message& message);
   std::string new_contact();
+  /// Registry counter labelled with this site's name; references are stable
+  /// so they are resolved once at construction, off the submit hot path.
+  util::Counter& count(const char* name);
 
   sim::Host& host_;
   sim::Network& network_;
@@ -95,6 +99,12 @@ class Gatekeeper {
   std::uint64_t duplicates_ = 0;
   std::uint64_t auth_failures_ = 0;
   std::uint64_t jm_started_ = 0;
+  util::Counter& accepted_counter_;
+  util::Counter& duplicates_counter_;
+  util::Counter& auth_failures_counter_;
+  util::Counter& jm_started_counter_;
+  util::Counter& jm_restarted_counter_;
+  JobManagerStateCounters jm_state_counters_;
 };
 
 }  // namespace condorg::gram

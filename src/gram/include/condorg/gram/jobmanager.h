@@ -8,6 +8,7 @@
 // including discovering that the job finished while no JobManager existed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -21,8 +22,23 @@
 #include "condorg/sim/lifetime.h"
 #include "condorg/sim/network.h"
 #include "condorg/sim/rpc.h"
+#include "condorg/util/metrics.h"
 
 namespace condorg::gram {
+
+/// Per-site cache of the "jobmanager.state_changes" counters, one per
+/// GramJobState. JobManagers are one-per-job and walk each state once, so
+/// the Gatekeeper resolves the registry lookups a single time and shares
+/// them with every JobManager it spawns (registry references are stable).
+struct JobManagerStateCounters {
+  std::array<util::Counter*, 6> by_state{};
+
+  static JobManagerStateCounters for_site(util::MetricsRegistry& metrics,
+                                          const std::string& site);
+  util::Counter* at(GramJobState state) const {
+    return by_state[static_cast<std::size_t>(state)];
+  }
+};
 
 class JobManager {
  public:
@@ -32,13 +48,15 @@ class JobManager {
   JobManager(sim::Host& host, sim::Network& network,
              batch::LocalScheduler& scheduler, std::string contact,
              GramJobSpec spec, sim::Address client_callback, bool auto_commit,
-             std::string forwarded_credential = "");
+             std::string forwarded_credential = "",
+             const JobManagerStateCounters* state_counters = nullptr);
 
   /// Reattach constructor: rebuilds a JobManager for `contact` from the
   /// record on the host's stable storage. Used by the Gatekeeper when asked
   /// to restart a JobManager after a crash.
   JobManager(sim::Host& host, sim::Network& network,
-             batch::LocalScheduler& scheduler, std::string contact);
+             batch::LocalScheduler& scheduler, std::string contact,
+             const JobManagerStateCounters* state_counters = nullptr);
 
   ~JobManager();
 
@@ -108,6 +126,7 @@ class JobManager {
   std::uint64_t job_handler_token_ = 0;
   std::unique_ptr<sim::RpcClient> rpc_;
   std::unique_ptr<gass::FileClient> gass_;
+  const JobManagerStateCounters* state_counters_ = nullptr;
   int crash_listener_ = 0;
 };
 

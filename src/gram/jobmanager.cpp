@@ -10,16 +10,43 @@ constexpr double kLocalPollInterval = 15.0;   // watch PENDING->ACTIVE
 constexpr double kStageTimeout = 600.0;
 constexpr double kStageRetryDelay = 60.0;
 constexpr int kStageRetries = 30;
+
+// The GridManager tags grid submissions "job<id>" (spec_for); other clients
+// use free-form tags. Returns 0 when the tag names no job, which trace
+// consumers treat as "no job association".
+std::uint64_t job_from_tag(const std::string& tag) {
+  if (tag.rfind("job", 0) != 0) return 0;
+  std::uint64_t id = 0;
+  for (std::size_t i = 3; i < tag.size(); ++i) {
+    const char c = tag[i];
+    if (c < '0' || c > '9') return 0;
+    id = id * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return id;
+}
 }  // namespace
 
 std::string JobManager::record_key(const std::string& contact) {
   return "gram/job/" + contact;
 }
 
+JobManagerStateCounters JobManagerStateCounters::for_site(
+    util::MetricsRegistry& metrics, const std::string& site) {
+  JobManagerStateCounters counters;
+  for (std::size_t i = 0; i < counters.by_state.size(); ++i) {
+    const auto state = static_cast<GramJobState>(i);
+    counters.by_state[i] = &metrics.counter(
+        "jobmanager.state_changes",
+        {{"site", site}, {"state", to_string(state)}});
+  }
+  return counters;
+}
+
 JobManager::JobManager(sim::Host& host, sim::Network& network,
                        batch::LocalScheduler& scheduler, std::string contact,
                        GramJobSpec spec, sim::Address client_callback,
-                       bool auto_commit, std::string forwarded_credential)
+                       bool auto_commit, std::string forwarded_credential,
+                       const JobManagerStateCounters* state_counters)
     : host_(host),
       network_(network),
       scheduler_(scheduler),
@@ -27,7 +54,8 @@ JobManager::JobManager(sim::Host& host, sim::Network& network,
       spec_(std::move(spec)),
       client_callback_(std::move(client_callback)),
       auto_commit_(auto_commit),
-      forwarded_credential_(std::move(forwarded_credential)) {
+      forwarded_credential_(std::move(forwarded_credential)),
+      state_counters_(state_counters) {
   rpc_ = std::make_unique<sim::RpcClient>(
       host_, network_, jobmanager_service(contact_) + ".rpc");
   gass_ = std::make_unique<gass::FileClient>(
@@ -40,11 +68,13 @@ JobManager::JobManager(sim::Host& host, sim::Network& network,
 }
 
 JobManager::JobManager(sim::Host& host, sim::Network& network,
-                       batch::LocalScheduler& scheduler, std::string contact)
+                       batch::LocalScheduler& scheduler, std::string contact,
+                       const JobManagerStateCounters* state_counters)
     : host_(host),
       network_(network),
       scheduler_(scheduler),
-      contact_(std::move(contact)) {
+      contact_(std::move(contact)),
+      state_counters_(state_counters) {
   rpc_ = std::make_unique<sim::RpcClient>(
       host_, network_, jobmanager_service(contact_) + ".rpc");
   gass_ = std::make_unique<gass::FileClient>(
@@ -410,6 +440,21 @@ void JobManager::restream_output() {
 void JobManager::set_state(GramJobState state, const std::string& why) {
   state_ = state;
   persist();
+  if (state_counters_ != nullptr) {
+    state_counters_->at(state)->inc();
+  } else {
+    host_.metrics()
+        .counter("jobmanager.state_changes",
+                 {{"site", host_.name()}, {"state", to_string(state)}})
+        .inc();
+  }
+  sim::Tracer& tracer = host_.tracer();
+  if (tracer.enabled()) {
+    tracer.event("jm.state", job_from_tag(spec_.tag), host_.name(),
+                 host_.epoch(),
+                 std::string(to_string(state)) +
+                     (why.empty() ? "" : ": " + why));
+  }
   send_callback(why);
 }
 

@@ -31,6 +31,9 @@ class Host {
   Epoch epoch() const { return epoch_; }
   Simulation& sim() { return sim_; }
   Time now() const { return sim_.now(); }
+  /// Observability forwarders (daemons hold a Host&, not the Simulation).
+  util::MetricsRegistry& metrics() { return sim_.metrics(); }
+  Tracer& tracer() { return sim_.tracer(); }
 
   /// Disk that survives crashes.
   StableStorage& disk() { return disk_; }

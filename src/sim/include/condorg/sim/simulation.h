@@ -14,7 +14,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "condorg/sim/tracer.h"
 #include "condorg/sim/types.h"
+#include "condorg/util/metrics.h"
 #include "condorg/util/rng.h"
 
 namespace condorg::sim {
@@ -83,6 +85,15 @@ class Simulation {
   void attach_auditor(InvariantAuditor* auditor, std::uint64_t period = 1024);
   InvariantAuditor* auditor() const { return auditor_; }
 
+  /// Metric registry shared by every daemon in this world. Per-Simulation
+  /// (not global) so scenarios run back-to-back stay isolated.
+  util::MetricsRegistry& metrics() { return metrics_; }
+  const util::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Distributed-trace recorder (disabled until Tracer::set_enabled).
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
  private:
   struct QueuedEvent {
     Time when;
@@ -108,6 +119,8 @@ class Simulation {
   std::uint64_t trace_digest_ = 14695981039346656037ull;  // FNV-1a basis
   InvariantAuditor* auditor_ = nullptr;
   std::uint64_t audit_period_ = 1024;
+  util::MetricsRegistry metrics_;
+  Tracer tracer_{*this};
 };
 
 }  // namespace condorg::sim

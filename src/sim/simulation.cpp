@@ -5,10 +5,18 @@
 #include <utility>
 
 #include "condorg/sim/invariant_auditor.h"
+#include "condorg/util/logging.h"
 
 namespace condorg::sim {
 namespace {
 constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+// Referenced only from CONDORG_LOG_TRACE sites; the discarded-if-constexpr
+// branch still names it, so it needs no preprocessor guard of its own.
+[[maybe_unused]] const util::Logger& kernel_logger() {
+  static const util::Logger logger("sim");
+  return logger;
+}
 
 std::uint64_t fnv1a_mix(std::uint64_t digest, std::uint64_t value) {
   for (int byte = 0; byte < 8; ++byte) {
@@ -47,6 +55,7 @@ void Simulation::dispatch(const QueuedEvent& ev) {
   handlers_.erase(it);
   now_ = ev.when;
   ++dispatched_;
+  CONDORG_LOG_TRACE(kernel_logger(), "dispatch t=", ev.when, " id=", ev.id);
   std::uint64_t when_bits = 0;
   static_assert(sizeof(when_bits) == sizeof(ev.when));
   std::memcpy(&when_bits, &ev.when, sizeof(when_bits));

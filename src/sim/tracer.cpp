@@ -1,0 +1,217 @@
+#include "condorg/sim/tracer.h"
+
+#include "condorg/sim/simulation.h"
+#include "condorg/util/json.h"
+
+namespace condorg::sim {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+const char* to_string(TraceRecord::Kind kind) {
+  switch (kind) {
+    case TraceRecord::Kind::kSpanBegin:
+      return "span_begin";
+    case TraceRecord::Kind::kSpanEnd:
+      return "span_end";
+    case TraceRecord::Kind::kEvent:
+      return "event";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string TraceRecord::to_json() const {
+  // Hand-rolled in field order (not sorted-key JsonValue): a trace line
+  // reads submit-to-completion left to right, and the fixed order is part of
+  // the byte-stable JSONL contract documented in DESIGN.md.
+  std::string out = "{\"t\":";
+  out += util::JsonValue::number_to_string(t);
+  out += ",\"kind\":\"";
+  out += to_string(kind);
+  out += "\",\"name\":\"";
+  out += util::JsonValue::escape(name);
+  out += "\"";
+  if (span != 0) {
+    out += ",\"span\":";
+    out += std::to_string(span);
+  }
+  if (parent != 0) {
+    out += ",\"parent\":";
+    out += std::to_string(parent);
+  }
+  if (job != 0) {
+    out += ",\"job\":";
+    out += std::to_string(job);
+  }
+  out += ",\"host\":\"";
+  out += util::JsonValue::escape(host);
+  out += "\",\"epoch\":";
+  out += std::to_string(epoch);
+  if (!status.empty()) {
+    out += ",\"status\":\"";
+    out += util::JsonValue::escape(status);
+    out += "\"";
+  }
+  if (!detail.empty()) {
+    out += ",\"detail\":\"";
+    out += util::JsonValue::escape(detail);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+void Tracer::push(TraceRecord record) {
+  const std::string line = record.to_json();
+  for (const char c : line) {
+    digest_ ^= static_cast<unsigned char>(c);
+    digest_ *= kFnvPrime;
+  }
+  records_.push_back(std::move(record));
+}
+
+SpanId Tracer::begin_span(std::string_view name, std::uint64_t job,
+                          std::string_view host, Epoch epoch, SpanId parent,
+                          std::string_view detail) {
+  if (!enabled_) return 0;
+  const SpanId span = next_span_++;
+  TraceRecord record;
+  record.t = sim_.now();
+  record.kind = TraceRecord::Kind::kSpanBegin;
+  record.span = span;
+  record.parent = parent;
+  record.job = job;
+  record.name = std::string(name);
+  record.host = std::string(host);
+  record.epoch = epoch;
+  record.detail = std::string(detail);
+  open_spans_.emplace(span, records_.size());
+  push(std::move(record));
+  return span;
+}
+
+void Tracer::end_span(SpanId span, std::string_view status,
+                      std::string_view detail) {
+  if (!enabled_ || span == 0) return;
+  const auto it = open_spans_.find(span);
+  if (it == open_spans_.end()) return;  // unknown or already closed
+  const TraceRecord& begin = records_[it->second];
+  TraceRecord record;
+  record.t = sim_.now();
+  record.kind = TraceRecord::Kind::kSpanEnd;
+  record.span = span;
+  record.parent = begin.parent;
+  record.job = begin.job;
+  record.name = begin.name;
+  record.host = begin.host;
+  record.epoch = begin.epoch;
+  record.status = std::string(status);
+  record.detail = std::string(detail);
+  open_spans_.erase(it);
+  push(std::move(record));
+}
+
+void Tracer::event(std::string_view name, std::uint64_t job,
+                   std::string_view host, Epoch epoch,
+                   std::string_view detail) {
+  if (!enabled_) return;
+  TraceRecord record;
+  record.t = sim_.now();
+  record.kind = TraceRecord::Kind::kEvent;
+  record.job = job;
+  record.name = std::string(name);
+  record.host = std::string(host);
+  record.epoch = epoch;
+  record.detail = std::string(detail);
+  push(std::move(record));
+}
+
+SpanId Tracer::begin_job(std::uint64_t job, std::string_view host,
+                         Epoch epoch, std::string_view detail) {
+  if (!enabled_) return 0;
+  RootInfo& root = roots_[RootKey(std::string(host), job)];
+  ++root.begins;
+  if (root.begins > 1) {
+    // Duplicate submit for an id is itself an invariant violation; record
+    // the begin (the auditor will flag the root) but keep the first span.
+    begin_span("job", job, host, epoch, /*parent=*/0, detail);
+    return root.span;
+  }
+  root.span = begin_span("job", job, host, epoch, /*parent=*/0, detail);
+  return root.span;
+}
+
+void Tracer::end_job(std::uint64_t job, std::string_view host,
+                     std::string_view status, std::string_view detail) {
+  if (!enabled_) return;
+  const auto it = roots_.find(RootKey(std::string(host), job));
+  if (it == roots_.end()) return;
+  ++it->second.ends;
+  if (it->second.ends == 1) end_span(it->second.span, status, detail);
+}
+
+SpanId Tracer::job_root(std::string_view host, std::uint64_t job) const {
+  const auto it = roots_.find(RootKey(std::string(host), job));
+  return it == roots_.end() ? 0 : it->second.span;
+}
+
+Tracer::RootState Tracer::job_root_state(std::string_view host,
+                                         std::uint64_t job) const {
+  const auto it = roots_.find(RootKey(std::string(host), job));
+  if (it == roots_.end()) return RootState::kNone;
+  const RootInfo& root = it->second;
+  if (root.begins > 1 || root.ends > 1) return RootState::kDuplicate;
+  return root.ends == 1 ? RootState::kClosed : RootState::kOpen;
+}
+
+std::vector<std::tuple<std::string, std::uint64_t, Tracer::RootState>>
+Tracer::root_states() const {
+  std::vector<std::tuple<std::string, std::uint64_t, RootState>> out;
+  out.reserve(roots_.size());
+  for (const auto& [key, root] : roots_) {
+    RootState state = RootState::kOpen;
+    if (root.begins > 1 || root.ends > 1) {
+      state = RootState::kDuplicate;
+    } else if (root.ends == 1) {
+      state = RootState::kClosed;
+    }
+    out.emplace_back(key.first, key.second, state);
+  }
+  return out;
+}
+
+std::vector<double> Tracer::paired_event_latencies(
+    std::string_view begin_name, std::string_view end_name) const {
+  std::map<std::uint64_t, Time> begun;  // job -> begin time
+  std::vector<double> latencies;
+  for (const TraceRecord& record : records_) {
+    if (record.kind != TraceRecord::Kind::kEvent) continue;
+    if (record.name == begin_name) {
+      begun.emplace(record.job, record.t);  // keep the first begin
+    } else if (record.name == end_name) {
+      const auto it = begun.find(record.job);
+      if (it != begun.end()) {
+        latencies.push_back(record.t - it->second);
+        begun.erase(it);
+      }
+    }
+  }
+  return latencies;
+}
+
+std::string Tracer::to_jsonl() const {
+  std::string out;
+  for (const TraceRecord& record : records_) {
+    out += record.to_json();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+bool Tracer::write_jsonl(const std::string& path) const {
+  return util::write_text_file(path, to_jsonl());
+}
+
+}  // namespace condorg::sim

@@ -1,0 +1,105 @@
+// Minimal deterministic JSON document model.
+//
+// Used by the observability layer (metrics snapshots, trace JSONL) and by
+// tools/condorg_report to read them back. Object members live in a std::map,
+// so serialization order is the sorted key order — two structurally equal
+// documents always serialize to identical bytes, which is what lets the test
+// suite assert byte-identical trace output across same-seed runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace condorg::util {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+  JsonValue(bool value) : type_(Type::kBool), bool_(value) {}
+  JsonValue(double value) : type_(Type::kNumber), number_(value) {}
+  JsonValue(int value) : JsonValue(static_cast<double>(value)) {}
+  JsonValue(std::int64_t value) : JsonValue(static_cast<double>(value)) {}
+  JsonValue(std::uint64_t value) : JsonValue(static_cast<double>(value)) {}
+  JsonValue(const char* value) : type_(Type::kString), string_(value) {}
+  JsonValue(std::string value)
+      : type_(Type::kString), string_(std::move(value)) {}
+  JsonValue(std::string_view value)
+      : type_(Type::kString), string_(value) {}
+
+  static JsonValue array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  bool as_bool(bool fallback = false) const {
+    return type_ == Type::kBool ? bool_ : fallback;
+  }
+  double as_number(double fallback = 0.0) const {
+    return type_ == Type::kNumber ? number_ : fallback;
+  }
+  std::uint64_t as_uint(std::uint64_t fallback = 0) const;
+  const std::string& as_string() const { return string_; }
+
+  // --- array API (converts a null value to an array on first push) ---
+  void push_back(JsonValue value);
+  const std::vector<JsonValue>& items() const { return array_; }
+
+  // --- object API (converts a null value to an object on first insert) ---
+  JsonValue& operator[](const std::string& key);
+  const JsonValue* find(const std::string& key) const;
+  /// Number lookup with a fallback for missing/mistyped members.
+  double number_at(const std::string& key, double fallback = 0.0) const;
+  const std::map<std::string, JsonValue>& members() const { return object_; }
+
+  std::size_t size() const;
+
+  /// Compact, byte-deterministic serialization.
+  std::string dump() const;
+
+  /// Strict-enough parser for the documents this repo writes (objects,
+  /// arrays, strings with escapes, numbers, bools, null). Returns nullopt on
+  /// malformed input; trailing non-whitespace is an error.
+  static std::optional<JsonValue> parse(std::string_view text);
+
+  /// Deterministic shortest-round-trip rendering of a double ("17" not
+  /// "17.000000"; integers up to 2^53 print without an exponent).
+  static std::string number_to_string(double value);
+  static std::string escape(std::string_view text);
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Write `content` to `path` (truncating). Returns false on I/O failure.
+bool write_text_file(const std::string& path, std::string_view content);
+/// Read a whole file; nullopt if it cannot be opened.
+std::optional<std::string> read_text_file(const std::string& path);
+
+}  // namespace condorg::util

@@ -11,6 +11,24 @@
 #include <string>
 #include <string_view>
 
+// Compile-time gate for trace logging on hot paths (the event-dispatch loop,
+// GRAM protocol drivers). Logger::log already checks the level before
+// formatting, but the check itself plus argument evaluation is measurable in
+// the kernel's inner loop, so trace call sites there go through
+// CONDORG_LOG_TRACE and compile to nothing unless the build enables them
+// (cmake -DCONDORG_TRACE_LOG=ON). Arguments are still type-checked when
+// disabled (discarded `if constexpr` branch), just never evaluated.
+#ifndef CONDORG_LOG_TRACE_ENABLED
+#define CONDORG_LOG_TRACE_ENABLED 0
+#endif
+
+#define CONDORG_LOG_TRACE(logger, ...)               \
+  do {                                               \
+    if constexpr (CONDORG_LOG_TRACE_ENABLED) {       \
+      (logger).trace(__VA_ARGS__);                   \
+    }                                                \
+  } while (false)
+
 namespace condorg::util {
 
 enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };

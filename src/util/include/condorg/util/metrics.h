@@ -1,0 +1,108 @@
+// Named-metric registry for the observability layer.
+//
+// Every daemon in the reproduction registers counters ("how many GRAM
+// submits were sent"), gauges ("queue depth over simulated time") and
+// histograms ("recovery latency") against the registry its Simulation owns.
+// Metrics are keyed by name plus an optional, canonically sorted label set —
+// "schedd.queue_depth{host=submit.wisc.edu,status=idle}" — so one world can
+// hold the same metric for many sites/users without collisions.
+//
+// Determinism: storage is std::map keyed by the canonical string, gauges
+// integrate over *simulated* time, and serialization goes through
+// util::JsonValue (sorted object keys), so a snapshot of a same-seed run is
+// byte-identical across executions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "condorg/util/json.h"
+#include "condorg/util/stats.h"
+
+namespace condorg::util {
+
+/// Label set, e.g. {{"site", "pbs.anl.gov"}}. Order does not matter; keys
+/// are sorted when the canonical metric key is built.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical key: `name` or `name{k1=v1,k2=v2}` with labels sorted by key.
+std::string metric_key(std::string_view name, const MetricLabels& labels);
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { value_ += by; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Piecewise-constant value over simulated time (queue depth, CPUs busy).
+/// Thin wrapper over TimeWeightedGauge so reports get peak/average/integral.
+class Gauge {
+ public:
+  void set(double time, double value) { series_.set(time, value); }
+  void add(double time, double delta) { series_.add(time, delta); }
+  double value() const { return series_.value(); }
+  double peak() const { return series_.peak(); }
+  double average(double end_time) const { return series_.average(end_time); }
+  double integral(double end_time) const { return series_.integral(end_time); }
+
+ private:
+  TimeWeightedGauge series_;
+};
+
+/// Distribution of observed values with exact percentiles.
+class HistogramMetric {
+ public:
+  void observe(double x) {
+    samples_.add(x);
+    summary_.add(x);
+  }
+  const Samples& samples() const { return samples_; }
+  const Summary& summary() const { return summary_; }
+  std::size_t count() const { return summary_.count(); }
+
+ private:
+  Samples samples_;
+  Summary summary_;
+};
+
+class MetricsRegistry {
+ public:
+  /// Lookup-or-create. References stay valid for the registry's lifetime
+  /// (node-based map), so hot paths may cache them.
+  Counter& counter(std::string_view name, const MetricLabels& labels = {});
+  Gauge& gauge(std::string_view name, const MetricLabels& labels = {});
+  HistogramMetric& histogram(std::string_view name,
+                             const MetricLabels& labels = {});
+
+  /// Lookup by canonical key without creating; nullptr when absent.
+  const Counter* find_counter(std::string_view key) const;
+  const Gauge* find_gauge(std::string_view key) const;
+  const HistogramMetric* find_histogram(std::string_view key) const;
+
+  /// Convenience: counter value by canonical key, 0 when absent.
+  std::uint64_t counter_value(std::string_view key) const;
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Snapshot of every metric as a JSON document. Gauges integrate up to
+  /// `end_time` (normally Simulation::now() / World::now()).
+  JsonValue snapshot(double end_time) const;
+  std::string to_json(double end_time) const { return snapshot(end_time).dump(); }
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, HistogramMetric, std::less<>> histograms_;
+};
+
+}  // namespace condorg::util

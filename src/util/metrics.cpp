@@ -1,0 +1,102 @@
+#include "condorg/util/metrics.h"
+
+#include <algorithm>
+
+namespace condorg::util {
+
+std::string metric_key(std::string_view name, const MetricLabels& labels) {
+  std::string key(name);
+  if (labels.empty()) return key;
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  key.push_back('{');
+  bool first = true;
+  for (const auto& [label, value] : sorted) {
+    if (!first) key.push_back(',');
+    first = false;
+    key += label;
+    key.push_back('=');
+    key += value;
+  }
+  key.push_back('}');
+  return key;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  const MetricLabels& labels) {
+  return counters_[metric_key(name, labels)];
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name,
+                              const MetricLabels& labels) {
+  return gauges_[metric_key(name, labels)];
+}
+
+HistogramMetric& MetricsRegistry::histogram(std::string_view name,
+                                            const MetricLabels& labels) {
+  return histograms_[metric_key(name, labels)];
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view key) const {
+  const auto it = counters_.find(key);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view key) const {
+  const auto it = gauges_.find(key);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const HistogramMetric* MetricsRegistry::find_histogram(
+    std::string_view key) const {
+  const auto it = histograms_.find(key);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view key) const {
+  const Counter* counter = find_counter(key);
+  return counter ? counter->value() : 0;
+}
+
+JsonValue MetricsRegistry::snapshot(double end_time) const {
+  JsonValue root = JsonValue::object();
+  root["end_time"] = end_time;
+
+  JsonValue counters = JsonValue::object();
+  for (const auto& [key, counter] : counters_) {
+    counters[key] = counter.value();
+  }
+  root["counters"] = std::move(counters);
+
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [key, gauge] : gauges_) {
+    JsonValue entry = JsonValue::object();
+    entry["value"] = gauge.value();
+    entry["peak"] = gauge.peak();
+    entry["average"] = gauge.average(end_time);
+    entry["integral"] = gauge.integral(end_time);
+    gauges[key] = std::move(entry);
+  }
+  root["gauges"] = std::move(gauges);
+
+  JsonValue histograms = JsonValue::object();
+  for (const auto& [key, histogram] : histograms_) {
+    const Samples& samples = histogram.samples();
+    const Summary& summary = histogram.summary();
+    JsonValue entry = JsonValue::object();
+    entry["count"] = summary.count();
+    entry["sum"] = summary.sum();
+    entry["mean"] = summary.mean();
+    entry["stddev"] = summary.stddev();
+    entry["min"] = summary.min();
+    entry["max"] = summary.max();
+    entry["p50"] = samples.percentile(50.0);
+    entry["p90"] = samples.percentile(90.0);
+    entry["p99"] = samples.percentile(99.0);
+    histograms[key] = std::move(entry);
+  }
+  root["histograms"] = std::move(histograms);
+  return root;
+}
+
+}  // namespace condorg::util

@@ -87,6 +87,9 @@ double Samples::percentile(double p) const {
 }
 
 void TimeWeightedGauge::set(double time, double value) {
+  // Out-of-order updates (time <= last_time_, e.g. two sites reporting at
+  // the same simulated instant) rewrite the current value without touching
+  // the accumulated area, so the integral can never go backwards.
   if (time > last_time_) {
     area_ += value_ * (time - last_time_);
     last_time_ = time;
@@ -100,12 +103,19 @@ void TimeWeightedGauge::add(double time, double delta) {
 }
 
 double TimeWeightedGauge::average(double end_time) const {
-  const double span = end_time - start_time_;
+  // Clamp the window to what was actually observed: asking for an average
+  // before the last sample would divide recorded area by too small a span,
+  // and end_time == start_time_ would divide by zero. A zero-length window
+  // degenerates to the current value.
+  const double end = std::max(end_time, last_time_);
+  const double span = end - start_time_;
   if (span <= 0.0) return value_;
-  return integral(end_time) / span;
+  return integral(end) / span;
 }
 
 double TimeWeightedGauge::integral(double end_time) const {
+  // end_time at or before the last sample contributes nothing beyond the
+  // recorded area (never a negative tail).
   double area = area_;
   if (end_time > last_time_) area += value_ * (end_time - last_time_);
   return area;

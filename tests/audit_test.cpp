@@ -12,6 +12,7 @@
 #include "condorg/core/audit.h"
 #include "condorg/core/broker.h"
 #include "condorg/gsi/credential.h"
+#include "condorg/sim/tracer.h"
 #include "condorg/util/rng.h"
 #include "condorg/workloads/grid_builder.h"
 
@@ -172,6 +173,53 @@ TEST(StandardAuditor, FiresOnNonMonotonicSequenceNumber) {
   world.sim().run_until(world.now() + 300.0);
   EXPECT_FALSE(rig.auditor->ok());
   EXPECT_NE(rig.auditor->report().find("allocator"), std::string::npos);
+}
+
+TEST(StandardAuditor, TraceRootsSilentOnTracedCampaign) {
+  AuditedCampaign rig(41);
+  rig.testbed.world().sim().tracer().set_enabled(true);
+  for (int i = 0; i < 8; ++i) rig.agent->submit(rig.grid_job(600.0 + 45 * i));
+  rig.run_to_completion(86400.0);
+  EXPECT_TRUE(rig.agent->schedd().all_terminal());
+  EXPECT_TRUE(rig.auditor->ok()) << rig.auditor->report();
+  // Every root the campaign opened is closed exactly once.
+  for (const auto& [host, job_id, state] :
+       rig.testbed.world().sim().tracer().root_states()) {
+    EXPECT_EQ(state, cs::Tracer::RootState::kClosed)
+        << "job " << job_id << " on " << host;
+  }
+}
+
+TEST(StandardAuditor, FiresOnOrphanRootSpan) {
+  cs::World world;
+  cs::Host& host = world.add_host("submit");
+  world.sim().tracer().set_enabled(true);
+  core::Schedd schedd(host);
+  core::StandardAuditor auditor(world.sim(), /*period=*/1);
+  auditor.attach_schedd(schedd);
+  schedd.submit(core::JobDescription{});
+  // A root span for a job the Schedd has never heard of.
+  world.sim().tracer().begin_job(999, "submit", host.epoch());
+  world.sim().schedule_at(1.0, [] {});
+  world.sim().run();
+  EXPECT_FALSE(auditor.ok());
+  EXPECT_NE(auditor.report().find("orphan root span"), std::string::npos);
+}
+
+TEST(StandardAuditor, FiresOnDuplicatedRootSpan) {
+  cs::World world;
+  cs::Host& host = world.add_host("submit");
+  world.sim().tracer().set_enabled(true);
+  core::Schedd schedd(host);
+  core::StandardAuditor auditor(world.sim(), /*period=*/1);
+  auditor.attach_schedd(schedd);
+  const auto id = schedd.submit(core::JobDescription{});
+  // Corrupt the trace: a second begin for an id that already has a root.
+  world.sim().tracer().begin_job(id, "submit", host.epoch());
+  world.sim().schedule_at(1.0, [] {});
+  world.sim().run();
+  EXPECT_FALSE(auditor.ok());
+  EXPECT_NE(auditor.report().find("duplicated root span"), std::string::npos);
 }
 
 // ---------- determinism self-check ----------

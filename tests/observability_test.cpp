@@ -1,0 +1,256 @@
+// Tests for the observability layer: the metrics registry (canonical keys,
+// deterministic snapshots, JSON round-trip) and the per-job tracer (span
+// bookkeeping, root-span states, epoch stamping across crashes, and the
+// byte-identical-JSONL contract for same-seed runs).
+#include <gtest/gtest.h>
+
+#include "condorg/core/agent.h"
+#include "condorg/core/broker.h"
+#include "condorg/sim/tracer.h"
+#include "condorg/sim/world.h"
+#include "condorg/util/json.h"
+#include "condorg/util/metrics.h"
+#include "condorg/workloads/grid_builder.h"
+
+namespace core = condorg::core;
+namespace cs = condorg::sim;
+namespace cu = condorg::util;
+namespace cw = condorg::workloads;
+
+namespace {
+
+// ---------- metrics registry ----------
+
+TEST(MetricKey, CanonicalizesLabels) {
+  EXPECT_EQ(cu::metric_key("x", {}), "x");
+  EXPECT_EQ(cu::metric_key("x", {{"b", "2"}, {"a", "1"}}), "x{a=1,b=2}");
+  EXPECT_EQ(cu::metric_key("x", {{"a", "1"}, {"b", "2"}}), "x{a=1,b=2}");
+}
+
+TEST(MetricsRegistry, LabelOrderDoesNotSplitSeries) {
+  cu::MetricsRegistry registry;
+  registry.counter("hits", {{"site", "anl"}, {"user", "jfrey"}}).inc();
+  registry.counter("hits", {{"user", "jfrey"}, {"site", "anl"}}).inc(2);
+  EXPECT_EQ(registry.counter_value("hits{site=anl,user=jfrey}"), 3u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsRegistry, FindWithoutCreate) {
+  cu::MetricsRegistry registry;
+  EXPECT_EQ(registry.find_counter("absent"), nullptr);
+  EXPECT_EQ(registry.find_gauge("absent"), nullptr);
+  EXPECT_EQ(registry.find_histogram("absent"), nullptr);
+  EXPECT_EQ(registry.counter_value("absent"), 0u);
+  EXPECT_EQ(registry.size(), 0u);  // lookups must not create series
+}
+
+TEST(MetricsRegistry, SnapshotInsertionOrderIndependent) {
+  cu::MetricsRegistry a;
+  a.counter("z").inc(5);
+  a.counter("a", {{"k", "v"}}).inc(1);
+  a.gauge("depth").set(0.0, 3.0);
+  a.histogram("lat").observe(1.5);
+
+  cu::MetricsRegistry b;
+  b.histogram("lat").observe(1.5);
+  b.gauge("depth").set(0.0, 3.0);
+  b.counter("a", {{"k", "v"}}).inc(1);
+  b.counter("z").inc(5);
+
+  EXPECT_EQ(a.to_json(10.0), b.to_json(10.0));
+}
+
+TEST(MetricsRegistry, SnapshotJsonRoundTrip) {
+  cu::MetricsRegistry registry;
+  registry.counter("gram.submits", {{"client", "user"}}).inc(42);
+  registry.gauge("queue").set(0.0, 2.0);
+  registry.gauge("queue").set(10.0, 4.0);
+  registry.histogram("recovery").observe(30.0);
+  registry.histogram("recovery").observe(90.0);
+
+  const std::string json = registry.to_json(20.0);
+  auto parsed = cu::JsonValue::parse(json);
+  ASSERT_TRUE(parsed.has_value());
+  // Parse -> dump must reproduce the exact bytes (sorted-key objects).
+  EXPECT_EQ(parsed->dump(), json);
+  EXPECT_DOUBLE_EQ((*parsed)["end_time"].as_number(), 20.0);
+  EXPECT_EQ(
+      (*parsed)["counters"]["gram.submits{client=user}"].as_uint(), 42u);
+  auto& gauge = (*parsed)["gauges"]["queue"];
+  EXPECT_DOUBLE_EQ(gauge["value"].as_number(), 4.0);
+  EXPECT_DOUBLE_EQ(gauge["peak"].as_number(), 4.0);
+  EXPECT_EQ((*parsed)["histograms"]["recovery"]["count"].as_uint(), 2u);
+}
+
+// ---------- tracer unit behaviour ----------
+
+TEST(Tracer, DisabledIsNoOp) {
+  cs::Simulation sim;
+  cs::Tracer& tracer = sim.tracer();
+  EXPECT_FALSE(tracer.enabled());
+  EXPECT_EQ(tracer.begin_span("s", 1, "h", 1), 0u);
+  tracer.event("e", 1, "h", 1);
+  EXPECT_EQ(tracer.begin_job(1, "h", 1), 0u);
+  tracer.end_job(1, "h", "done");
+  EXPECT_TRUE(tracer.records().empty());
+  EXPECT_EQ(tracer.job_root_state("h", 1), cs::Tracer::RootState::kNone);
+}
+
+TEST(Tracer, SpanLifecycleAndOrdering) {
+  cs::Simulation sim;
+  cs::Tracer& tracer = sim.tracer();
+  tracer.set_enabled(true);
+
+  const cs::SpanId root = tracer.begin_span("job", 7, "submit", 1);
+  const cs::SpanId child =
+      tracer.begin_span("gram.submit", 7, "submit", 1, root);
+  EXPECT_EQ(tracer.open_span_count(), 2u);
+  tracer.end_span(child, "ok");
+  tracer.end_span(root, "completed");
+  EXPECT_EQ(tracer.open_span_count(), 0u);
+
+  // Double-close and unknown ids are ignored, not corrupting the stream.
+  const std::size_t frozen = tracer.records().size();
+  tracer.end_span(child, "ok");
+  tracer.end_span(12345, "ok");
+  EXPECT_EQ(tracer.records().size(), frozen);
+
+  ASSERT_EQ(tracer.records().size(), 4u);
+  const auto& records = tracer.records();
+  EXPECT_EQ(records[0].kind, cs::TraceRecord::Kind::kSpanBegin);
+  EXPECT_EQ(records[1].parent, root);
+  EXPECT_EQ(records[2].kind, cs::TraceRecord::Kind::kSpanEnd);
+  EXPECT_EQ(records[2].name, "gram.submit");  // end inherits begin's name
+  EXPECT_EQ(records[3].status, "completed");
+}
+
+TEST(Tracer, RootStateMachine) {
+  cs::Simulation sim;
+  cs::Tracer& tracer = sim.tracer();
+  tracer.set_enabled(true);
+
+  using RootState = cs::Tracer::RootState;
+  EXPECT_EQ(tracer.job_root_state("h", 1), RootState::kNone);
+  tracer.end_job(9, "h", "done");  // end before begin: no root materializes
+  EXPECT_EQ(tracer.job_root_state("h", 9), RootState::kNone);
+
+  tracer.begin_job(1, "h", 1);
+  EXPECT_EQ(tracer.job_root_state("h", 1), RootState::kOpen);
+  tracer.end_job(1, "h", "completed");
+  EXPECT_EQ(tracer.job_root_state("h", 1), RootState::kClosed);
+
+  // Same job id on another submit host is an independent root.
+  tracer.begin_job(1, "other", 1);
+  EXPECT_EQ(tracer.job_root_state("other", 1), RootState::kOpen);
+
+  tracer.begin_job(2, "h", 1);
+  tracer.begin_job(2, "h", 1);  // duplicate submit
+  EXPECT_EQ(tracer.job_root_state("h", 2), RootState::kDuplicate);
+
+  const auto roots = tracer.root_states();
+  EXPECT_EQ(roots.size(), 3u);
+}
+
+TEST(Tracer, PairedEventLatencies) {
+  cs::Simulation sim;
+  cs::Tracer& tracer = sim.tracer();
+  tracer.set_enabled(true);
+  sim.schedule_at(10.0, [&] { tracer.event("recovery.begin", 1, "h", 1); });
+  sim.schedule_at(12.0, [&] { tracer.event("recovery.begin", 2, "h", 1); });
+  sim.schedule_at(40.0, [&] { tracer.event("recovery.end", 1, "h", 1); });
+  // job 2 never recovers: its begin must be dropped, not mispaired.
+  sim.run();
+  const auto latencies =
+      tracer.paired_event_latencies("recovery.begin", "recovery.end");
+  ASSERT_EQ(latencies.size(), 1u);
+  EXPECT_DOUBLE_EQ(latencies[0], 30.0);
+}
+
+TEST(Tracer, SpansSurviveCrashesAndRecordEpochs) {
+  cs::World world(42);
+  cs::Host& host = world.add_host("site");
+  cs::Tracer& tracer = world.sim().tracer();
+  tracer.set_enabled(true);
+
+  const cs::SpanId span = tracer.begin_span("jm", 3, "site", host.epoch());
+  world.sim().schedule_at(100.0, [&] { host.crash_for(50.0); });
+  world.sim().schedule_at(200.0, [&] {
+    tracer.event("jm.restart", 3, "site", host.epoch());
+    tracer.end_span(span, "ok");
+  });
+  world.sim().run();
+
+  ASSERT_EQ(tracer.records().size(), 3u);
+  const auto& records = tracer.records();
+  EXPECT_EQ(records[0].epoch, 1u);
+  EXPECT_EQ(records[1].epoch, 2u);  // event after the crash: epoch bumped
+  EXPECT_EQ(records[1].name, "jm.restart");
+  // The tracer outlives the crash: the pre-crash span closes cleanly and
+  // keeps its begin-time epoch, so the timeline shows the epoch crossing.
+  EXPECT_EQ(records[2].epoch, 1u);
+  EXPECT_EQ(tracer.open_span_count(), 0u);
+}
+
+TEST(Tracer, JsonLineShapeAndDigest) {
+  cs::Simulation sim;
+  cs::Tracer& tracer = sim.tracer();
+  const std::uint64_t fnv_basis = 14695981039346656037ull;
+  EXPECT_EQ(tracer.digest(), fnv_basis);
+  tracer.set_enabled(true);
+  tracer.event("credential.refresh", 0, "submit", 1, "from myproxy");
+  ASSERT_EQ(tracer.records().size(), 1u);
+  const std::string line = tracer.records()[0].to_json();
+  // Every line is itself a JSON object; job=0 fields are elided.
+  auto parsed = cu::JsonValue::parse(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(line.find("\"job\""), std::string::npos);
+  EXPECT_EQ((*parsed)["kind"].as_string(), "event");
+  EXPECT_EQ((*parsed)["detail"].as_string(), "from myproxy");
+  EXPECT_NE(tracer.digest(), fnv_basis);
+}
+
+// ---------- end-to-end determinism ----------
+
+std::pair<std::string, std::uint64_t> traced_campaign(std::uint64_t seed) {
+  cw::GridTestbed testbed(seed);
+  testbed.world().sim().tracer().set_enabled(true);
+  cw::SiteSpec spec;
+  spec.name = "pbs.anl.gov";
+  spec.cpus = 8;
+  testbed.add_site(spec);
+  testbed.add_submit_host("submit.wisc.edu");
+
+  core::CondorGAgent agent(testbed.world(), "submit.wisc.edu");
+  agent.set_site_chooser(core::make_static_chooser(testbed.gatekeepers()));
+  agent.start();
+  for (int i = 0; i < 6; ++i) {
+    core::JobDescription job;
+    job.universe = core::Universe::kGrid;
+    job.runtime_seconds = 600.0 + 60.0 * i;
+    job.notify_email = false;
+    agent.submit(job);
+  }
+  while (!agent.schedd().all_terminal() &&
+         testbed.world().now() < 86400.0) {
+    testbed.world().sim().run_until(testbed.world().now() + 300.0);
+  }
+  EXPECT_TRUE(agent.schedd().all_terminal());
+  const cs::Tracer& tracer = testbed.world().sim().tracer();
+  EXPECT_EQ(tracer.open_span_count(), 0u);
+  return {tracer.to_jsonl(), tracer.digest()};
+}
+
+TEST(Tracer, SameSeedRunsExportByteIdenticalJsonl) {
+  const auto [jsonl_a, digest_a] = traced_campaign(1234);
+  const auto [jsonl_b, digest_b] = traced_campaign(1234);
+  EXPECT_EQ(jsonl_a, jsonl_b);
+  EXPECT_EQ(digest_a, digest_b);
+  EXPECT_FALSE(jsonl_a.empty());
+
+  // A different seed perturbs timing, so the bytes (and digest) move.
+  const auto [jsonl_c, digest_c] = traced_campaign(99);
+  EXPECT_NE(jsonl_a, jsonl_c);
+  EXPECT_NE(digest_a, digest_c);
+}
+
+}  // namespace

@@ -245,6 +245,37 @@ TEST(TimeWeightedGauge, AddDelta) {
   EXPECT_DOUBLE_EQ(g.integral(10.0), 3.0 * 5 + 2.0 * 5);
 }
 
+TEST(TimeWeightedGauge, ZeroLengthWindowIsCurrentValue) {
+  // average() at (or before) the construction time must not divide by zero;
+  // it degenerates to the current value.
+  cu::TimeWeightedGauge g(100.0);
+  g.set(100.0, 4.0);
+  EXPECT_DOUBLE_EQ(g.average(100.0), 4.0);
+  EXPECT_DOUBLE_EQ(g.average(50.0), 4.0);  // window clamped, not negative
+  EXPECT_DOUBLE_EQ(g.integral(100.0), 0.0);
+}
+
+TEST(TimeWeightedGauge, OutOfOrderUpdatesNeverShrinkIntegral) {
+  cu::TimeWeightedGauge g(0.0);
+  g.set(10.0, 5.0);
+  const double before = g.integral(10.0);
+  g.set(4.0, 1.0);  // stale sample: rewrites value, leaves area alone
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+  EXPECT_GE(g.integral(10.0), before);
+  // The integral keeps growing from the *latest* sample time only.
+  EXPECT_DOUBLE_EQ(g.integral(20.0), before + 1.0 * 10.0);
+}
+
+TEST(TimeWeightedGauge, AverageBeforeLastSampleClampsWindow) {
+  cu::TimeWeightedGauge g(0.0);
+  g.set(0.0, 2.0);
+  g.set(10.0, 0.0);
+  // end_time inside the recorded window: clamp to last sample, so the
+  // average is area / observed-span, not area / (too-short span).
+  EXPECT_DOUBLE_EQ(g.average(5.0), 20.0 / 10.0);
+  EXPECT_DOUBLE_EQ(g.average(10.0), 2.0);
+}
+
 TEST(Histogram, BucketsAndOverflow) {
   cu::Histogram h(0.0, 10.0, 5);
   h.add(-1);       // underflow

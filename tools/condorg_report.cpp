@@ -1,0 +1,338 @@
+// condorg_report: offline reader for the observability layer's artifacts.
+//
+// Consumes the trace JSONL written by sim::Tracer (CONDORG_TRACE=...) and
+// the metrics JSON written by util::MetricsRegistry (CONDORG_METRICS=...)
+// and renders human-readable reports:
+//
+//   condorg_report --trace run.jsonl                 # trace overview
+//   condorg_report --trace run.jsonl --job 7         # one job's timeline
+//   condorg_report --trace run.jsonl --recovery      # recovery percentiles
+//   condorg_report --metrics run.json                # metric tables
+//   condorg_report --trace run.jsonl --self-check    # structural validation
+//
+// --self-check exits non-zero when the trace is structurally unsound (parse
+// failures, span ends without begins, double-closed spans, time running
+// backwards) and is wired into scripts/check.sh so a broken exporter fails
+// the repo's checks, not just a human eyeball.
+//
+// This is a leaf tool: it parses files and prints; it never links the
+// simulator, so it works on traces from any run, any machine.
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "condorg/util/json.h"
+#include "condorg/util/stats.h"
+#include "condorg/util/table.h"
+
+namespace {
+
+using condorg::util::JsonValue;
+using condorg::util::Samples;
+using condorg::util::Table;
+
+struct Record {
+  double t = 0;
+  std::string kind;
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t job = 0;
+  std::string name;
+  std::string host;
+  std::uint64_t epoch = 0;
+  std::string status;
+  std::string detail;
+};
+
+struct Trace {
+  std::vector<Record> records;
+  std::vector<std::string> problems;  // filled by structural validation
+};
+
+std::string field(const JsonValue& object, const char* key) {
+  const JsonValue* value = object.find(key);
+  return value != nullptr && value->is_string() ? value->as_string()
+                                                : std::string();
+}
+
+/// Parse one JSONL file; structural problems are collected, not fatal, so
+/// a report over a slightly damaged trace still shows what it can.
+Trace load_trace(const std::string& path) {
+  Trace trace;
+  const std::optional<std::string> text = condorg::util::read_text_file(path);
+  if (!text) {
+    trace.problems.push_back("cannot open trace file: " + path);
+    return trace;
+  }
+  std::size_t line_number = 0;
+  std::size_t start = 0;
+  std::set<std::uint64_t> open;    // spans begun, not yet ended
+  std::set<std::uint64_t> closed;  // spans ended
+  double last_time = 0;
+  while (start < text->size()) {
+    std::size_t end = text->find('\n', start);
+    if (end == std::string::npos) end = text->size();
+    const std::string_view line(text->data() + start, end - start);
+    start = end + 1;
+    ++line_number;
+    if (line.empty()) continue;
+    const std::optional<JsonValue> parsed = JsonValue::parse(line);
+    if (!parsed || !parsed->is_object()) {
+      trace.problems.push_back("line " + std::to_string(line_number) +
+                               ": not a JSON object");
+      continue;
+    }
+    Record record;
+    record.t = parsed->number_at("t");
+    record.kind = field(*parsed, "kind");
+    record.span = static_cast<std::uint64_t>(parsed->number_at("span"));
+    record.parent = static_cast<std::uint64_t>(parsed->number_at("parent"));
+    record.job = static_cast<std::uint64_t>(parsed->number_at("job"));
+    record.name = field(*parsed, "name");
+    record.host = field(*parsed, "host");
+    record.epoch = static_cast<std::uint64_t>(parsed->number_at("epoch"));
+    record.status = field(*parsed, "status");
+    record.detail = field(*parsed, "detail");
+
+    if (record.t < last_time) {
+      trace.problems.push_back("line " + std::to_string(line_number) +
+                               ": time runs backwards");
+    }
+    last_time = record.t;
+    if (record.kind == "span_begin") {
+      if (!open.insert(record.span).second) {
+        trace.problems.push_back("line " + std::to_string(line_number) +
+                                 ": span " + std::to_string(record.span) +
+                                 " begun twice");
+      }
+    } else if (record.kind == "span_end") {
+      if (open.erase(record.span) == 0) {
+        trace.problems.push_back(
+            "line " + std::to_string(line_number) + ": span " +
+            std::to_string(record.span) +
+            (closed.count(record.span) ? " ended twice" : " ended, never begun"));
+      } else {
+        closed.insert(record.span);
+      }
+    } else if (record.kind != "event") {
+      trace.problems.push_back("line " + std::to_string(line_number) +
+                               ": unknown kind \"" + record.kind + "\"");
+    }
+    trace.records.push_back(std::move(record));
+  }
+  return trace;
+}
+
+std::string format_number(double value) {
+  return JsonValue::number_to_string(value);
+}
+
+void print_overview(const Trace& trace) {
+  std::size_t begins = 0;
+  std::size_t ends = 0;
+  std::size_t events = 0;
+  std::set<std::uint64_t> jobs;
+  std::set<std::string> hosts;
+  std::map<std::string, std::size_t> by_name;
+  for (const Record& record : trace.records) {
+    if (record.kind == "span_begin") ++begins;
+    if (record.kind == "span_end") ++ends;
+    if (record.kind == "event") ++events;
+    if (record.job != 0) jobs.insert(record.job);
+    if (!record.host.empty()) hosts.insert(record.host);
+    ++by_name[record.name];
+  }
+  std::printf("trace: %zu records (%zu span begins, %zu span ends, "
+              "%zu events), %zu jobs, %zu hosts\n",
+              trace.records.size(), begins, ends, events, jobs.size(),
+              hosts.size());
+  Table table({"name", "records"});
+  for (const auto& [name, count] : by_name) {
+    table.add_row({name, std::to_string(count)});
+  }
+  std::fputs(table.render("records by name").c_str(), stdout);
+}
+
+void print_job_timeline(const Trace& trace, std::uint64_t job) {
+  Table table({"t", "kind", "name", "host", "epoch", "status / detail"});
+  std::size_t rows = 0;
+  for (const Record& record : trace.records) {
+    if (record.job != job) continue;
+    std::string tail = record.status;
+    if (!record.detail.empty()) {
+      if (!tail.empty()) tail += " — ";
+      tail += record.detail;
+    }
+    table.add_row({format_number(record.t), record.kind, record.name,
+                   record.host, std::to_string(record.epoch), tail});
+    ++rows;
+  }
+  if (rows == 0) {
+    std::printf("no records for job %llu\n",
+                static_cast<unsigned long long>(job));
+    return;
+  }
+  std::fputs(
+      table.render("timeline for job " + std::to_string(job)).c_str(),
+      stdout);
+}
+
+/// Recovery latency: pair each job's "recovery.begin" with its next
+/// "recovery.end" (same matching rule as Tracer::paired_event_latencies).
+void print_recovery(const Trace& trace) {
+  std::map<std::uint64_t, double> begun;
+  Samples latencies;
+  std::size_t unmatched = 0;
+  for (const Record& record : trace.records) {
+    if (record.kind != "event") continue;
+    if (record.name == "recovery.begin") {
+      begun.emplace(record.job, record.t);
+    } else if (record.name == "recovery.end") {
+      const auto it = begun.find(record.job);
+      if (it == begun.end()) {
+        ++unmatched;
+        continue;
+      }
+      latencies.add(record.t - it->second);
+      begun.erase(it);
+    }
+  }
+  if (latencies.empty()) {
+    std::printf("no completed recovery windows in this trace "
+                "(%zu still open, %zu unmatched ends)\n",
+                begun.size(), unmatched);
+    return;
+  }
+  Table table({"windows", "p50 (s)", "p90 (s)", "p99 (s)", "max (s)"});
+  table.add_row({std::to_string(latencies.count()),
+                 format_number(latencies.percentile(50)),
+                 format_number(latencies.percentile(90)),
+                 format_number(latencies.percentile(99)),
+                 format_number(latencies.max())});
+  std::fputs(table.render("recovery latency").c_str(), stdout);
+  if (!begun.empty() || unmatched != 0) {
+    std::printf("note: %zu windows still open, %zu unmatched ends\n",
+                begun.size(), unmatched);
+  }
+}
+
+int print_metrics(const std::string& path) {
+  const std::optional<std::string> text = condorg::util::read_text_file(path);
+  if (!text) {
+    std::fprintf(stderr, "cannot open metrics file: %s\n", path.c_str());
+    return 1;
+  }
+  const std::optional<JsonValue> parsed = JsonValue::parse(*text);
+  if (!parsed || !parsed->is_object()) {
+    std::fprintf(stderr, "metrics file is not a JSON object: %s\n",
+                 path.c_str());
+    return 1;
+  }
+  if (const JsonValue* counters = parsed->find("counters");
+      counters != nullptr && counters->is_object() && counters->size() > 0) {
+    Table table({"counter", "value"});
+    for (const auto& [key, value] : counters->members()) {
+      table.add_row({key, format_number(value.as_number())});
+    }
+    std::fputs(table.render("counters").c_str(), stdout);
+  }
+  if (const JsonValue* gauges = parsed->find("gauges");
+      gauges != nullptr && gauges->is_object() && gauges->size() > 0) {
+    Table table({"gauge", "value", "peak", "average"});
+    for (const auto& [key, value] : gauges->members()) {
+      table.add_row({key, format_number(value.number_at("value")),
+                     format_number(value.number_at("peak")),
+                     format_number(value.number_at("average"))});
+    }
+    std::fputs(table.render("gauges (time-weighted)").c_str(), stdout);
+  }
+  if (const JsonValue* histograms = parsed->find("histograms");
+      histograms != nullptr && histograms->is_object() &&
+      histograms->size() > 0) {
+    Table table({"histogram", "count", "mean", "p50", "p99", "max"});
+    for (const auto& [key, value] : histograms->members()) {
+      table.add_row({key, format_number(value.number_at("count")),
+                     format_number(value.number_at("mean")),
+                     format_number(value.number_at("p50")),
+                     format_number(value.number_at("p99")),
+                     format_number(value.number_at("max"))});
+    }
+    std::fputs(table.render("histograms").c_str(), stdout);
+  }
+  return 0;
+}
+
+int usage() {
+  std::fputs(
+      "usage: condorg_report [--trace FILE] [--metrics FILE]\n"
+      "                      [--job N] [--recovery] [--self-check]\n"
+      "  --trace FILE    trace JSONL written via CONDORG_TRACE\n"
+      "  --metrics FILE  metrics JSON written via CONDORG_METRICS\n"
+      "  --job N         print one job's timeline (needs --trace)\n"
+      "  --recovery      recovery-latency percentiles (needs --trace)\n"
+      "  --self-check    validate trace structure; non-zero exit on damage\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string metrics_path;
+  std::optional<std::uint64_t> job;
+  bool recovery = false;
+  bool self_check = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg == "--job" && i + 1 < argc) {
+      job = std::stoull(argv[++i]);
+    } else if (arg == "--recovery") {
+      recovery = true;
+    } else if (arg == "--self-check") {
+      self_check = true;
+    } else {
+      return usage();
+    }
+  }
+  if (trace_path.empty() && metrics_path.empty()) return usage();
+
+  int rc = 0;
+  if (!trace_path.empty()) {
+    const Trace trace = load_trace(trace_path);
+    if (self_check) {
+      for (const std::string& problem : trace.problems) {
+        std::fprintf(stderr, "self-check: %s\n", problem.c_str());
+      }
+      if (!trace.problems.empty()) {
+        std::fprintf(stderr, "self-check FAILED: %zu problems in %s\n",
+                     trace.problems.size(), trace_path.c_str());
+        return 1;
+      }
+      std::printf("self-check ok: %zu records in %s\n", trace.records.size(),
+                  trace_path.c_str());
+    } else if (job) {
+      print_job_timeline(trace, *job);
+    } else if (recovery) {
+      print_recovery(trace);
+    } else {
+      print_overview(trace);
+    }
+    if (!self_check && !trace.problems.empty()) {
+      std::fprintf(stderr, "warning: %zu structural problems (run with "
+                           "--self-check for details)\n",
+                   trace.problems.size());
+    }
+  }
+  if (!metrics_path.empty()) rc = print_metrics(metrics_path);
+  return rc;
+}

@@ -28,6 +28,11 @@ guarantee or the paper's exactly-once protocol:
                          that never null-checks it — moved-from or
                          default-constructed std::function invocation is UB
                          (std::bad_function_call at best).
+  direct-io              std::cout / std::cerr / printf-family calls —
+                         daemon and simulation code must log through
+                         util::Logger (levelled, capturable, deterministic);
+                         direct stdio belongs to benches, examples, and the
+                         report tool (which is allowlisted).
 
 Suppressions, in order of preference:
   1. Fix the code.
@@ -64,6 +69,13 @@ LINE_RULES = [
                    r"(?<![:\w.>])time\s*\(\s*(?:nullptr|NULL|0|&)|"
                    r"(?<![:\w.>])clock\s*\(\s*\))"),
         "simulated code must read sim::Simulation::now(), not the host clock",
+    ),
+    (
+        "direct-io",
+        re.compile(r"(?<![:\w])(?:std::)?(?:cout|cerr)\b|"
+                   r"(?<![:\w])(?:std::)?"
+                   r"(?:printf|fprintf|fputs|fputc|putchar|puts)\s*\("),
+        "log through util::Logger; direct stdio is for tools/benches only",
     ),
 ]
 
@@ -290,7 +302,8 @@ def self_test(root):
                       {})
     got = sorted({v.rule for v in found})
     want = sorted(["banned-rand", "wall-clock", "unordered-iteration",
-                   "virtual-in-derived", "unchecked-function-call"])
+                   "virtual-in-derived", "unchecked-function-call",
+                   "direct-io"])
     ok = got == want
     # The inline-allowed std::rand at the bottom must NOT be reported twice.
     rand_hits = sum(1 for v in found if v.rule == "banned-rand")
@@ -317,7 +330,7 @@ def main():
                              "fires")
     parser.add_argument("paths", nargs="*",
                         help="restrict the scan to these files/dirs "
-                             "(default: src/)")
+                             "(default: src/ and tools/)")
     args = parser.parse_args()
 
     if args.self_test:
@@ -328,7 +341,9 @@ def main():
                                                     "allowlist.txt")
     allows = load_allowlist(allowlist_path)
 
-    scan_roots = args.paths or [os.path.join(root, "src")]
+    scan_roots = args.paths or [os.path.join(root, "src"),
+                                os.path.join(root, "tools")]
+    fixture_dir = os.path.join(root, "tools", "lint", "testdata")
     files = []
     for scan in scan_roots:
         scan = os.path.join(root, scan) if not os.path.isabs(scan) else scan
@@ -336,6 +351,8 @@ def main():
             files.append(scan)
             continue
         for dirpath, _, names in os.walk(scan):
+            if os.path.abspath(dirpath).startswith(fixture_dir):
+                continue  # the fixture violates every rule by design
             for name in sorted(names):
                 if name.endswith(SRC_EXTENSIONS):
                     files.append(os.path.join(dirpath, name))

@@ -32,6 +32,8 @@ void fire() {
   hook();                                              // unchecked-function-call
 }
 
+void shout() { std::printf("loud\n"); }                // direct-io
+
 // Suppression forms must keep working:
 int allowed_noise() {
   // lint-allow(banned-rand): fixture proves inline allows suppress
