@@ -31,6 +31,16 @@ cmp "${trace_dir}/run1.jsonl" "${trace_dir}/run2.jsonl"
 ./build/tools/condorg_report --trace "${trace_dir}/run1.jsonl" \
   --metrics "${trace_dir}/run1-metrics.json" --self-check
 
+echo "== bench telemetry comparator =="
+# The comparator's own logic is deterministic and always checked; diffing a
+# fresh bench run against the committed baselines needs real (noisy) numbers,
+# so it only runs when asked: CONDORG_BENCH_COMPARE=1 after running the
+# bench binaries (they drop BENCH_<id>.json next to themselves).
+python3 tools/bench_compare.py --self-test
+if [[ "${CONDORG_BENCH_COMPARE:-0}" == "1" ]]; then
+  python3 tools/bench_compare.py bench/baselines build/bench
+fi
+
 echo "== ASan+UBSan build + tests (auditor enabled) =="
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "${jobs}"

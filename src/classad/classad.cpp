@@ -8,26 +8,53 @@
 #include "condorg/util/strings.h"
 
 namespace condorg::classad {
+namespace {
 
-bool AttrNameLess::operator()(const std::string& a,
-                              const std::string& b) const {
+inline char fold(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+}  // namespace
+
+bool AttrNameLess::operator()(std::string_view a, std::string_view b) const {
   const std::size_t n = std::min(a.size(), b.size());
   for (std::size_t i = 0; i < n; ++i) {
-    const char ca =
-        static_cast<char>(std::tolower(static_cast<unsigned char>(a[i])));
-    const char cb =
-        static_cast<char>(std::tolower(static_cast<unsigned char>(b[i])));
+    const char ca = fold(a[i]);
+    const char cb = fold(b[i]);
     if (ca != cb) return ca < cb;
   }
   return a.size() < b.size();
 }
 
+std::size_t AttrNameHash::operator()(std::string_view s) const {
+  // FNV-1a over case-folded bytes.
+  std::size_t h = 14695981039346656037ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(fold(c));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool AttrNameEq::operator()(std::string_view a, std::string_view b) const {
+  return util::iequals(a, b);
+}
+
+void ClassAd::refresh_hot_attr(std::string_view name, const ExprPtr& expr) {
+  if (util::iequals(name, "Requirements")) {
+    requirements_ = expr;
+  } else if (util::iequals(name, "Rank")) {
+    rank_ = expr;
+  }
+}
+
 void ClassAd::insert(const std::string& name, ExprPtr expr) {
-  auto it = attrs_.find(name);
+  refresh_hot_attr(name, expr);
+  auto it = attrs_.find(std::string_view(name));
   if (it == attrs_.end()) {
-    attrs_.emplace(name, Attr{name, std::move(expr)});
+    attrs_.emplace(name, std::move(expr));
   } else {
-    it->second.expr = std::move(expr);  // keep canonical spelling
+    it->second = std::move(expr);  // keep canonical spelling
   }
 }
 
@@ -52,15 +79,18 @@ void ClassAd::insert_string(const std::string& name, std::string value) {
   insert(name, std::make_shared<LiteralExpr>(Value::string(std::move(value))));
 }
 
-bool ClassAd::erase(const std::string& name) { return attrs_.erase(name) > 0; }
-
-bool ClassAd::contains(const std::string& name) const {
-  return attrs_.count(name) > 0;
+bool ClassAd::erase(const std::string& name) {
+  refresh_hot_attr(name, nullptr);
+  return attrs_.erase(name) > 0;
 }
 
-ExprPtr ClassAd::lookup(const std::string& name) const {
+bool ClassAd::contains(const std::string& name) const {
+  return attrs_.find(std::string_view(name)) != attrs_.end();
+}
+
+ExprPtr ClassAd::lookup(std::string_view name) const {
   const auto it = attrs_.find(name);
-  return it == attrs_.end() ? nullptr : it->second.expr;
+  return it == attrs_.end() ? nullptr : it->second;
 }
 
 Value ClassAd::eval(const std::string& name, const ClassAd* target) const {
@@ -102,40 +132,57 @@ std::optional<std::string> ClassAd::eval_string(const std::string& name,
 std::vector<std::string> ClassAd::names() const {
   std::vector<std::string> out;
   out.reserve(attrs_.size());
-  for (const auto& [key, attr] : attrs_) out.push_back(attr.name);
+  // lint-allow(unordered-iteration): keys are sorted below, order-independent
+  for (const auto& [name, expr] : attrs_) out.push_back(name);
+  std::sort(out.begin(), out.end(), AttrNameLess{});
   return out;
 }
 
 std::string ClassAd::unparse() const {
   std::string out = "[";
   bool first = true;
-  for (const auto& [key, attr] : attrs_) {
+  for (const std::string& name : names()) {
     if (!first) out += "; ";
     first = false;
-    out += attr.name + " = " + attr.expr->unparse();
+    out += name + " = " + lookup(name)->unparse();
   }
   out += "]";
   return out;
 }
 
 void ClassAd::update(const ClassAd& other) {
-  for (const auto& [key, attr] : other.attrs_) {
-    insert(attr.name, attr.expr);
+  // lint-allow(unordered-iteration): per-key overwrite into a map; the
+  // result is independent of iteration order (keys are distinct).
+  for (const auto& [name, expr] : other.attrs_) {
+    insert(name, expr);
   }
 }
 
 bool symmetric_match(const ClassAd& left, const ClassAd& right) {
-  auto half = [](const ClassAd& my, const ClassAd& target) {
-    const ExprPtr req = my.lookup("Requirements");
+  // One scratch context reused for both halves instead of a rebuild per
+  // evaluation; Requirements resolution is the per-ad cached pointer.
+  EvalContext ctx;
+  const auto half = [&ctx](const ClassAd& my, const ClassAd& target) {
+    const ExprPtr& req = my.requirements();
     if (!req) return true;  // no constraints: matches anything
-    const Value v = req->evaluate(&my, &target);
+    ctx.my = &my;
+    ctx.target = &target;
+    ctx.depth = 0;
+    const Value v = req->eval(ctx);
     return v.is_bool() && v.as_bool();
   };
   return half(left, right) && half(right, left);
 }
 
+bool half_match(const ClassAd& my, const ClassAd& target) {
+  const ExprPtr& req = my.requirements();
+  if (!req) return true;  // no constraints: matches anything
+  const Value v = req->evaluate(&my, &target);
+  return v.is_bool() && v.as_bool();
+}
+
 double eval_rank(const ClassAd& ad, const ClassAd& target) {
-  const ExprPtr rank = ad.lookup("Rank");
+  const ExprPtr& rank = ad.rank();
   if (!rank) return 0.0;
   const Value v = rank->evaluate(&ad, &target);
   double d = 0.0;

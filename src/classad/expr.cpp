@@ -98,6 +98,10 @@ const char* op_text(BinaryOp op) {
 
 }  // namespace
 
+Value eval_fuzzy_compare(BinaryOp op, const Value& a, const Value& b) {
+  return compare(op, a, b);
+}
+
 // ---------- AttrRefExpr ----------
 
 Value AttrRefExpr::eval(EvalContext& ctx) const {

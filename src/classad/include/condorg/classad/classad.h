@@ -7,9 +7,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "condorg/classad/expr.h"
@@ -17,9 +18,22 @@
 
 namespace condorg::classad {
 
-/// Case-insensitive attribute-name ordering.
+/// Case-insensitive attribute-name ordering (used for the canonical sorted
+/// order of names()/unparse()).
 struct AttrNameLess {
-  bool operator()(const std::string& a, const std::string& b) const;
+  bool operator()(std::string_view a, std::string_view b) const;
+};
+
+/// Case-folding FNV-1a hash + equality so attribute lookups are O(1) against
+/// the canonical (first-inserted) spelling without lowercasing a temporary
+/// per lookup. Transparent: heterogeneous find() takes string_view.
+struct AttrNameHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const;
+};
+struct AttrNameEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const;
 };
 
 class ClassAd {
@@ -41,7 +55,13 @@ class ClassAd {
   bool empty() const { return attrs_.empty(); }
 
   /// The bound expression, or nullptr.
-  ExprPtr lookup(const std::string& name) const;
+  ExprPtr lookup(std::string_view name) const;
+
+  /// Cached resolutions of the two matchmaking hot-path attributes; kept in
+  /// sync by insert/erase/update so symmetric_match and eval_rank skip the
+  /// name lookup entirely. Null when the attribute is absent.
+  const ExprPtr& requirements() const { return requirements_; }
+  const ExprPtr& rank() const { return rank_; }
 
   // --- evaluation ---
   /// Evaluate attribute `name` with MY = this ad, TARGET = `target`.
@@ -68,11 +88,14 @@ class ClassAd {
   void update(const ClassAd& other);
 
  private:
-  struct Attr {
-    std::string name;  // canonical spelling
-    ExprPtr expr;
-  };
-  std::map<std::string, Attr, AttrNameLess> attrs_;
+  void refresh_hot_attr(std::string_view name, const ExprPtr& expr);
+
+  // Keyed by the canonical (first-inserted) spelling; hash/equality fold
+  // case, so "MEMORY" finds "Memory" in one probe instead of a tolower-walk
+  // per tree level of a std::map.
+  std::unordered_map<std::string, ExprPtr, AttrNameHash, AttrNameEq> attrs_;
+  ExprPtr requirements_;  // == lookup("Requirements"), kept in sync
+  ExprPtr rank_;          // == lookup("Rank"), kept in sync
 };
 
 // --- matchmaking ---
@@ -81,6 +104,12 @@ class ClassAd {
 /// `right.Requirements` is true with TARGET = left. A missing Requirements
 /// attribute counts as true (matches anything), mirroring Condor.
 bool symmetric_match(const ClassAd& left, const ClassAd& right);
+
+/// One side of symmetric_match: true iff `my.Requirements` evaluates to true
+/// with TARGET = `target` (missing Requirements counts as true). Exposed so
+/// the negotiator's prefilter can fall back per side instead of re-running
+/// the side it already proved.
+bool half_match(const ClassAd& my, const ClassAd& target);
 
 /// Evaluate `ad.Rank` against `target`; UNDEFINED or non-numeric → 0.0.
 double eval_rank(const ClassAd& ad, const ClassAd& target);

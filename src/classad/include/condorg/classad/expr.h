@@ -50,6 +50,10 @@ class Expr {
   virtual Value eval(EvalContext& ctx) const = 0;
   virtual std::string unparse() const = 0;
 
+  /// Non-null iff this node is a literal — the constant-folding and
+  /// matchmaking pre-filter fast paths branch on this without RTTI.
+  virtual const Value* literal() const { return nullptr; }
+
   /// Evaluate with a fresh context (no target).
   Value evaluate(const ClassAd* my = nullptr,
                  const ClassAd* target = nullptr) const {
@@ -65,6 +69,7 @@ class LiteralExpr final : public Expr {
   explicit LiteralExpr(Value value) : value_(std::move(value)) {}
   Value eval(EvalContext&) const override { return value_; }
   std::string unparse() const override { return value_.unparse(); }
+  const Value* literal() const override { return &value_; }
   const Value& value() const { return value_; }
 
  private:
@@ -103,6 +108,9 @@ class BinaryExpr final : public Expr {
       : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
   Value eval(EvalContext& ctx) const override;
   std::string unparse() const override;
+  BinaryOp op() const { return op_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
 
  private:
   BinaryOp op_;
@@ -147,6 +155,13 @@ class ListExpr final : public Expr {
  private:
   std::vector<ExprPtr> items_;
 };
+
+/// The fuzzy comparison the <, <=, >, >=, ==, != operators apply once both
+/// operands are plain values: numbers compare numerically (bool coerces),
+/// strings case-insensitively, anything else is ERROR. Exposed so the
+/// Negotiator's pre-filter can evaluate extracted Requirements conjuncts
+/// against pre-resolved slot attributes with byte-identical semantics.
+Value eval_fuzzy_compare(BinaryOp op, const Value& a, const Value& b);
 
 // --- builtin function registry (implemented in builtins.cpp) ---
 using Builtin = Value (*)(const std::vector<Value>& args, EvalContext& ctx);

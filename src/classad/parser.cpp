@@ -8,6 +8,60 @@
 namespace condorg::classad {
 namespace {
 
+// ---------- parse-time constant folding ----------
+//
+// Literal subtrees are evaluated once here instead of on every match cycle.
+// Folding is restricted to operators whose result on plain values cannot
+// depend on the evaluation context: unary/binary/ternary nodes over literal
+// operands (expression evaluation is pure), plus the absorbing boolean
+// short-circuits (false && X == false, true || X == true for every X,
+// including ERROR, per the non-strict connective semantics in expr.cpp).
+// Calls and lists are never folded: builtins may consult the context.
+
+ExprPtr make_unary(UnaryOp op, ExprPtr operand) {
+  const bool foldable = operand->literal() != nullptr;
+  auto node = std::make_shared<UnaryExpr>(op, std::move(operand));
+  if (foldable) {
+    EvalContext ctx;
+    return std::make_shared<LiteralExpr>(node->eval(ctx));
+  }
+  return node;
+}
+
+ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  const Value* left_lit = lhs->literal();
+  const Value* right_lit = rhs->literal();
+  if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+    const bool absorber = op == BinaryOp::kOr;  // true for ||, false for &&
+    if (left_lit != nullptr && left_lit->is_bool() &&
+        left_lit->as_bool() == absorber) {
+      return lhs;  // absorbed before rhs would ever run
+    }
+    if (right_lit != nullptr && right_lit->is_bool() &&
+        right_lit->as_bool() == absorber) {
+      return rhs;  // lhs eval is pure; the absorber still wins
+    }
+  }
+  auto node = std::make_shared<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+  if (left_lit != nullptr && right_lit != nullptr) {
+    EvalContext ctx;
+    return std::make_shared<LiteralExpr>(node->eval(ctx));
+  }
+  return node;
+}
+
+ExprPtr make_ternary(ExprPtr cond, ExprPtr then_expr, ExprPtr else_expr) {
+  if (const Value* lit = cond->literal()) {
+    if (lit->is_bool()) return lit->as_bool() ? then_expr : else_expr;
+    if (lit->is_undefined()) {
+      return std::make_shared<LiteralExpr>(Value::undefined());
+    }
+    return std::make_shared<LiteralExpr>(Value::error());
+  }
+  return std::make_shared<TernaryExpr>(std::move(cond), std::move(then_expr),
+                                       std::move(else_expr));
+}
+
 class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
@@ -82,9 +136,8 @@ class Parser {
       ExprPtr then_expr = expression();
       expect(TokenKind::kColon, "':'");
       ExprPtr else_expr = expression();
-      return std::make_shared<TernaryExpr>(std::move(cond),
-                                           std::move(then_expr),
-                                           std::move(else_expr));
+      return make_ternary(std::move(cond), std::move(then_expr),
+                          std::move(else_expr));
     }
     return cond;
   }
@@ -92,8 +145,7 @@ class Parser {
   ExprPtr logical_or() {
     ExprPtr lhs = logical_and();
     while (accept(TokenKind::kOr)) {
-      lhs = std::make_shared<BinaryExpr>(BinaryOp::kOr, std::move(lhs),
-                                         logical_and());
+      lhs = make_binary(BinaryOp::kOr, std::move(lhs), logical_and());
     }
     return lhs;
   }
@@ -101,8 +153,7 @@ class Parser {
   ExprPtr logical_and() {
     ExprPtr lhs = comparison();
     while (accept(TokenKind::kAnd)) {
-      lhs = std::make_shared<BinaryExpr>(BinaryOp::kAnd, std::move(lhs),
-                                         comparison());
+      lhs = make_binary(BinaryOp::kAnd, std::move(lhs), comparison());
     }
     return lhs;
   }
@@ -123,7 +174,7 @@ class Parser {
         default: return lhs;
       }
       advance();
-      lhs = std::make_shared<BinaryExpr>(op, std::move(lhs), additive());
+      lhs = make_binary(op, std::move(lhs), additive());
     }
   }
 
@@ -139,7 +190,7 @@ class Parser {
         return lhs;
       }
       advance();
-      lhs = std::make_shared<BinaryExpr>(op, std::move(lhs), multiplicative());
+      lhs = make_binary(op, std::move(lhs), multiplicative());
     }
   }
 
@@ -154,19 +205,19 @@ class Parser {
         default: return lhs;
       }
       advance();
-      lhs = std::make_shared<BinaryExpr>(op, std::move(lhs), unary());
+      lhs = make_binary(op, std::move(lhs), unary());
     }
   }
 
   ExprPtr unary() {
     if (accept(TokenKind::kMinus)) {
-      return std::make_shared<UnaryExpr>(UnaryOp::kMinus, unary());
+      return make_unary(UnaryOp::kMinus, unary());
     }
     if (accept(TokenKind::kPlus)) {
-      return std::make_shared<UnaryExpr>(UnaryOp::kPlus, unary());
+      return make_unary(UnaryOp::kPlus, unary());
     }
     if (accept(TokenKind::kNot)) {
-      return std::make_shared<UnaryExpr>(UnaryOp::kNot, unary());
+      return make_unary(UnaryOp::kNot, unary());
     }
     return primary();
   }

@@ -1,5 +1,8 @@
 #include "condorg/condor/collector.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "condorg/classad/parser.h"
 
 namespace condorg::condor {
@@ -8,7 +11,10 @@ Collector::Collector(sim::Host& host, sim::Network& network)
     : host_(host), network_(network) {
   install();
   boot_id_ = host_.add_boot([this] { install(); });
-  crash_listener_ = host_.add_crash_listener([this] { entries_.clear(); });
+  crash_listener_ = host_.add_crash_listener([this] {
+    entries_.clear();
+    expiry_heap_.clear();
+  });
 }
 
 Collector::~Collector() {
@@ -28,8 +34,14 @@ void Collector::on_message(const sim::Message& message) {
     if (name.empty()) return;
     try {
       Entry entry;
-      entry.ad = classad::parse_ad(message.body.get("ad"));
+      entry.ad = std::make_shared<const classad::ClassAd>(
+          classad::parse_ad(message.body.get("ad")));
       entry.expires_at = host_.now() + message.body.get_double("ttl", 900.0);
+      expiry_heap_.push_back(Deadline{entry.expires_at, name});
+      std::push_heap(expiry_heap_.begin(), expiry_heap_.end(),
+                     [](const Deadline& a, const Deadline& b) {
+                       return a.after(b);
+                     });
       entries_[name] = std::move(entry);
       ++ads_received_;
     } catch (const classad::ParseError&) {
@@ -45,22 +57,30 @@ void Collector::on_message(const sim::Message& message) {
 
 void Collector::prune() const {
   const sim::Time now = host_.now();
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.expires_at <= now) {
-      it = entries_.erase(it);
-    } else {
-      ++it;
+  const auto after = [](const Deadline& a, const Deadline& b) {
+    return a.after(b);
+  };
+  while (!expiry_heap_.empty() && expiry_heap_.front().when <= now) {
+    std::pop_heap(expiry_heap_.begin(), expiry_heap_.end(), after);
+    const Deadline deadline = std::move(expiry_heap_.back());
+    expiry_heap_.pop_back();
+    const auto it = entries_.find(deadline.name);
+    // Stale node if the name was re-advertised with a later deadline (the
+    // newer node is still in the heap) or explicitly invalidated.
+    if (it != entries_.end() && it->second.expires_at <= now) {
+      entries_.erase(it);
     }
   }
 }
 
-std::vector<classad::ClassAd> Collector::query(
+std::vector<Collector::AdPtr> Collector::query(
     const classad::ExprPtr& constraint) const {
   prune();
-  std::vector<classad::ClassAd> out;
+  std::vector<AdPtr> out;
+  out.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {
     if (constraint) {
-      const classad::Value v = constraint->evaluate(&entry.ad, nullptr);
+      const classad::Value v = constraint->evaluate(entry.ad.get(), nullptr);
       if (!v.is_bool() || !v.as_bool()) continue;
     }
     out.push_back(entry.ad);

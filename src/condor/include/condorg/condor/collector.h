@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,12 @@ class Collector {
  public:
   static constexpr const char* kService = "condor.collector";
 
+  /// Query results share ownership of the stored ads instead of deep-copying
+  /// them: a 10k-slot pool hands the Negotiator 10k refcount bumps, not 10k
+  /// attribute-map clones. Ads are immutable once advertised (re-advertising
+  /// replaces the pointer), so the aliasing is safe.
+  using AdPtr = std::shared_ptr<const classad::ClassAd>;
+
   Collector(sim::Host& host, sim::Network& network);
   ~Collector();
 
@@ -30,11 +37,10 @@ class Collector {
 
   sim::Address address() const { return {host_.name(), kService}; }
 
-  /// All live machine ads (TTL not yet lapsed), optionally filtered by a
-  /// constraint evaluated against each ad. Local API — the Negotiator runs
-  /// in the same "personal Condor" on the same host.
-  std::vector<classad::ClassAd> query(
-      const classad::ExprPtr& constraint = nullptr) const;
+  /// All live machine ads (TTL not yet lapsed) in ad-name order, optionally
+  /// filtered by a constraint evaluated against each ad. Local API — the
+  /// Negotiator runs in the same "personal Condor" on the same host.
+  std::vector<AdPtr> query(const classad::ExprPtr& constraint = nullptr) const;
 
   /// Live ad count.
   std::size_t live_count() const;
@@ -46,17 +52,28 @@ class Collector {
 
  private:
   struct Entry {
-    classad::ClassAd ad;
+    AdPtr ad;
     sim::Time expires_at = 0;
+  };
+  // Lazily-deleted expiry heap node. An entry's live deadline always has a
+  // matching node (advertise pushes one); nodes for superseded deadlines or
+  // invalidated names are discarded when popped.
+  struct Deadline {
+    sim::Time when = 0;
+    std::string name;
+    bool after(const Deadline& other) const { return when > other.when; }
   };
 
   void install();
   void on_message(const sim::Message& message);
+  /// Pop expired deadlines and erase entries whose TTL has lapsed. O(expired
+  /// log n) instead of a full-pool scan per query.
   void prune() const;
 
   sim::Host& host_;
   sim::Network& network_;
-  mutable std::map<std::string, Entry> entries_;
+  mutable std::map<std::string, Entry> entries_;  // ordered: query determinism
+  mutable std::vector<Deadline> expiry_heap_;     // min-heap on `when`
   int boot_id_ = 0;
   int crash_listener_ = 0;
   std::uint64_t ads_received_ = 0;

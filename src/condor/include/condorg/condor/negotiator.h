@@ -8,12 +8,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "condorg/classad/classad.h"
 #include "condorg/condor/collector.h"
 #include "condorg/sim/host.h"
+#include "condorg/util/metrics.h"
 
 namespace condorg::condor {
 
@@ -31,12 +33,37 @@ struct Match {
 /// Pure matchmaking: greedily assign each job (in order) its highest-Rank
 /// matching slot; each slot is used at most once. Exposed separately from
 /// the daemon for direct use by brokers and benchmarks.
+///
+/// This is the optimized path: before running full bilateral matching, each
+/// job's Requirements is analyzed once into a list of `TARGET.Attr <op>
+/// literal` conjuncts, and each slot's referenced attributes are resolved to
+/// literal values once per call. A slot whose literals falsify any conjunct
+/// can never satisfy the conjunction, so it is rejected without touching the
+/// evaluator; anything not provably rejectable falls through to full
+/// symmetric_match. Results are byte-identical to
+/// match_jobs_to_slots_reference (pinned by tests).
+std::vector<Match> match_jobs_to_slots(
+    const std::vector<IdleJob>& jobs,
+    const std::vector<Collector::AdPtr>& slots);
+
+/// Convenience overload over plain ads (wraps each slot in a non-owning
+/// pointer); kept for callers and tests that own their slot vectors.
 std::vector<Match> match_jobs_to_slots(
     const std::vector<IdleJob>& jobs,
     const std::vector<classad::ClassAd>& slots);
 
+/// The original straight-line matcher: full symmetric_match against every
+/// slot, no prefilter, no caching. Retained as the behavioral oracle for
+/// equivalence tests and as the baseline side of the matchmaking benchmark.
+std::vector<Match> match_jobs_to_slots_reference(
+    const std::vector<IdleJob>& jobs,
+    const std::vector<Collector::AdPtr>& slots);
+
 struct NegotiatorOptions {
   double cycle_period = 60.0;
+  /// ClassAd constraint selecting negotiable slot ads from the collector.
+  /// Compiled once at daemon construction, not re-parsed per cycle.
+  std::string slot_constraint = "State == \"Unclaimed\"";
 };
 
 class Negotiator {
@@ -65,6 +92,11 @@ class Negotiator {
   JobSource jobs_;
   MatchSink sink_;
   Options options_;
+  classad::ExprPtr slot_constraint_;  // compiled options_.slot_constraint
+  // Metric handles resolved once; Counter references stay stable for the
+  // registry's lifetime, so the match loop skips the name+label lookup.
+  util::Counter& cycles_counter_;
+  util::Counter& matches_counter_;
   bool started_ = false;
   int boot_id_ = 0;
   std::uint64_t cycles_ = 0;

@@ -54,16 +54,31 @@ SiteChooser MdsBroker::chooser() {
   };
 }
 
+std::shared_ptr<const classad::ClassAd> MdsBroker::job_ad_for(const Job& job) {
+  // Schedd-assigned ids start at 1; id 0 means "not yet submitted" (ad-hoc
+  // Job objects in tests/tools), where distinct jobs can share the id — never
+  // cache those.
+  if (job.id == 0) {
+    return std::make_shared<const classad::ClassAd>(broker_job_ad(job));
+  }
+  if (!job_ad_ || job_ad_id_ != job.id) {
+    job_ad_ = std::make_shared<const classad::ClassAd>(broker_job_ad(job));
+    job_ad_id_ = job.id;
+  }
+  return job_ad_;
+}
+
 void MdsBroker::choose(
     const Job& job, std::function<void(std::optional<sim::Address>)> done) {
+  std::shared_ptr<const classad::ClassAd> job_ad = job_ad_for(job);
   if (host_.now() - cache_time_ <= cache_ttl_) {
-    pick_from(cache_, job, done);
+    pick_from(cache_, *job_ad, done);
     return;
   }
   ++queries_;
   client_.query(
       giis_, "",
-      [this, job, done = std::move(done)](
+      [this, job_ad = std::move(job_ad), done = std::move(done)](
           std::optional<std::vector<mds::ResourceRecord>> records) {
         if (!records) {
           done(std::nullopt);  // directory unreachable
@@ -71,14 +86,14 @@ void MdsBroker::choose(
         }
         cache_ = std::move(*records);
         cache_time_ = host_.now();
-        pick_from(cache_, job, done);
+        pick_from(cache_, *job_ad, done);
       });
 }
 
 void MdsBroker::pick_from(
-    const std::vector<mds::ResourceRecord>& records, const Job& job,
+    const std::vector<mds::ResourceRecord>& records,
+    const classad::ClassAd& job_ad,
     const std::function<void(std::optional<sim::Address>)>& done) {
-  const classad::ClassAd job_ad = broker_job_ad(job);
   const mds::ResourceRecord* best = nullptr;
   double best_rank = -std::numeric_limits<double>::infinity();
   for (const mds::ResourceRecord& record : records) {

@@ -54,8 +54,12 @@ class MdsBroker {
   void choose(const Job& job,
               std::function<void(std::optional<sim::Address>)> done);
   void pick_from(const std::vector<mds::ResourceRecord>& records,
-                 const Job& job,
+                 const classad::ClassAd& job_ad,
                  const std::function<void(std::optional<sim::Address>)>& done);
+  /// The job side of the match, built (and its Requirements/Rank compiled)
+  /// once per job id instead of once per pick_from. Retries and the async
+  /// query path for the same job reuse the cached ad.
+  std::shared_ptr<const classad::ClassAd> job_ad_for(const Job& job);
 
   sim::Host& host_;
   mds::MdsClient client_;
@@ -64,6 +68,8 @@ class MdsBroker {
   double cache_time_ = -1e18;
   std::vector<mds::ResourceRecord> cache_;
   std::uint64_t queries_ = 0;
+  std::uint64_t job_ad_id_ = 0;  // job id the cached ad was built from
+  std::shared_ptr<const classad::ClassAd> job_ad_;
 };
 
 /// Build the ClassAd used as the job side of broker matchmaking.

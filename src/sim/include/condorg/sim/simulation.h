@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -63,7 +62,7 @@ class Simulation {
 
   /// Number of events dispatched so far (for micro-benchmarks / debugging).
   std::uint64_t dispatched() const { return dispatched_; }
-  std::size_t pending() const { return handlers_.size(); }
+  std::size_t pending() const { return live_; }
 
   /// Master RNG; prefer make_rng() for per-component streams.
   util::Rng& rng() { return rng_; }
@@ -71,7 +70,7 @@ class Simulation {
   /// Deterministic per-component stream derived from the master seed.
   util::Rng make_rng(std::string_view label) const { return rng_.split(label); }
 
-  /// Rolling FNV-1a hash over every dispatched (time, id) pair — a digest of
+  /// Rolling FNV-1a hash over every dispatched (time, seq) pair — a digest of
   /// the run's event order. Two runs of the same scenario from the same seed
   /// must produce identical digests; a mismatch is the determinism
   /// self-check's proof that hidden state (wall clock, unordered iteration,
@@ -95,26 +94,68 @@ class Simulation {
   const Tracer& tracer() const { return tracer_; }
 
  private:
-  struct QueuedEvent {
+  // Event storage is a slab of reusable records addressed by a 32-bit slot
+  // index; an EventId packs (slot + 1) in the high 32 bits and the slot's
+  // generation in the low 32 (so 0 stays kInvalidEvent). Cancellation just
+  // bumps the slot's generation — O(1), no queue surgery — and the pending
+  // entry left behind is lazily discarded when its bucket drains (its
+  // generation no longer matches).
+  //
+  // The pending set is a calendar of per-timestamp FIFO buckets with a
+  // min-heap over the *distinct* timestamps only. Simulated time is heavily
+  // tied (timeout grids, periodic cycles, same-tick protocol rounds), so the
+  // heap stays tiny and a dispatch is usually "advance the front bucket's
+  // cursor" rather than an O(log n_events) sift over megabytes of nodes.
+  // Dispatch order is exactly (when, seq): bucket append order is seq order
+  // (seq is globally monotonic) and the heap orders distinct times; seq is
+  // the same counter the pre-slab implementation used as the event id, which
+  // keeps FIFO tie-breaks AND the (when, seq) trace digest byte-identical.
+  struct PendingEvent {
+    Time when;           // verbatim as scheduled (digest input)
+    std::uint64_t seq;   // FIFO tiebreaker + digest input
+    std::uint32_t slot;  // slab index
+    std::uint32_t gen;   // generation at scheduling time
+  };
+  struct Bucket {
+    std::uint64_t key = 0;             // normalized bit pattern of `when`
+    std::size_t next = 0;              // drain cursor into items
+    std::vector<PendingEvent> items;   // seq-ascending by construction
+  };
+  struct BucketRef {
     Time when;
-    EventId id;  // also the tiebreaker: FIFO among same-time events, since
-                 // ids are allocated in scheduling order and never reused
-    bool operator>(const QueuedEvent& other) const {
-      if (when != other.when) return when > other.when;
-      return id > other.id;
-    }
+    std::uint32_t bucket;
+    // Strict: at most one live bucket per timestamp, so ties are impossible.
+    bool after(const BucketRef& other) const { return when > other.when; }
+  };
+  struct EventRecord {
+    std::function<void()> fn;  // non-null iff live
+    std::uint32_t gen = 1;
   };
 
-  void dispatch(const QueuedEvent& ev);
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(slot) + 1) << 32 | gen;
+  }
+  /// The slab record for a live event id; nullptr for stale/foreign ids.
+  EventRecord* record_for(EventId id);
+
+  void dispatch(const PendingEvent& ev);
+  /// Advance front buckets past cancelled entries; release drained buckets.
+  /// Afterwards the heap front (if any) has a live event at its cursor.
+  void drop_stale_front();
+  void heap_push(BucketRef node);
+  void heap_pop_front();
 
   Time now_ = 0.0;
   bool stopped_ = false;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t dispatched_ = 0;
-  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>,
-                      std::greater<QueuedEvent>>
-      queue_;
-  std::unordered_map<EventId, std::function<void()>> handlers_;
+  std::size_t live_ = 0;
+  std::vector<BucketRef> heap_;       // min-heap over distinct timestamps
+  std::vector<Bucket> buckets_;       // bucket slab; index = BucketRef::bucket
+  std::vector<std::uint32_t> free_buckets_;  // recycled buckets (keep caps)
+  std::unordered_map<std::uint64_t, std::uint32_t> bucket_of_;  // key → index
+  std::vector<EventRecord> slots_;    // slab; index = PendingEvent::slot
+  std::vector<std::uint32_t> free_;   // recycled slab slots (LIFO)
   util::Rng rng_;
   std::uint64_t trace_digest_ = 14695981039346656037ull;  // FNV-1a basis
   InvariantAuditor* auditor_ = nullptr;

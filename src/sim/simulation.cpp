@@ -1,5 +1,6 @@
 #include "condorg/sim/simulation.h"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -25,6 +26,19 @@ std::uint64_t fnv1a_mix(std::uint64_t digest, std::uint64_t value) {
   }
   return digest;
 }
+
+// Calendar key for a timestamp: its bit pattern, with -0.0 folded into +0.0
+// so numerically-equal times land in the same bucket (otherwise two heap
+// entries could tie on `when` and the FIFO order across them would be
+// unspecified). The PendingEvent still carries `when` verbatim — the digest
+// sees exactly the bits that were scheduled.
+std::uint64_t bucket_key(Time when) {
+  if (when == 0.0) when = 0.0;  // normalize -0.0
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(when));
+  std::memcpy(&bits, &when, sizeof(bits));
+  return bits;
+}
 }  // namespace
 
 Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
@@ -35,31 +49,135 @@ void Simulation::attach_auditor(InvariantAuditor* auditor,
   audit_period_ = period > 0 ? period : 1;
 }
 
+// 4-ary min-heap on `when`, hand-sifted with a hole instead of
+// std::push_heap/pop_heap swaps: half the depth of a binary heap and one
+// move per level. It only orders *distinct* timestamps (one bucket each), so
+// ties are impossible and any correct heap yields the same dispatch stream.
+void Simulation::heap_push(BucketRef node) {
+  std::size_t i = heap_.size();
+  heap_.push_back(node);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!heap_[parent].after(node)) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = node;
+}
+
+void Simulation::heap_pop_front() {
+  const BucketRef last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n > 0) {
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first_child = (i << 2) + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t end = first_child + 4 < n ? first_child + 4 : n;
+      for (std::size_t c = first_child + 1; c < end; ++c) {
+        if (heap_[best].after(heap_[c])) best = c;
+      }
+      if (!last.after(heap_[best])) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+}
+
+void Simulation::drop_stale_front() {
+  while (!heap_.empty()) {
+    Bucket& b = buckets_[heap_.front().bucket];
+    const std::size_t size = b.items.size();
+    std::size_t next = b.next;
+    while (next < size &&
+           slots_[b.items[next].slot].gen != b.items[next].gen) {
+      ++next;
+    }
+    b.next = next;
+    if (next < size) return;  // front bucket has a live event at its cursor
+    // Fully drained: retire the bucket (keeping its capacity for reuse).
+    bucket_of_.erase(b.key);
+    b.items.clear();
+    b.next = 0;
+    free_buckets_.push_back(heap_.front().bucket);
+    heap_pop_front();
+  }
+}
+
+Simulation::EventRecord* Simulation::record_for(EventId id) {
+  const std::uint64_t hi = id >> 32;
+  if (hi == 0 || hi > slots_.size()) return nullptr;
+  EventRecord& rec = slots_[static_cast<std::size_t>(hi - 1)];
+  if (rec.gen != static_cast<std::uint32_t>(id) || !rec.fn) return nullptr;
+  return &rec;
+}
+
 EventId Simulation::schedule_at(Time when, std::function<void()> fn) {
   if (!fn) throw std::invalid_argument("schedule_at: null callback");
   if (when < now_) when = now_;  // clamp: no scheduling into the past
-  const EventId id = next_id_++;
-  queue_.push(QueuedEvent{when, id});
-  handlers_.emplace(id, std::move(fn));
-  return id;
+  std::uint32_t slot;
+  if (free_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = free_.back();
+    free_.pop_back();
+  }
+  EventRecord& rec = slots_[slot];
+  rec.fn = std::move(fn);
+  const std::uint32_t gen = rec.gen;
+
+  const std::uint64_t key = bucket_key(when);
+  const auto [it, inserted] = bucket_of_.try_emplace(key, 0);
+  if (inserted) {
+    std::uint32_t bi;
+    if (free_buckets_.empty()) {
+      bi = static_cast<std::uint32_t>(buckets_.size());
+      buckets_.emplace_back();
+    } else {
+      bi = free_buckets_.back();
+      free_buckets_.pop_back();
+    }
+    buckets_[bi].key = key;
+    it->second = bi;
+    heap_push(BucketRef{when, bi});
+  }
+  buckets_[it->second].items.push_back(
+      PendingEvent{when, next_seq_++, slot, gen});
+  ++live_;
+  return make_id(slot, gen);
 }
 
-bool Simulation::cancel(EventId id) { return handlers_.erase(id) > 0; }
+bool Simulation::cancel(EventId id) {
+  EventRecord* rec = record_for(id);
+  if (rec == nullptr) return false;
+  rec->fn = nullptr;
+  ++rec->gen;  // invalidates the pending entry and any outstanding copy of id
+  free_.push_back(static_cast<std::uint32_t>((id >> 32) - 1));
+  --live_;
+  return true;
+}
 
-void Simulation::dispatch(const QueuedEvent& ev) {
-  const auto it = handlers_.find(ev.id);
-  if (it == handlers_.end()) return;  // cancelled
-  // Move the handler out before invoking: the callback may schedule or
-  // cancel other events, invalidating iterators.
-  std::function<void()> fn = std::move(it->second);
-  handlers_.erase(it);
+void Simulation::dispatch(const PendingEvent& ev) {
+  EventRecord& rec = slots_[ev.slot];
+  // Move the handler out and retire the slot before invoking: the callback
+  // may schedule (reusing this slot under a fresh generation) or cancel
+  // other events.
+  std::function<void()> fn = std::move(rec.fn);
+  rec.fn = nullptr;
+  ++rec.gen;
+  free_.push_back(ev.slot);
+  --live_;
   now_ = ev.when;
   ++dispatched_;
-  CONDORG_LOG_TRACE(kernel_logger(), "dispatch t=", ev.when, " id=", ev.id);
+  CONDORG_LOG_TRACE(kernel_logger(), "dispatch t=", ev.when, " seq=", ev.seq);
   std::uint64_t when_bits = 0;
   static_assert(sizeof(when_bits) == sizeof(ev.when));
   std::memcpy(&when_bits, &ev.when, sizeof(when_bits));
-  trace_digest_ = fnv1a_mix(fnv1a_mix(trace_digest_, when_bits), ev.id);
+  trace_digest_ = fnv1a_mix(fnv1a_mix(trace_digest_, when_bits), ev.seq);
   fn();
   // Audit after the callback returns: between events every daemon's state is
   // quiescent, so cross-daemon invariants are meaningful.
@@ -70,24 +188,30 @@ void Simulation::dispatch(const QueuedEvent& ev) {
 
 void Simulation::run() {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty()) {
-    const QueuedEvent ev = queue_.top();
-    queue_.pop();
+  while (!stopped_) {
+    drop_stale_front();
+    if (heap_.empty()) break;
+    // Copy the entry out before dispatch: the callback may append to this
+    // bucket (vector reallocation) or grow the bucket slab.
+    Bucket& b = buckets_[heap_.front().bucket];
+    const PendingEvent ev = b.items[b.next++];
     dispatch(ev);
   }
 }
 
 bool Simulation::run_until(Time until) {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty() && queue_.top().when <= until) {
-    const QueuedEvent ev = queue_.top();
-    queue_.pop();
+  while (!stopped_) {
+    drop_stale_front();
+    if (heap_.empty() || heap_.front().when > until) break;
+    Bucket& b = buckets_[heap_.front().bucket];
+    const PendingEvent ev = b.items[b.next++];
     dispatch(ev);
   }
   if (!stopped_ && now_ < until) now_ = until;
   // Drop cancelled stragglers at the front so pending() stays meaningful.
-  while (!queue_.empty() && !handlers_.count(queue_.top().id)) queue_.pop();
-  return !queue_.empty();
+  drop_stale_front();
+  return !heap_.empty();
 }
 
 }  // namespace condorg::sim

@@ -73,9 +73,9 @@ TEST_F(PoolFixture, StartdAdvertisesToCollector) {
   EXPECT_EQ(collector.live_count(), 1u);
   const auto ads = collector.query();
   ASSERT_EQ(ads.size(), 1u);
-  EXPECT_EQ(ads[0].eval_string("Name"), "slot1@node1");
-  EXPECT_EQ(ads[0].eval_string("State"), "Unclaimed");
-  EXPECT_EQ(ads[0].eval_string("Arch"), "X86_64");
+  EXPECT_EQ(ads[0]->eval_string("Name"), "slot1@node1");
+  EXPECT_EQ(ads[0]->eval_string("State"), "Unclaimed");
+  EXPECT_EQ(ads[0]->eval_string("Arch"), "X86_64");
 }
 
 TEST_F(PoolFixture, DeadStartdAgesOut) {
@@ -97,7 +97,51 @@ TEST_F(PoolFixture, CollectorQueryWithConstraint) {
   world.sim().run_until(5.0);
   const auto ads = collector.query(ca::parse_expr("Memory > 1024"));
   ASSERT_EQ(ads.size(), 1u);
-  EXPECT_EQ(ads[0].eval_string("Name"), "slot1@node2");
+  EXPECT_EQ(ads[0]->eval_string("Name"), "slot1@node2");
+}
+
+TEST_F(PoolFixture, ReAdvertiseExtendsTtl) {
+  // Repeated advertisements keep pushing the deadline; the collector's
+  // expiry heap must discard the superseded (earlier) deadline nodes rather
+  // than evict a live entry.
+  cc::Startd startd(node1, world.net(), "slot1@node1", slot_options());
+  world.sim().run_until(400.0);  // well past the first ad's 180s TTL
+  EXPECT_EQ(collector.live_count(), 1u);
+}
+
+TEST_F(PoolFixture, InvalidateRemovesDespitePendingDeadline) {
+  cc::Startd startd(node1, world.net(), "slot1@node1", slot_options());
+  world.sim().run_until(5.0);
+  ASSERT_EQ(collector.live_count(), 1u);
+  node1.crash();  // stop further advertisements
+  collector.invalidate("slot1@node1");
+  EXPECT_EQ(collector.live_count(), 0u);
+  // The orphaned deadline node must age out harmlessly.
+  world.sim().run_until(400.0);
+  EXPECT_EQ(collector.live_count(), 0u);
+}
+
+TEST_F(PoolFixture, QueryConstraintAgreesWithPerAdEvaluation) {
+  cc::Startd s1(node1, world.net(), "slot1@node1", slot_options());
+  auto big = slot_options();
+  big.base_ad = ca::parse_ad("[Arch = \"X86_64\"; Memory = 4096]");
+  cc::Startd s2(node2, world.net(), "slot1@node2", big);
+  world.sim().run_until(5.0);
+  const auto constraint = ca::parse_expr("Memory > 1024");
+  const auto all = collector.query();
+  const auto filtered = collector.query(constraint);
+  std::vector<std::string> expected;
+  for (const auto& ad : all) {
+    const ca::Value v = constraint->evaluate(ad.get(), nullptr);
+    if (v.is_bool() && v.as_bool()) expected.push_back(*ad->eval_string("Name"));
+  }
+  std::vector<std::string> got;
+  for (const auto& ad : filtered) got.push_back(*ad->eval_string("Name"));
+  EXPECT_EQ(got, expected);
+  // Name-ordered results: the map key order is the query contract.
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_EQ(*all[0]->eval_string("Name"), "slot1@node1");
+  EXPECT_EQ(*all[1]->eval_string("Name"), "slot1@node2");
 }
 
 // ---------- claim / activate / complete ----------
@@ -351,6 +395,25 @@ TEST_F(PoolFixture, NegotiatorSkipsClaimedSlots) {
       [&](const cc::Match& m) { matched.push_back(m); });
   negotiator.negotiate_once();
   EXPECT_TRUE(matched.empty());
+}
+
+TEST_F(PoolFixture, NegotiatorSlotConstraintIsConfigurable) {
+  cc::Startd startd(node1, world.net(), "s1@node1", slot_options());
+  std::string done;
+  auto shadow = run_shadow("running", 1000.0, 0.0, startd.address(), &done);
+  world.sim().run_until(70.0);  // job running; fresh ad says "Running"
+  std::vector<cc::IdleJob> queue = {{"idle", ca::ClassAd{}}};
+  std::vector<cc::Match> matched;
+  cc::Negotiator::Options options;
+  options.slot_constraint = "State == \"Running\"";  // deliberately inverted
+  cc::Negotiator negotiator(
+      submit, collector, [&] { return queue; },
+      [&](const cc::Match& m) { matched.push_back(m); }, options);
+  negotiator.negotiate_once();
+  // The default constraint would skip the busy slot; the configured one
+  // selects it instead.
+  ASSERT_EQ(matched.size(), 1u);
+  EXPECT_EQ(matched[0].slot_ad.eval_string("State"), "Running");
 }
 
 // ---------- explicit shutdown request ----------

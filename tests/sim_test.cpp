@@ -117,6 +117,68 @@ TEST(Simulation, CancelUnknownIdIsFalse) {
   EXPECT_FALSE(sim.cancel(123456));
 }
 
+// ---------- Generation-tagged event ids (slab kernel) ----------
+
+TEST(Simulation, CancelAfterFireIsFalse) {
+  cs::Simulation sim;
+  bool fired = false;
+  const auto id = sim.schedule_at(1.0, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  // The id's slab slot is retired at dispatch; a late cancel must not
+  // report success (or touch whatever reuses the slot).
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulation, CancelThenRescheduleReusesSlotSafely) {
+  cs::Simulation sim;
+  bool first_fired = false;
+  bool second_fired = false;
+  const auto first = sim.schedule_at(1.0, [&] { first_fired = true; });
+  EXPECT_TRUE(sim.cancel(first));
+  // The freed slab slot is recycled for the next event; the stale id must
+  // address the old generation, not the new occupant.
+  const auto second = sim.schedule_at(2.0, [&] { second_fired = true; });
+  EXPECT_FALSE(sim.cancel(first));  // stale: same slot, older generation
+  sim.run();
+  EXPECT_FALSE(first_fired);
+  EXPECT_TRUE(second_fired);
+  EXPECT_FALSE(sim.cancel(second));  // already dispatched
+}
+
+TEST(Simulation, StaleIdAfterDispatchCannotCancelSlotReuser) {
+  cs::Simulation sim;
+  const auto first = sim.schedule_at(1.0, [] {});
+  sim.run();  // retires `first`, freeing its slot
+  bool fired = false;
+  const auto second = sim.schedule_at(2.0, [&] { fired = true; });
+  EXPECT_FALSE(sim.cancel(first));  // must not hit `second`
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_NE(first, second);
+}
+
+TEST(Simulation, ManyCancelRescheduleCyclesStayConsistent) {
+  cs::Simulation sim;
+  int fired = 0;
+  // Churn the free list: every odd event is cancelled, every even one kept.
+  std::vector<cs::EventId> kept;
+  for (int i = 0; i < 200; ++i) {
+    const auto id =
+        sim.schedule_at(static_cast<double>(i % 7), [&] { ++fired; });
+    if (i % 2 == 1) {
+      EXPECT_TRUE(sim.cancel(id));
+    } else {
+      kept.push_back(id);
+    }
+  }
+  EXPECT_EQ(sim.pending(), kept.size());
+  sim.run();
+  EXPECT_EQ(fired, 100);
+  for (const auto id : kept) EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
 // ---------- Trace digest (determinism self-check) ----------
 
 TEST(Simulation, TraceDigestIsReproducible) {

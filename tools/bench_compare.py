@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Compare two trees of BENCH_*.json telemetry files.
+
+The bench binaries (see bench/bench_report.h) each write a machine-readable
+BENCH_<id>.json next to themselves. This tool diffs a baseline tree (e.g.
+bench/baselines/, committed) against a freshly produced tree (e.g.
+build/bench/) and flags any benchmark whose real time regressed by more than
+--threshold (default 10%).
+
+Exit status: 0 when no benchmark regressed past the threshold, 1 otherwise.
+Benchmarks present on only one side are reported but are not failures — the
+suite grows over time and baselines may lag a PR by design.
+
+Usage:
+    tools/bench_compare.py BASELINE_DIR CURRENT_DIR [--threshold 0.10]
+    tools/bench_compare.py --self-test
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+
+
+def load_tree(root: pathlib.Path) -> dict[str, float]:
+    """Map 'FILE:benchmark_name' -> real_time_ns for every BENCH_*.json."""
+    out: dict[str, float] = {}
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"warning: skipping unreadable {path}: {err}")
+            continue
+        for bench in doc.get("benchmarks", []):
+            name = bench.get("name")
+            time_ns = bench.get("real_time_ns")
+            if not isinstance(name, str) or not isinstance(time_ns, (int, float)):
+                continue
+            out[f"{path.name}:{name}"] = float(time_ns)
+    return out
+
+
+def fmt_ns(ns: float) -> str:
+    if ns >= 1e6:
+        return f"{ns / 1e6:9.3f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:9.3f} us"
+    return f"{ns:9.1f} ns"
+
+
+def compare(baseline: dict[str, float], current: dict[str, float],
+            threshold: float) -> int:
+    """Print the comparison table; return the number of regressions."""
+    regressions = 0
+    for key in sorted(baseline.keys() | current.keys()):
+        base = baseline.get(key)
+        cur = current.get(key)
+        if base is None:
+            print(f"  NEW       {key}  {fmt_ns(cur)}")
+            continue
+        if cur is None:
+            print(f"  MISSING   {key}  (baseline {fmt_ns(base)})")
+            continue
+        delta = (cur - base) / base if base > 0 else 0.0
+        if delta > threshold:
+            regressions += 1
+            tag = "REGRESSED"
+        elif delta < -threshold:
+            tag = "IMPROVED "
+        else:
+            tag = "ok       "
+        print(f"  {tag} {key}  {fmt_ns(base)} -> {fmt_ns(cur)} "
+              f"({delta:+.1%})")
+    return regressions
+
+
+def self_test() -> int:
+    """Exercise load/compare against synthetic trees; 0 on success."""
+    def make_tree(root: pathlib.Path, times: dict[str, float]) -> None:
+        doc = {"bench": "T", "benchmarks": [
+            {"name": name, "real_time_ns": ns, "cpu_time_ns": ns,
+             "iterations": 1} for name, ns in times.items()]}
+        (root / "BENCH_T.json").write_text(json.dumps(doc))
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        base_dir = pathlib.Path(tmp) / "base"
+        cur_dir = pathlib.Path(tmp) / "cur"
+        base_dir.mkdir()
+        cur_dir.mkdir()
+        make_tree(base_dir, {"steady": 100.0, "faster": 100.0,
+                             "slower": 100.0, "gone": 100.0})
+        make_tree(cur_dir, {"steady": 104.0, "faster": 50.0,
+                            "slower": 150.0, "fresh": 100.0})
+        baseline = load_tree(base_dir)
+        current = load_tree(cur_dir)
+        if len(baseline) != 4 or len(current) != 4:
+            failures.append("load_tree returned wrong entry counts")
+        regressions = compare(baseline, current, threshold=0.10)
+        if regressions != 1:
+            failures.append(f"expected exactly 1 regression, got {regressions}")
+        if compare(baseline, baseline, threshold=0.10) != 0:
+            failures.append("identical trees must not regress")
+        # A looser threshold should absorb the 1.5x slowdown.
+        if compare(baseline, current, threshold=0.60) != 0:
+            failures.append("threshold=0.60 should absorb a +50% delta")
+        # Unreadable JSON is skipped, not fatal.
+        (cur_dir / "BENCH_BAD.json").write_text("{not json")
+        if len(load_tree(cur_dir)) != 4:
+            failures.append("malformed file should be skipped")
+    for failure in failures:
+        print(f"SELF-TEST FAIL: {failure}")
+    print("bench_compare self-test:", "FAIL" if failures else "OK")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?", help="baseline BENCH_*.json dir")
+    parser.add_argument("current", nargs="?", help="current BENCH_*.json dir")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative slowdown that counts as a regression")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in self test and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("baseline and current directories are required")
+
+    baseline = load_tree(pathlib.Path(args.baseline))
+    current = load_tree(pathlib.Path(args.current))
+    if not baseline:
+        print(f"warning: no BENCH_*.json under {args.baseline}; nothing to do")
+        return 0
+    print(f"comparing {args.current} against {args.baseline} "
+          f"(threshold {args.threshold:.0%})")
+    regressions = compare(baseline, current, args.threshold)
+    if regressions:
+        print(f"{regressions} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}")
+        return 1
+    print("no regressions past threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
