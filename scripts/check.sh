@@ -17,6 +17,18 @@ cmake --preset dev >/dev/null
 cmake --build --preset dev -j "${jobs}"
 ctest --preset dev -j "${jobs}"
 
+echo "== clang-tidy (skips when not installed) =="
+bash scripts/tidy.sh --build-dir build
+
+echo "== schedule-space exploration =="
+# The model checker must exhaust the bounded quickstart schedule space with
+# zero invariant violations, and must catch a deliberately broken gatekeeper
+# dedup with a counterexample that replays to the identical failing audit.
+./build/tools/condorg_explore --scenario quickstart \
+  --require-distinct 1000 --require-exhausted
+CONDORG_MUTATE_DEDUP=1 ./build/tools/condorg_explore --scenario quickstart \
+  --expect-violation >/dev/null
+
 echo "== trace determinism + report self-check =="
 # Two same-seed quickstart runs must export byte-identical trace JSONL, and
 # the report tool must find no structural problems in it.

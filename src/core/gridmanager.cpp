@@ -213,6 +213,10 @@ void GridManager::submit_to(std::uint64_t job_id,
           return;
         }
         host_.tracer().end_span(submit_span, "ok", "contact=" + *contact);
+        // Crash point: submission committed remotely but not yet recorded
+        // in the queue — the §4.2 ladder must reconcile via the persisted
+        // seq, not run the job twice.
+        if (host_.crash_point("gridmanager.submit_ack")) return;
         contact_to_job_[*contact] = job_id;
         schedd_.mark_grid_submitted(job_id, seq, gatekeeper.host, *contact);
         if (!probing_.count(job_id)) {

@@ -88,6 +88,9 @@ void GramClient::drive_submit(std::uint64_t seq,
     done(std::nullopt);
     return;
   }
+  // Crash point: seq already allocated and persisted, request not yet sent
+  // — recovery must re-drive this seq, never allocate a fresh one.
+  if (host_.crash_point("gram.client.submit_send")) return;
   sim::Payload payload = base_payload();
   payload.set_uint("seq", seq);
   payload.set_bool("two_phase", options_.two_phase);
@@ -118,6 +121,9 @@ void GramClient::drive_submit(std::uint64_t seq,
           return;
         }
         const std::string contact = reply.get("contact");
+        // Crash point: contact received but not yet persisted — after
+        // recovery the retransmitted seq must dedup to the same contact.
+        if (host_.crash_point("gram.client.contact_persist")) return;
         host_.disk().put(seq_contact_key(seq), contact);
         if (!options_.two_phase) {
           done(contact);
@@ -133,6 +139,9 @@ void GramClient::drive_commit(const std::string& contact, SubmitCallback done,
     done(std::nullopt);
     return;
   }
+  // Crash point: contact persisted, commit not yet sent — the job must not
+  // start (two-phase) and recovery must be able to finish the handshake.
+  if (host_.crash_point("gram.client.commit_send")) return;
   sim::Payload payload = base_payload();
   payload.set("contact", contact);
   ++commits_sent_;

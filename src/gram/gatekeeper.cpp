@@ -1,5 +1,8 @@
 #include "condorg/gram/gatekeeper.h"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "condorg/sim/rpc.h"
 #include "condorg/util/strings.h"
 
@@ -9,6 +12,7 @@ std::string dedup_key(const std::string& client_id, std::uint64_t seq) {
   return "gram/seq/" + client_id + "/" + std::to_string(seq);
 }
 constexpr const char* kContactCounterKey = "gram/contact_counter";
+constexpr const char* kJobRecordPrefix = "gram/job/";
 }  // namespace
 
 Gatekeeper::Gatekeeper(sim::Host& host, sim::Network& network,
@@ -25,6 +29,7 @@ Gatekeeper::Gatekeeper(sim::Host& host, sim::Network& network,
       jm_restarted_counter_(count("gatekeeper.jm_restarted")),
       jm_state_counters_(JobManagerStateCounters::for_site(host.metrics(),
                                                            host.name())) {
+  mutate_dedup_ = std::getenv("CONDORG_MUTATE_DEDUP") != nullptr;
   install();
   boot_id_ = host_.add_boot([this] { install(); });
   // Host crash: every JobManager process dies. Their stable records remain;
@@ -98,6 +103,31 @@ void Gatekeeper::audit(std::vector<std::string>& out) const {
                     it->second + " and " + contact);
     }
   }
+
+  // Exactly-once, stable-storage side: the dedup key maps a retransmitted
+  // (client_id, seq) onto the existing job, so at most one job record may
+  // ever be created per pair. A second record — even an uncommitted one a
+  // crashed-and-restarted front-end left behind — means a retransmission
+  // was accepted as a fresh job. Records outlive JobManager processes, so
+  // this scan catches duplicates the in-memory check above cannot see.
+  if (options_.dedup_submissions) {
+    std::map<std::string, std::string> record_owner;  // client|seq -> contact
+    for (const auto& key : host_.disk().keys_with_prefix(kJobRecordPrefix)) {
+      const auto text = host_.disk().get(key);
+      if (!text) continue;
+      const sim::Payload record = sim::Payload::deserialize(*text);
+      const std::string client = record.get("client_id");
+      const std::uint64_t seq = record.get_uint("client_seq");
+      if (client.empty() || seq == 0) continue;  // pre-identity submitter
+      const std::string contact = key.substr(std::strlen(kJobRecordPrefix));
+      const std::string pair = client + "/" + std::to_string(seq);
+      const auto [it, inserted] = record_owner.emplace(pair, contact);
+      if (!inserted && it->second != contact) {
+        out.push_back("submission " + pair + " has two job records: " +
+                      it->second + " and " + contact);
+      }
+    }
+  }
 }
 
 void Gatekeeper::on_message(const sim::Message& message) {
@@ -134,6 +164,9 @@ void Gatekeeper::on_message(const sim::Message& message) {
 }
 
 void Gatekeeper::handle_submit(const sim::Message& message) {
+  // Crash point: request authenticated, nothing persisted yet — to the
+  // client this is indistinguishable from a lost request.
+  if (host_.crash_point("gatekeeper.submit_recv")) return;
   sim::Payload reply;
   const std::string client_id = message.body.get("client_id");
   const std::uint64_t seq = message.body.get_uint("seq");
@@ -142,7 +175,7 @@ void Gatekeeper::handle_submit(const sim::Message& message) {
   // our earlier response was lost — return the same contact, do NOT start a
   // second job.
   const std::string key = dedup_key(client_id, seq);
-  if (options_.dedup_submissions) {
+  if (options_.dedup_submissions && !mutate_dedup_) {
     if (const auto existing = host_.disk().get(key)) {
       ++duplicates_;
       duplicates_counter_.inc();
@@ -166,11 +199,16 @@ void Gatekeeper::handle_submit(const sim::Message& message) {
       sim::Address::parse(message.body.get("callback"));
   jobmanagers_[contact] = std::make_unique<JobManager>(
       host_, network_, scheduler_, contact, std::move(spec), callback,
-      auto_commit, message.body.get("credential"), &jm_state_counters_);
+      auto_commit, message.body.get("credential"), &jm_state_counters_,
+      client_id, seq);
   ++accepted_;
   ++jm_started_;
   accepted_counter_.inc();
   jm_started_counter_.inc();
+
+  // Crash point: JobManager created and dedup key persisted, response not
+  // sent — the client must retransmit and the dedup key must absorb it.
+  if (host_.crash_point("gatekeeper.submit_accepted")) return;
 
   reply.set_bool("ok", true);
   reply.set("contact", contact);
@@ -179,6 +217,9 @@ void Gatekeeper::handle_submit(const sim::Message& message) {
 }
 
 void Gatekeeper::handle_restart(const sim::Message& message) {
+  // Crash point: restart request received; the reattach ladder must cope
+  // with the front-end dying mid-recovery.
+  if (host_.crash_point("gatekeeper.restart_recv")) return;
   sim::Payload reply;
   const std::string contact = message.body.get("contact");
   if (JobManager* jm = find_jobmanager(contact)) {

@@ -67,9 +67,12 @@ class Gatekeeper {
   }
 
   /// Invariant audit hook: audits every live JobManager, checks each is
-  /// registered under its own contact, and — with two-phase dedup on — that
-  /// no client job (callback + tag) is being run by two live JobManagers at
-  /// this site at once. Appends one line per violation.
+  /// registered under its own contact, that — with two-phase dedup on — no
+  /// client job (callback + tag) is being run by two live JobManagers at
+  /// this site at once, and that stable storage holds at most one job
+  /// record per (client_id, seq) pair — the exactly-once acceptance
+  /// invariant the dedup key exists to enforce. Appends one line per
+  /// violation.
   void audit(std::vector<std::string>& out) const;
 
   std::size_t jobmanager_count() const { return jobmanagers_.size(); }
@@ -92,6 +95,11 @@ class Gatekeeper {
   sim::Network& network_;
   batch::LocalScheduler& scheduler_;
   GatekeeperOptions options_;
+  // CONDORG_MUTATE_DEDUP (read at construction): deliberately skip the
+  // duplicate-submission lookup while still claiming dedup is on. Exists
+  // only so the explorer's mutation self-test can prove the model checker
+  // catches this bug class; never set outside that ctest.
+  bool mutate_dedup_ = false;
   std::map<std::string, std::unique_ptr<JobManager>> jobmanagers_;
   int boot_id_ = 0;
   int crash_listener_ = 0;

@@ -49,7 +49,8 @@ class JobManager {
              batch::LocalScheduler& scheduler, std::string contact,
              GramJobSpec spec, sim::Address client_callback, bool auto_commit,
              std::string forwarded_credential = "",
-             const JobManagerStateCounters* state_counters = nullptr);
+             const JobManagerStateCounters* state_counters = nullptr,
+             std::string client_id = "", std::uint64_t client_seq = 0);
 
   /// Reattach constructor: rebuilds a JobManager for `contact` from the
   /// record on the host's stable storage. Used by the Gatekeeper when asked
@@ -67,6 +68,12 @@ class JobManager {
   GramJobState state() const { return state_; }
   const GramJobSpec& spec() const { return spec_; }
   const sim::Address& client_callback() const { return client_callback_; }
+  /// The (client_id, seq) pair this submission was accepted under — the
+  /// identity the gatekeeper's dedup key protects. Persisted with the
+  /// record so the exactly-once audit can detect duplicate acceptances on
+  /// stable storage even across JobManager restarts.
+  const std::string& client_id() const { return client_id_; }
+  std::uint64_t client_seq() const { return client_seq_; }
   bool committed() const { return committed_; }
   std::uint64_t local_job_id() const { return local_job_id_; }
   sim::Address address() const {
@@ -114,6 +121,8 @@ class JobManager {
   std::string contact_;
   GramJobSpec spec_;
   sim::Address client_callback_;
+  std::string client_id_;
+  std::uint64_t client_seq_ = 0;
   bool auto_commit_ = false;
   GramJobState state_ = GramJobState::kUnsubmitted;
   bool committed_ = false;

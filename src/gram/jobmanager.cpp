@@ -46,13 +46,16 @@ JobManager::JobManager(sim::Host& host, sim::Network& network,
                        batch::LocalScheduler& scheduler, std::string contact,
                        GramJobSpec spec, sim::Address client_callback,
                        bool auto_commit, std::string forwarded_credential,
-                       const JobManagerStateCounters* state_counters)
+                       const JobManagerStateCounters* state_counters,
+                       std::string client_id, std::uint64_t client_seq)
     : host_(host),
       network_(network),
       scheduler_(scheduler),
       contact_(std::move(contact)),
       spec_(std::move(spec)),
       client_callback_(std::move(client_callback)),
+      client_id_(std::move(client_id)),
+      client_seq_(client_seq),
       auto_commit_(auto_commit),
       forwarded_credential_(std::move(forwarded_credential)),
       state_counters_(state_counters) {
@@ -149,6 +152,8 @@ void JobManager::persist() {
   sim::Payload record;
   spec_.to_payload(record);
   record.set("callback", client_callback_.str());
+  record.set("client_id", client_id_);
+  record.set_uint("client_seq", client_seq_);
   record.set_bool("committed", committed_);
   record.set_uint("local_job_id", local_job_id_);
   record.set("state", to_string(state_));
@@ -164,6 +169,8 @@ void JobManager::load_record() {
   const sim::Payload record = sim::Payload::deserialize(*text);
   spec_ = GramJobSpec::from_payload(record);
   client_callback_ = sim::Address::parse(record.get("callback"));
+  client_id_ = record.get("client_id");
+  client_seq_ = record.get_uint("client_seq");
   committed_ = record.get_bool("committed");
   local_job_id_ = record.get_uint("local_job_id");
   state_ = gram_state_from_string(record.get("state"));
@@ -212,6 +219,9 @@ void JobManager::on_message(const sim::Message& message) {
   reply.set("state", to_string(state_));
 
   if (message.type == "jm.commit") {
+    // Crash point: commit request received, commit not yet persisted — the
+    // client must retry and the retried commit must be idempotent.
+    if (host_.crash_point("jobmanager.commit_recv")) return;
     if (!committed_) commit();
     reply.set("state", to_string(state_));
     sim::rpc_reply(network_, message, address(), std::move(reply));

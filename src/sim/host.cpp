@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "condorg/sim/schedule_controller.h"
+
 namespace condorg::sim {
 
 Host::Host(Simulation& sim, std::string name)
@@ -60,6 +62,16 @@ void Host::restart() {
 void Host::crash_for(Time downtime) {
   crash();
   sim_.schedule_in(downtime, [this] { restart(); });
+}
+
+bool Host::crash_point(const char* point) {
+  if (!alive_) return false;
+  ScheduleController* controller = sim_.controller();
+  if (controller == nullptr) return false;
+  double downtime = 30.0;
+  if (!controller->inject_crash(name_, point, &downtime)) return false;
+  sim_.schedule_in(0.0, [this, downtime] { crash_for(downtime); });
+  return true;
 }
 
 int Host::add_boot(std::function<void()> fn) {

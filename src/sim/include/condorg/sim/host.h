@@ -61,6 +61,16 @@ class Host {
   /// Convenience: crash now, restart after `downtime`.
   void crash_for(Time downtime);
 
+  /// Named crash-injection point for the schedule explorer. Daemons call
+  /// this at every protocol step where a real process could die ("persisted
+  /// the record, have not replied yet"). With no ScheduleController attached
+  /// (all production/test runs) this is a no-op returning false. When the
+  /// controller asks for a crash, the crash is *scheduled* as a separate
+  /// event at the current timestamp — crashing inline would destroy daemon
+  /// objects whose member functions are still on the call stack — and this
+  /// returns true so the caller can return before sending its reply.
+  bool crash_point(const char* point);
+
   /// Register a boot function, run on every restart (NOT on registration).
   /// Boot functions model init scripts: they re-create daemons from stable
   /// state. Returns an id usable with remove_boot().

@@ -21,6 +21,7 @@
 namespace condorg::sim {
 
 class InvariantAuditor;
+class ScheduleController;
 
 class Simulation {
  public:
@@ -84,6 +85,17 @@ class Simulation {
   void attach_auditor(InvariantAuditor* auditor, std::uint64_t period = 1024);
   InvariantAuditor* auditor() const { return auditor_; }
 
+  /// Attach a schedule controller (see schedule_controller.h): it then picks
+  /// which live event dispatches whenever a timestamp bucket holds more than
+  /// one, and Host::crash_point / Network delivery quantization consult it.
+  /// Pass nullptr to detach; with none attached, dispatch is plain FIFO and
+  /// the trace digest is byte-identical to an uncontrolled run. The
+  /// controller must outlive the attachment.
+  void set_controller(ScheduleController* controller) {
+    controller_ = controller;
+  }
+  ScheduleController* controller() const { return controller_; }
+
   /// Metric registry shared by every daemon in this world. Per-Simulation
   /// (not global) so scenarios run back-to-back stay isolated.
   util::MetricsRegistry& metrics() { return metrics_; }
@@ -139,6 +151,10 @@ class Simulation {
   EventRecord* record_for(EventId id);
 
   void dispatch(const PendingEvent& ev);
+  /// Remove the next event from the front bucket. FIFO (cursor) order
+  /// normally; with a controller attached, the controller picks among the
+  /// bucket's live entries. Requires drop_stale_front() to have run.
+  PendingEvent take_front_event();
   /// Advance front buckets past cancelled entries; release drained buckets.
   /// Afterwards the heap front (if any) has a live event at its cursor.
   void drop_stale_front();
@@ -158,6 +174,8 @@ class Simulation {
   std::vector<std::uint32_t> free_;   // recycled slab slots (LIFO)
   util::Rng rng_;
   std::uint64_t trace_digest_ = 14695981039346656037ull;  // FNV-1a basis
+  ScheduleController* controller_ = nullptr;
+  std::vector<std::size_t> pick_candidates_;  // scratch for take_front_event
   InvariantAuditor* auditor_ = nullptr;
   std::uint64_t audit_period_ = 1024;
   util::MetricsRegistry metrics_;

@@ -1,6 +1,9 @@
 #include "condorg/sim/network.h"
 
+#include <cmath>
 #include <stdexcept>
+
+#include "condorg/sim/schedule_controller.h"
 
 namespace condorg::sim {
 
@@ -146,10 +149,22 @@ void Network::send(Message message) {
     }
   }
   const LinkConfig& cfg = link(message.from.host, message.to.host);
-  const double latency =
-      local ? 1e-4
-            : cfg.latency + (cfg.jitter > 0.0 ? rng_.uniform(0.0, cfg.jitter)
-                                              : 0.0);
+  double latency;
+  if (local) {
+    latency = 1e-4;
+  } else if (const ScheduleController* ctl = sim_.controller()) {
+    // Exploration mode: snap delivery up to the next quantum boundary (and
+    // skip the jitter draw) so concurrently in-flight messages tie on their
+    // delivery timestamp — the controller then permutes delivery order via
+    // the kernel's bucket pick.
+    const double quantum = ctl->delivery_quantum();
+    const double raw = sim_.now() + cfg.latency;
+    latency = std::ceil(raw / quantum) * quantum - sim_.now();
+    if (latency <= 0.0) latency = quantum;
+  } else {
+    latency = cfg.latency +
+              (cfg.jitter > 0.0 ? rng_.uniform(0.0, cfg.jitter) : 0.0);
+  }
   sim_.schedule_in(latency, [this, message = std::move(message)] {
     // Partition may have appeared while in flight.
     if (message.from.host != message.to.host &&

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "condorg/sim/invariant_auditor.h"
+#include "condorg/sim/schedule_controller.h"
 #include "condorg/util/logging.h"
 
 namespace condorg::sim {
@@ -186,6 +187,36 @@ void Simulation::dispatch(const PendingEvent& ev) {
   }
 }
 
+Simulation::PendingEvent Simulation::take_front_event() {
+  Bucket& b = buckets_[heap_.front().bucket];
+  if (controller_ == nullptr) return b.items[b.next++];
+  // Exploration mode: let the controller pick among the bucket's live
+  // entries. drop_stale_front() guarantees the cursor entry is live, so
+  // there is always at least one candidate.
+  pick_candidates_.clear();
+  const std::size_t size = b.items.size();
+  for (std::size_t i = b.next; i < size; ++i) {
+    const PendingEvent& e = b.items[i];
+    if (slots_[e.slot].gen == e.gen) pick_candidates_.push_back(i);
+  }
+  std::size_t pick = 0;
+  if (pick_candidates_.size() > 1) {
+    pick = controller_->pick_event(heap_.front().when,
+                                   pick_candidates_.size()) %
+           pick_candidates_.size();
+  }
+  const std::size_t index = pick_candidates_[pick];
+  const PendingEvent ev = b.items[index];
+  if (index == b.next) {
+    ++b.next;
+  } else {
+    // Out-of-FIFO pick: remove from the middle so no entry dispatches
+    // twice. O(bucket) — acceptable for exploration runs only.
+    b.items.erase(b.items.begin() + static_cast<std::ptrdiff_t>(index));
+  }
+  return ev;
+}
+
 void Simulation::run() {
   stopped_ = false;
   while (!stopped_) {
@@ -193,8 +224,7 @@ void Simulation::run() {
     if (heap_.empty()) break;
     // Copy the entry out before dispatch: the callback may append to this
     // bucket (vector reallocation) or grow the bucket slab.
-    Bucket& b = buckets_[heap_.front().bucket];
-    const PendingEvent ev = b.items[b.next++];
+    const PendingEvent ev = take_front_event();
     dispatch(ev);
   }
 }
@@ -204,8 +234,7 @@ bool Simulation::run_until(Time until) {
   while (!stopped_) {
     drop_stale_front();
     if (heap_.empty() || heap_.front().when > until) break;
-    Bucket& b = buckets_[heap_.front().bucket];
-    const PendingEvent ev = b.items[b.next++];
+    const PendingEvent ev = take_front_event();
     dispatch(ev);
   }
   if (!stopped_ && now_ < until) now_ = until;

@@ -1,0 +1,184 @@
+#include "condorg/workloads/explore_scenarios.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "condorg/core/agent.h"
+#include "condorg/core/audit.h"
+#include "condorg/core/broker.h"
+#include "condorg/gram/protocol.h"
+#include "condorg/util/strings.h"
+#include "condorg/workloads/grid_builder.h"
+
+namespace condorg::workloads {
+namespace {
+
+// Shared scenario scaffolding: the grid shape and job mix differ per
+// scenario; everything below (auditor wiring, state probe, outcome
+// harvesting) is identical, and identical matters — replay equality is
+// byte-for-byte over the formatted violations.
+struct ExploreWorld {
+  GridTestbed testbed{/*seed=*/2001};
+  std::unique_ptr<core::CondorGAgent> agent;
+  std::unique_ptr<core::StandardAuditor> auditor;
+  std::vector<std::uint64_t> job_ids;
+
+  sim::Simulation& sim() { return testbed.world().sim(); }
+
+  void start_agent(const std::string& host) {
+    testbed.add_submit_host(host);
+    agent = std::make_unique<core::CondorGAgent>(testbed.world(), host);
+    agent->set_site_chooser(core::make_static_chooser(testbed.gatekeepers()));
+    agent->start();
+    // Period 1: check every invariant between every pair of events, so a
+    // violation is pinned to the exact dispatch that introduced it.
+    auditor = std::make_unique<core::StandardAuditor>(sim(), /*period=*/1);
+    auditor->attach_agent(*agent);
+    for (const auto& site : testbed.sites()) {
+      auditor->attach_gatekeeper(*site->gatekeeper);
+    }
+  }
+
+  void submit_jobs(int count, double runtime_seconds) {
+    for (int i = 0; i < count; ++i) {
+      core::JobDescription job;
+      job.universe = core::Universe::kGrid;
+      job.executable = "probe";
+      job.runtime_seconds = runtime_seconds + 30.0 * i;
+      job.output_size = 1 << 10;
+      job_ids.push_back(agent->submit(job));
+    }
+  }
+
+  /// Hash of the protocol-relevant world state (not its history): job
+  /// statuses and seqs, JobManager states, host liveness/epochs, disk
+  /// record counts. Two prefixes hashing equal lead to equivalent futures,
+  /// which is what lets the explorer prune.
+  std::uint64_t state_hash() {
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (const std::uint64_t id : job_ids) {
+      const auto job = agent->query(id);
+      if (!job) {
+        h = util::fnv1a_mix(h, ~0ull);
+        continue;
+      }
+      h = util::fnv1a_mix(h, static_cast<std::uint64_t>(job->status));
+      h = util::fnv1a_mix(h, job->gram_seq);
+      h = util::fnv1a_mix(h, util::fnv1a(job->gram_contact));
+      h = util::fnv1a_mix(h, static_cast<std::uint64_t>(job->attempts));
+    }
+    for (const auto& site : testbed.sites()) {
+      h = util::fnv1a_mix(h, site->gatekeeper->jobmanager_count());
+      site->gatekeeper->for_each_jobmanager([&](const gram::JobManager& jm) {
+        h = util::fnv1a_mix(h, util::fnv1a(jm.contact()));
+        h = util::fnv1a_mix(h, static_cast<std::uint64_t>(jm.state()));
+        h = util::fnv1a_mix(h, (jm.committed() ? 2u : 0u) |
+                                   (jm.process_alive() ? 1u : 0u));
+      });
+      h = util::fnv1a_mix(h, site->frontend->epoch());
+      h = util::fnv1a_mix(h, site->frontend->alive() ? 1 : 0);
+      h = util::fnv1a_mix(h, site->frontend->disk().size());
+    }
+    sim::Host& submit = testbed.world().host(submit_host_name);
+    h = util::fnv1a_mix(h, submit.epoch());
+    h = util::fnv1a_mix(h, submit.alive() ? 1 : 0);
+    h = util::fnv1a_mix(h, submit.disk().size());
+    return h;
+  }
+
+  sim::RunOutcome finish(double horizon) {
+    sim().run_until(horizon);
+    sim().set_controller(nullptr);
+    sim::RunOutcome out;
+    out.trace_digest = sim().trace_digest();
+    out.dispatched = sim().dispatched();
+    for (const auto& v : auditor->auditor().violations()) {
+      out.violations.push_back(util::format("t=%.3f %s: %s", v.when,
+                                            v.check.c_str(),
+                                            v.detail.c_str()));
+    }
+    return out;
+  }
+
+  std::string submit_host_name = "submit.grid";
+};
+
+sim::RunOutcome run_quickstart(sim::ScheduleOracle& oracle) {
+  auto world = std::make_unique<ExploreWorld>();
+  world->sim().set_controller(&oracle);
+
+  SiteSpec site;
+  site.name = "site-a.grid";
+  site.kind = SiteKind::kPbs;
+  site.cpus = 2;
+  world->testbed.add_site(site);
+
+  world->start_agent("submit.grid");
+  oracle.set_state_probe([w = world.get()] { return w->state_hash(); });
+  world->submit_jobs(/*count=*/3, /*runtime_seconds=*/120.0);
+  return world->finish(/*horizon=*/1800.0);
+}
+
+sim::RunOutcome run_fault_drill(sim::ScheduleOracle& oracle) {
+  auto world = std::make_unique<ExploreWorld>();
+  world->sim().set_controller(&oracle);
+
+  SiteSpec a;
+  a.name = "site-a.grid";
+  a.kind = SiteKind::kPbs;
+  a.cpus = 2;
+  world->testbed.add_site(a);
+
+  SiteSpec b;
+  b.name = "site-b.grid";
+  b.kind = SiteKind::kLsf;
+  b.cpus = 2;
+  world->testbed.add_site(b);
+
+  world->start_agent("submit.grid");
+  oracle.set_state_probe([w = world.get()] { return w->state_hash(); });
+  world->submit_jobs(/*count=*/4, /*runtime_seconds=*/120.0);
+
+  // Scripted fault plan, on top of whatever the oracle injects:
+  sim::Simulation& sim = world->sim();
+  GridTestbed& testbed = world->testbed;
+  // F1 at t=180: kill the first live JobManager at site A.
+  sim.schedule_at(180.0, [&testbed] {
+    gram::Gatekeeper& gk = *testbed.site(0).gatekeeper;
+    std::string victim;
+    gk.for_each_jobmanager([&victim](const gram::JobManager& jm) {
+      if (victim.empty() && jm.process_alive() &&
+          !gram::is_terminal(jm.state())) {
+        victim = jm.contact();
+      }
+    });
+    if (!victim.empty()) gk.kill_jobmanager(victim);
+  });
+  // F2 at t=240: site B's front-end machine reboots.
+  sim.schedule_at(240.0, [&testbed] {
+    testbed.site(1).frontend->crash_for(50.0);
+  });
+  // F4 from t=300 to t=420: the WAN to site A partitions.
+  sim.schedule_at(300.0, [&testbed] {
+    testbed.world().net().set_partitioned("submit.grid", "site-a.grid", true);
+  });
+  sim.schedule_at(420.0, [&testbed] {
+    testbed.world().net().set_partitioned("submit.grid", "site-a.grid", false);
+  });
+
+  return world->finish(/*horizon=*/2400.0);
+}
+
+}  // namespace
+
+sim::Explorer::Scenario make_explore_scenario(const std::string& name) {
+  if (name == "quickstart") return run_quickstart;
+  if (name == "fault_drill") return run_fault_drill;
+  throw std::invalid_argument("unknown explore scenario: " + name);
+}
+
+std::vector<std::string> explore_scenario_names() {
+  return {"quickstart", "fault_drill"};
+}
+
+}  // namespace condorg::workloads

@@ -1,0 +1,32 @@
+// Bounded scenarios for the schedule-space model checker.
+//
+// Each scenario is a miniature, fixed-seed version of an example workload:
+// it builds a fresh grid, attaches the explorer's oracle as the kernel's
+// ScheduleController, arms the full StandardAuditor at period 1 (checks
+// after every event), runs to a fixed horizon, and returns the findings.
+// Scenarios check *safety* (exactly-once submission, conservation, records
+// on disk) — a schedule in which a job does not finish before the horizon
+// is legal; one that runs a job twice is not.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "condorg/sim/explorer.h"
+
+namespace condorg::workloads {
+
+/// The scenario registered under `name`; throws std::invalid_argument for
+/// an unknown name (see explore_scenario_names()).
+sim::Explorer::Scenario make_explore_scenario(const std::string& name);
+
+/// Names accepted by make_explore_scenario, in listing order:
+///   "quickstart"  — one 2-cpu site, three short grid jobs, healthy links;
+///                   exercises the two-phase submit/commit handshake.
+///   "fault_drill" — two sites, four jobs, plus scripted faults: an F1
+///                   JobManager kill, an F2 front-end crash, and an F4
+///                   partition window, on top of the oracle's own
+///                   crash-point injection.
+std::vector<std::string> explore_scenario_names();
+
+}  // namespace condorg::workloads

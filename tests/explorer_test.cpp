@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "condorg/sim/explorer.h"
+#include "condorg/sim/host.h"
+#include "condorg/sim/schedule_controller.h"
+#include "condorg/sim/simulation.h"
+#include "condorg/workloads/explore_scenarios.h"
+
+namespace cs = condorg::sim;
+namespace cw = condorg::workloads;
+
+namespace {
+
+/// Scoped environment variable for the mutation self-tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+/// Controller that always picks the last live candidate in a bucket —
+/// the exact reverse of the kernel's FIFO default.
+class PickLast : public cs::ScheduleController {
+ public:
+  std::size_t pick_event(cs::Time, std::size_t count) override {
+    return count - 1;
+  }
+  bool inject_crash(const std::string&, const char*, double*) override {
+    return false;
+  }
+};
+
+/// Controller that crashes a specific host at a specific named point.
+class CrashAt : public cs::ScheduleController {
+ public:
+  explicit CrashAt(std::string point) : point_(std::move(point)) {}
+
+  std::size_t pick_event(cs::Time, std::size_t) override { return 0; }
+  bool inject_crash(const std::string&, const char* point,
+                    double* downtime) override {
+    if (point_ != point) return false;
+    *downtime = 5.0;
+    ++fired_;
+    return true;
+  }
+
+  int fired() const { return fired_; }
+
+ private:
+  std::string point_;
+  int fired_ = 0;
+};
+
+}  // namespace
+
+// ---------- ScheduleController kernel hook ----------
+
+TEST(ScheduleController, PickLastReversesSameTimeOrder) {
+  cs::Simulation sim;
+  PickLast controller;
+  sim.set_controller(&controller);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{4, 3, 2, 1, 0}));
+}
+
+TEST(ScheduleController, DefaultPickMatchesFifoDigest) {
+  auto build = [](cs::Simulation& sim, cs::ScheduleController* controller) {
+    sim.set_controller(controller);
+    for (int i = 0; i < 8; ++i) {
+      sim.schedule_at(1.0 + 0.5 * (i % 3), [] {});
+    }
+    sim.run();
+    return sim.trace_digest();
+  };
+  // A controller that always answers 0 reproduces FIFO byte-for-byte.
+  class PickFirst : public cs::ScheduleController {
+   public:
+    std::size_t pick_event(cs::Time, std::size_t) override { return 0; }
+    bool inject_crash(const std::string&, const char*, double*) override {
+      return false;
+    }
+  };
+  cs::Simulation plain;
+  cs::Simulation controlled;
+  PickFirst first;
+  EXPECT_EQ(build(plain, nullptr), build(controlled, &first));
+}
+
+TEST(ScheduleController, CancelledEventsAreNotCandidates) {
+  cs::Simulation sim;
+  PickLast controller;
+  sim.set_controller(&controller);
+  std::vector<int> order;
+  std::vector<cs::EventId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(sim.schedule_at(1.0, [&order, i] { order.push_back(i); }));
+  }
+  sim.cancel(ids[3]);  // "last" must now mean the last *live* event
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 0}));
+}
+
+TEST(CrashPoint, NoControllerIsNoOp) {
+  cs::Simulation sim;
+  cs::Host host(sim, "h");
+  EXPECT_FALSE(host.crash_point("any.point"));
+  EXPECT_TRUE(host.alive());
+}
+
+TEST(CrashPoint, ControllerCrashIsScheduledNotInline) {
+  cs::Simulation sim;
+  CrashAt controller("daemon.step");
+  sim.set_controller(&controller);
+  cs::Host host(sim, "h");
+  bool crashed_inline = false;
+  sim.schedule_at(1.0, [&] {
+    EXPECT_FALSE(host.crash_point("daemon.other_step"));
+    EXPECT_TRUE(host.crash_point("daemon.step"));
+    // The crash is a separate event: the host is still up right here.
+    crashed_inline = !host.alive();
+  });
+  const cs::Epoch before = host.epoch();
+  sim.run_until(2.0);
+  EXPECT_FALSE(crashed_inline);
+  EXPECT_FALSE(host.alive());
+  EXPECT_EQ(controller.fired(), 1);
+  sim.run_until(10.0);  // downtime was 5s
+  EXPECT_TRUE(host.alive());
+  EXPECT_GT(host.epoch(), before);
+}
+
+TEST(CrashPoint, DeadHostDoesNotReCrash) {
+  cs::Simulation sim;
+  CrashAt controller("daemon.step");
+  sim.set_controller(&controller);
+  cs::Host host(sim, "h");
+  host.crash();
+  EXPECT_FALSE(host.crash_point("daemon.step"));
+  EXPECT_EQ(controller.fired(), 0);
+}
+
+// ---------- ScheduleTrace ----------
+
+TEST(ScheduleTrace, SerializeParseRoundTrip) {
+  cs::ScheduleTrace trace;
+  trace.scenario = "quickstart";
+  trace.seed = 42;
+  trace.choices.push_back({cs::ExploreChoice::Kind::kEvent, 2, 3,
+                           0x1234abcd5678ef90ull});
+  trace.choices.push_back({cs::ExploreChoice::Kind::kCrash, 1, 2, 0});
+  trace.choices.push_back({cs::ExploreChoice::Kind::kEvent, 0, 5,
+                           ~0ull});
+
+  const std::string text = trace.serialize();
+  cs::ScheduleTrace parsed;
+  ASSERT_TRUE(cs::ScheduleTrace::parse(text, &parsed));
+  EXPECT_EQ(parsed.scenario, trace.scenario);
+  EXPECT_EQ(parsed.seed, trace.seed);
+  EXPECT_EQ(parsed.choices, trace.choices);
+  // And the round trip is a fixed point of serialization.
+  EXPECT_EQ(parsed.serialize(), text);
+}
+
+TEST(ScheduleTrace, ParseRejectsGarbage) {
+  cs::ScheduleTrace out;
+  EXPECT_FALSE(cs::ScheduleTrace::parse("", &out));
+  EXPECT_FALSE(cs::ScheduleTrace::parse("not a trace\n", &out));
+  EXPECT_FALSE(cs::ScheduleTrace::parse(
+      "condorg-explore-trace v1\nscenario q\nseed 1\nchoice bogus 0 1 0\n"
+      "end\n",
+      &out));
+  // Truncated: no "end" terminator.
+  EXPECT_FALSE(cs::ScheduleTrace::parse(
+      "condorg-explore-trace v1\nscenario q\nseed 1\n", &out));
+}
+
+// ---------- ScheduleOracle ----------
+
+TEST(ScheduleOracle, ForcedPrefixThenDefaults) {
+  cs::ScheduleOracle::Config config;
+  config.max_branch = 4;
+  std::vector<cs::ExploreChoice> forced;
+  forced.push_back({cs::ExploreChoice::Kind::kEvent, 2, 3, 0});
+  cs::ScheduleOracle oracle(config, forced);
+  EXPECT_EQ(oracle.pick_event(1.0, 3), 2u);  // forced
+  EXPECT_EQ(oracle.pick_event(1.0, 3), 0u);  // past the prefix: default
+  ASSERT_EQ(oracle.record().size(), 2u);
+  EXPECT_EQ(oracle.record()[0].chosen, 2u);
+  EXPECT_EQ(oracle.record()[1].chosen, 0u);
+  EXPECT_EQ(oracle.record()[1].alternatives, 3u);
+}
+
+TEST(ScheduleOracle, CrashBudgetIsEnforced) {
+  cs::ScheduleOracle::Config config;
+  config.crash_budget = 1;
+  std::vector<cs::ExploreChoice> forced;
+  forced.push_back({cs::ExploreChoice::Kind::kCrash, 1, 2, 0});
+  forced.push_back({cs::ExploreChoice::Kind::kCrash, 1, 2, 0});
+  cs::ScheduleOracle oracle(config, forced);
+  double downtime = 0.0;
+  EXPECT_TRUE(oracle.inject_crash("h", "p", &downtime));
+  EXPECT_GT(downtime, 0.0);
+  // Budget spent: further requests refuse even with a forced "crash".
+  EXPECT_FALSE(oracle.inject_crash("h", "p", &downtime));
+  EXPECT_EQ(oracle.crashes_injected(), 1u);
+}
+
+TEST(ScheduleOracle, ChoicePointBudgetStopsRecording) {
+  cs::ScheduleOracle::Config config;
+  config.max_choice_points = 2;
+  cs::ScheduleOracle oracle(config, {});
+  oracle.pick_event(1.0, 3);
+  oracle.pick_event(2.0, 3);
+  oracle.pick_event(3.0, 3);  // over budget: unrecorded default
+  EXPECT_EQ(oracle.record().size(), 2u);
+}
+
+// ---------- Explorer end to end ----------
+
+namespace {
+
+cs::Explorer::Config small_quickstart_config() {
+  cs::Explorer::Config config;
+  config.oracle.max_choice_points = 10;
+  config.oracle.max_branch = 2;
+  config.oracle.crash_budget = 1;
+  config.max_schedules = 400;
+  return config;
+}
+
+}  // namespace
+
+TEST(Explorer, QuickstartSmallBudgetIsCleanAndExhausts) {
+  cs::Explorer explorer("quickstart", cw::make_explore_scenario("quickstart"),
+                        small_quickstart_config());
+  const cs::Explorer::Result result = explorer.explore();
+  EXPECT_FALSE(result.violation_found) << (result.violations.empty()
+                                               ? ""
+                                               : result.violations.front());
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_GT(result.distinct_schedules, 10u);
+  EXPECT_LE(result.runs, 400u);
+}
+
+TEST(Explorer, ReplayOfDefaultScheduleIsDeterministic) {
+  cs::ScheduleTrace empty;
+  empty.scenario = "quickstart";
+  cs::Explorer explorer("quickstart", cw::make_explore_scenario("quickstart"),
+                        small_quickstart_config());
+  const cs::RunOutcome a = explorer.replay(empty);
+  const cs::RunOutcome b = explorer.replay(empty);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.dispatched, b.dispatched);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_TRUE(a.violations.empty());
+}
+
+TEST(Explorer, MutatedDedupYieldsReplayableCounterexample) {
+  ScopedEnv mutate("CONDORG_MUTATE_DEDUP", "1");
+  cs::Explorer::Config config;  // full default budgets, as the CLI uses
+  cs::Explorer explorer("quickstart", cw::make_explore_scenario("quickstart"),
+                        config);
+  const cs::Explorer::Result result = explorer.explore();
+  ASSERT_TRUE(result.violation_found)
+      << "explorer failed to catch the broken dedup";
+  ASSERT_FALSE(result.violations.empty());
+  EXPECT_NE(result.violations.front().find("two job records"),
+            std::string::npos);
+
+  // Satellite: the counterexample file round-trips through serialize/parse
+  // and replay() reproduces the identical failing audit, byte for byte.
+  const std::string text = result.counterexample.serialize();
+  cs::ScheduleTrace parsed;
+  ASSERT_TRUE(cs::ScheduleTrace::parse(text, &parsed));
+  const cs::RunOutcome replayed = explorer.replay(parsed);
+  EXPECT_EQ(replayed.violations, result.violations);
+
+  // Replay twice: the counterexample is stable, not a heisenbug.
+  const cs::RunOutcome again = explorer.replay(parsed);
+  EXPECT_EQ(again.violations, replayed.violations);
+  EXPECT_EQ(again.trace_digest, replayed.trace_digest);
+}
+
+TEST(Explorer, HealthyDedupSurvivesTheCounterexampleSchedule) {
+  // Find a counterexample under the mutation...
+  cs::ScheduleTrace counterexample;
+  {
+    ScopedEnv mutate("CONDORG_MUTATE_DEDUP", "1");
+    cs::Explorer::Config config;
+    cs::Explorer explorer("quickstart",
+                          cw::make_explore_scenario("quickstart"), config);
+    const cs::Explorer::Result result = explorer.explore();
+    ASSERT_TRUE(result.violation_found);
+    counterexample = result.counterexample;
+  }
+  // ...then replay the very same hostile schedule against the real
+  // gatekeeper: the dedup guard must hold.
+  cs::Explorer explorer("quickstart", cw::make_explore_scenario("quickstart"),
+                        small_quickstart_config());
+  const cs::RunOutcome outcome = explorer.replay(counterexample);
+  EXPECT_TRUE(outcome.violations.empty())
+      << outcome.violations.front();
+}

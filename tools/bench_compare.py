@@ -25,21 +25,37 @@ import sys
 import tempfile
 
 
-def load_tree(root: pathlib.Path) -> dict[str, float]:
-    """Map 'FILE:benchmark_name' -> real_time_ns for every BENCH_*.json."""
+class BaselineError(Exception):
+    """A committed baseline file is missing, unreadable, or unparsable."""
+
+
+def load_tree(root: pathlib.Path, strict: bool = False) -> dict[str, float]:
+    """Map 'FILE:benchmark_name' -> real_time_ns for every BENCH_*.json.
+
+    strict=True is for the committed baseline tree: an unreadable or
+    unparsable file there means the gate would silently compare against
+    nothing, so it raises BaselineError instead of warn-and-skip.
+    """
     out: dict[str, float] = {}
     for path in sorted(root.glob("BENCH_*.json")):
         try:
             doc = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as err:
+            if strict:
+                raise BaselineError(f"unparsable baseline {path}: {err}")
             print(f"warning: skipping unreadable {path}: {err}")
             continue
+        loaded = 0
         for bench in doc.get("benchmarks", []):
             name = bench.get("name")
             time_ns = bench.get("real_time_ns")
             if not isinstance(name, str) or not isinstance(time_ns, (int, float)):
                 continue
             out[f"{path.name}:{name}"] = float(time_ns)
+            loaded += 1
+        if strict and loaded == 0:
+            raise BaselineError(
+                f"baseline {path} contains no usable benchmark entries")
     return out
 
 
@@ -107,10 +123,28 @@ def self_test() -> int:
         # A looser threshold should absorb the 1.5x slowdown.
         if compare(baseline, current, threshold=0.60) != 0:
             failures.append("threshold=0.60 should absorb a +50% delta")
-        # Unreadable JSON is skipped, not fatal.
+        # Unreadable JSON in the *current* tree is skipped, not fatal: a
+        # half-written bench run should not mask the rest of the report.
         (cur_dir / "BENCH_BAD.json").write_text("{not json")
         if len(load_tree(cur_dir)) != 4:
-            failures.append("malformed file should be skipped")
+            failures.append("malformed current-tree file should be skipped")
+        # ...but in the *baseline* tree it is an error: a corrupt committed
+        # baseline must fail the gate, not silently compare against nothing.
+        try:
+            load_tree(cur_dir, strict=True)
+            failures.append("strict load must reject a malformed baseline")
+        except BaselineError:
+            pass
+        # A baseline file with no usable entries is equally fatal.
+        (cur_dir / "BENCH_BAD.json").write_text(json.dumps({"benchmarks": []}))
+        try:
+            load_tree(cur_dir, strict=True)
+            failures.append("strict load must reject an empty baseline file")
+        except BaselineError:
+            pass
+        (cur_dir / "BENCH_BAD.json").unlink()
+        if len(load_tree(cur_dir, strict=True)) != 4:
+            failures.append("strict load should accept a healthy tree")
     for failure in failures:
         print(f"SELF-TEST FAIL: {failure}")
     print("bench_compare self-test:", "FAIL" if failures else "OK")
@@ -132,11 +166,22 @@ def main() -> int:
     if not args.baseline or not args.current:
         parser.error("baseline and current directories are required")
 
-    baseline = load_tree(pathlib.Path(args.baseline))
+    base_root = pathlib.Path(args.baseline)
+    if not base_root.is_dir():
+        print(f"error: baseline directory {args.baseline} does not exist",
+              file=sys.stderr)
+        return 2
+    try:
+        baseline = load_tree(base_root, strict=True)
+    except BaselineError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
     current = load_tree(pathlib.Path(args.current))
     if not baseline:
-        print(f"warning: no BENCH_*.json under {args.baseline}; nothing to do")
-        return 0
+        # An empty baseline tree would make every run pass vacuously.
+        print(f"error: no BENCH_*.json under {args.baseline}; the comparison "
+              "gate needs committed baselines", file=sys.stderr)
+        return 2
     print(f"comparing {args.current} against {args.baseline} "
           f"(threshold {args.threshold:.0%})")
     regressions = compare(baseline, current, args.threshold)

@@ -19,6 +19,13 @@ guarantee or the paper's exactly-once protocol:
                          nondeterminism into event scheduling and protocol
                          message order. Iterate a std::map/std::set or a
                          sorted copy instead.
+  unordered-trace-emit   the same range-for, but the loop body emits trace /
+                         JSON output (tracer, emit, json). The schedule
+                         explorer replays counterexamples by comparing
+                         formatted output byte-for-byte, so emission order
+                         from an unordered container is a correctness bug,
+                         not a style one — this rule fires *in addition to*
+                         unordered-iteration and needs its own allow.
   virtual-in-derived     `virtual` on a member function of a class that has a
                          base-clause — overrides must say `override` (the
                          compiler backstop is -Wsuggest-override); a derived
@@ -94,6 +101,10 @@ VIRTUAL_DECL = re.compile(r"^\s*virtual\b")
 
 DECL_FUNCTION_OBJ = re.compile(
     r"\bstd::function\s*<[^;]*>\s+([A-Za-z_]\w*)\s*[;={(]")
+# Trace/JSON emission inside a loop body: the tracer, anything emit-like, or
+# any json helper. Scanned against noise-stripped lines, so string literals
+# cannot fake a hit.
+EMIT_OUTPUT = re.compile(r"json|Json|JSON|[Tt]racer\b|\bemit\w*\s*\(")
 ALLOW_INLINE = re.compile(r"lint-allow\(([\w,-]+)\)")
 
 COMMENT_LINE = re.compile(r"^\s*(//|\*|/\*)")
@@ -232,6 +243,11 @@ def lint_file(path, rel, file_allows, root, header_cache):
             report(idx, "unordered-iteration",
                    f"range-for over unordered container '{m.group(1)}'; "
                    "iteration order is nondeterministic")
+            if _loop_body_emits(lines, idx):
+                report(idx, "unordered-trace-emit",
+                       f"loop over unordered container '{m.group(1)}' emits "
+                       "trace/JSON output; replay compares that output "
+                       "byte-for-byte — iterate a sorted view instead")
 
         if CLASS_DERIVED.search(line):
             class_depth_stack.append(brace_depth)
@@ -259,6 +275,24 @@ def lint_file(path, rel, file_allows, root, header_cache):
                        "null-checked in this file")
 
     return violations
+
+
+def _loop_body_emits(lines, idx, max_lines=30):
+    """True when the range-for starting at line idx has trace/JSON emission
+    in its body (brace-balanced, or the single next statement)."""
+    depth = 0
+    opened = False
+    for probe in range(idx, min(idx + max_lines, len(lines))):
+        line = strip_noise(lines[probe])
+        if EMIT_OUTPUT.search(line):
+            return True
+        depth += line.count("{") - line.count("}")
+        opened = opened or "{" in line
+        if opened and depth <= 0:
+            break  # closing brace of the loop reached
+        if not opened and probe > idx:
+            break  # braceless loop: body is the single next line
+    return False
 
 
 def _skip_template(text):
@@ -302,15 +336,19 @@ def self_test(root):
                       {})
     got = sorted({v.rule for v in found})
     want = sorted(["banned-rand", "wall-clock", "unordered-iteration",
-                   "virtual-in-derived", "unchecked-function-call",
-                   "direct-io"])
+                   "unordered-trace-emit", "virtual-in-derived",
+                   "unchecked-function-call", "direct-io"])
     ok = got == want
     # The inline-allowed std::rand at the bottom must NOT be reported twice.
     rand_hits = sum(1 for v in found if v.rule == "banned-rand")
     ok = ok and rand_hits == 1
+    # The plain (no-emission) unordered loop must not trip the emit rule.
+    emit_hits = [v for v in found if v.rule == "unordered-trace-emit"]
+    ok = ok and len(emit_hits) == 1
     if not ok:
         print(f"condorg_lint self-test FAILED: rules hit {got}, "
-              f"wanted {want}; banned-rand hits {rand_hits} (want 1)")
+              f"wanted {want}; banned-rand hits {rand_hits} (want 1); "
+              f"unordered-trace-emit hits {len(emit_hits)} (want 1)")
         for v in found:
             print(f"  {v}")
         return 1

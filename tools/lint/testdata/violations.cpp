@@ -19,6 +19,18 @@ struct Table {
   }
 };
 
+struct Emitter {
+  std::unordered_map<int, int> rows_;
+  void dump() {
+    // trips unordered-iteration AND unordered-trace-emit: the body emits
+    // JSON, so iteration order becomes output order.
+    for (const auto& [k, v] : rows_) {                 // unordered-trace-emit
+      emit_json(k, v);
+    }
+  }
+  void emit_json(int, int);
+};
+
 struct Base {
   virtual ~Base() = default;
   virtual void poke();                                 // fine: not derived
