@@ -50,6 +50,9 @@ echo "== bench telemetry comparator =="
 # bench binaries (they drop BENCH_<id>.json next to themselves).
 python3 tools/bench_compare.py --self-test
 if [[ "${CONDORG_BENCH_COMPARE:-0}" == "1" ]]; then
+  # S1 is cheap enough to (re)generate here; M1/M2 are compared from
+  # whatever run the operator produced beforehand.
+  (cd build/bench && ./bench_s1_submission_storm >/dev/null)
   python3 tools/bench_compare.py bench/baselines build/bench
 fi
 

@@ -1,5 +1,8 @@
 #include "condorg/core/gridmanager.h"
 
+#include <algorithm>
+
+#include "condorg/util/rng.h"
 #include "condorg/util/strings.h"
 
 namespace condorg::core {
@@ -78,13 +81,23 @@ void GridManager::start() {
 }
 
 void GridManager::tick() {
+  prune_pipeline();
   drive_idle_jobs();
   host_.post(options_.poll_interval, [this] { tick(); });
 }
 
-gram::GramJobSpec GridManager::spec_for(const Job& job) const {
+gram::GramJobSpec GridManager::spec_for(const Job& job) {
   gram::GramJobSpec spec;
-  spec.executable = "exe/" + std::to_string(job.id);
+  if (options_.reference_submit_path) {
+    spec.executable = "exe/" + std::to_string(job.id);
+  } else {
+    // Content-addressed: every job running this executable names the same
+    // store entry, and the checksum lets the site's staging cache serve
+    // repeats without a transfer (and detect changed content).
+    const Artifact& artifact = stage_artifact(job);
+    spec.executable = artifact.path;
+    spec.exe_checksum = artifact.checksum;
+  }
   spec.output = job.desc.output.empty()
                     ? "out/" + std::to_string(job.id) + ".out"
                     : job.desc.output;
@@ -97,18 +110,116 @@ gram::GramJobSpec GridManager::spec_for(const Job& job) const {
   return spec;
 }
 
+std::string GridManager::make_exe_content(const std::string& name) const {
+  // The executable content is synthetic but deterministic: regenerable from
+  // the name alone, so crash recovery re-creates byte-identical content
+  // (and hence the same checksum) without persisting it anywhere.
+  std::string content = "executable:" + name;
+  const std::uint64_t want = options_.staged_content_bytes;
+  if (want > content.size()) {
+    const std::string block =
+        content + "#" + std::to_string(util::fnv1a(name)) + "\n";
+    content.reserve(want);
+    while (content.size() < want) {
+      content.append(block, 0, std::min<std::uint64_t>(
+                                   block.size(), want - content.size()));
+    }
+  }
+  return content;
+}
+
+const GridManager::Artifact& GridManager::stage_artifact(const Job& job) {
+  const auto memo = artifacts_.find(job.desc.executable);
+  if (memo != artifacts_.end()) return memo->second;
+  std::string content = make_exe_content(job.desc.executable);
+  Artifact artifact;
+  artifact.checksum = util::fnv1a(content);
+  artifact.path = "exe/cas/" + std::to_string(artifact.checksum);
+  artifact.declared_size = job.desc.executable_size;
+  gass_.store().put_if_absent(artifact.path, std::move(content),
+                              artifact.declared_size);
+  return artifacts_.emplace(job.desc.executable, std::move(artifact))
+      .first->second;
+}
+
 void GridManager::stage_executable(const Job& job) {
-  // The executable content is synthetic; what matters is that it exists on
-  // the GASS server for the JobManager to fetch (and is re-created after a
-  // submit-machine crash).
-  gass_.store().put("exe/" + std::to_string(job.id),
-                    "executable:" + job.desc.executable,
-                    job.desc.executable_size);
+  // What matters is that the executable exists on the GASS server for the
+  // JobManager to fetch (and is re-created after a submit-machine crash).
+  if (options_.reference_submit_path) {
+    // Reference path: one store entry per job, re-put on every submission.
+    gass_.store().put("exe/" + std::to_string(job.id),
+                      make_exe_content(job.desc.executable),
+                      job.desc.executable_size);
+    return;
+  }
+  stage_artifact(job);
+}
+
+std::size_t GridManager::pipeline_depth(const std::string& site) const {
+  const auto it = site_pipeline_.find(site);
+  return it == site_pipeline_.end() ? 0 : it->second;
+}
+
+void GridManager::set_depth_gauge(const std::string& site,
+                                  std::size_t depth) {
+  util::Gauge*& gauge = depth_gauges_[site];
+  if (gauge == nullptr) {
+    gauge = &host_.metrics().gauge("submit_pipeline_depth",
+                                   {{"user", user_}, {"site", site}});
+  }
+  gauge->set(host_.now(), static_cast<double>(depth));
+}
+
+void GridManager::begin_pipeline(std::uint64_t job_id,
+                                 const std::string& site) {
+  if (!pipeline_site_of_.emplace(job_id, site).second) return;
+  set_depth_gauge(site, ++site_pipeline_[site]);
+}
+
+void GridManager::end_pipeline(std::uint64_t job_id) {
+  const auto it = pipeline_site_of_.find(job_id);
+  if (it == pipeline_site_of_.end()) return;
+  const std::string site = it->second;
+  pipeline_site_of_.erase(it);
+  std::size_t& depth = site_pipeline_[site];
+  if (depth > 0) --depth;
+  set_depth_gauge(site, depth);
+  pump_site(site);  // the freed slot refills without waiting for a tick
+}
+
+void GridManager::prune_pipeline() {
+  for (auto it = pipeline_site_of_.begin(); it != pipeline_site_of_.end();) {
+    const std::uint64_t id = (it++)->first;  // end_pipeline erases
+    const auto job = schedd_.query(id);
+    // A slot is owed while the submit is in flight or the job sits at the
+    // site without an ACTIVE sighting; anything else (held, removed,
+    // terminal with a lost callback) is reclaimed here.
+    const bool owed =
+        job && (submitting_.count(id) != 0 ||
+                (job->status == JobStatus::kRunning &&
+                 job->remote_state != "ACTIVE"));
+    if (!owed) end_pipeline(id);
+  }
 }
 
 void GridManager::drive_idle_jobs() {
+  if (options_.reference_submit_path) {
+    drive_idle_jobs_reference();
+    return;
+  }
+  for (const std::uint64_t id : schedd_.idle_jobs(Universe::kGrid)) {
+    if (queued_.count(id) || submitting_.count(id)) continue;
+    enqueue_idle(id);
+  }
+  pump_all();
+}
+
+void GridManager::drive_idle_jobs_reference() {
   std::size_t in_flight = submitting_.size();
   if (options_.max_submitted_jobs > 0) {
+    // Retained pre-index reference path for bench_s1; the production path
+    // uses count(universe, status).
+    // lint-allow(schedd-full-scan): reference configuration by design
     for (const auto& [id, job] : schedd_.jobs()) {
       if (job.desc.universe == Universe::kGrid &&
           job.status == JobStatus::kRunning) {
@@ -125,6 +236,85 @@ void GridManager::drive_idle_jobs() {
       submit_job(id);
       ++in_flight;
     }
+  }
+}
+
+void GridManager::enqueue_idle(std::uint64_t job_id) {
+  const auto job = schedd_.query(job_id);
+  if (!job || job->status != JobStatus::kIdle) return;
+  if (!job->gram_contact.empty()) {
+    // Released-from-hold with a live site contact: reconnect, don't queue.
+    submit_job(job_id);
+    return;
+  }
+  queued_.insert(job_id);
+  if (!job->desc.grid_site.empty()) {
+    site_ready_[job->desc.grid_site].push_back(job_id);
+    return;
+  }
+  chooser_(*job, [this, job_id](std::optional<sim::Address> gatekeeper) {
+    if (queued_.count(job_id) == 0) return;  // dropped meanwhile (reboot)
+    if (!gatekeeper) {
+      // No candidate resource right now; try again next tick.
+      queued_.erase(job_id);
+      return;
+    }
+    site_ready_[gatekeeper->host].push_back(job_id);
+    pump_site(gatekeeper->host);
+  });
+}
+
+void GridManager::pump_all() {
+  // Site-name order (map order), job-id order within each site's queue:
+  // the deterministic issue order the traces and the explorer rely on.
+  for (const auto& [site, queue] : site_ready_) repump_.insert(site);
+  pump_site("");  // drain repump_; "" names no site and pumps nothing
+}
+
+void GridManager::pump_site(const std::string& site) {
+  if (pump_in_progress_) {
+    // A completion callback freed a slot while the outer pump is mid-loop:
+    // defer, the outermost call drains below.
+    repump_.insert(site);
+    return;
+  }
+  pump_in_progress_ = true;
+  do_pump(site);
+  while (!repump_.empty()) {
+    const std::string next = *repump_.begin();
+    repump_.erase(repump_.begin());
+    do_pump(next);
+  }
+  pump_in_progress_ = false;
+}
+
+void GridManager::do_pump(const std::string& site) {
+  const auto it = site_ready_.find(site);
+  if (it == site_ready_.end()) return;
+  std::deque<std::uint64_t>& queue = it->second;
+  while (!queue.empty()) {
+    if (options_.max_pending_per_site > 0 &&
+        pipeline_depth(site) >= options_.max_pending_per_site) {
+      return;
+    }
+    if (options_.max_submitted_jobs > 0 &&
+        submitting_.size() +
+                schedd_.count(Universe::kGrid, JobStatus::kRunning) >=
+            options_.max_submitted_jobs) {
+      return;
+    }
+    const std::uint64_t job_id = queue.front();
+    queue.pop_front();
+    queued_.erase(job_id);
+    const auto job = schedd_.query(job_id);
+    if (!job || job->status != JobStatus::kIdle ||
+        submitting_.count(job_id)) {
+      continue;  // moved on (held/removed/re-driven) while waiting
+    }
+    submitting_.insert(job_id);
+    stage_executable(*job);
+    begin_pipeline(job_id, site);
+    submit_to(job_id, sim::Address{site, gram::kGatekeeperService});
   }
 }
 
@@ -199,6 +389,7 @@ void GridManager::submit_to(std::uint64_t job_id,
         const auto current = schedd_.query(job_id);
         if (!current || current->status == JobStatus::kRemoved) {
           host_.tracer().end_span(submit_span, "stale", "job removed");
+          end_pipeline(job_id);
           if (contact) gram_.cancel(*contact, [](bool) {});
           return;
         }
@@ -206,6 +397,7 @@ void GridManager::submit_to(std::uint64_t job_id,
           // Site never answered (or refused): release the job to be
           // brokered elsewhere.
           host_.tracer().end_span(submit_span, "error", "site unreachable");
+          end_pipeline(job_id);
           schedd_.mark_idle_again(job_id, LogEventKind::kResubmitted,
                                   "site unreachable: " + gatekeeper.host);
           ++resubmissions_;
@@ -241,19 +433,27 @@ void GridManager::handle_remote_state(std::uint64_t job_id,
   const auto job = schedd_.query(job_id);
   if (!job || job->status == JobStatus::kCompleted ||
       job->status == JobStatus::kRemoved) {
+    pending_since_.erase(job_id);  // terminal: drop the queued-at-site watch
+    end_pipeline(job_id);
     return;
   }
   if (state == "ACTIVE" && job->remote_state != "ACTIVE") {
+    pending_since_.erase(job_id);
+    end_pipeline(job_id);  // the site started it; its slot frees up
     schedd_.mark_executing(job_id, "site=" + job->gram_site);
     return;
   }
   if (state == "DONE") {
+    pending_since_.erase(job_id);
+    end_pipeline(job_id);
     schedd_.mark_completed(job_id);
     probing_.erase(job_id);
     degraded_since_.erase(job_id);  // job left the site; outage moot
     return;
   }
   if (state == "FAILED") {
+    pending_since_.erase(job_id);
+    end_pipeline(job_id);
     probing_.erase(job_id);
     degraded_since_.erase(job_id);
     if (migrating_.erase(job_id)) {
@@ -323,6 +523,7 @@ void GridManager::maybe_migrate_pending(std::uint64_t job_id) {
     }
     probing_.erase(job_id);
     contact_to_job_.erase(contact);
+    end_pipeline(job_id);
     ++queued_migrations_;
     count("gridmanager.migrations");
     schedd_.mark_idle_again(job_id, LogEventKind::kResubmitted,
@@ -337,6 +538,8 @@ void GridManager::probe(std::uint64_t job_id) {
       job->status == JobStatus::kRemoved ||
       job->status == JobStatus::kHeld) {
     probing_.erase(job_id);
+    pending_since_.erase(job_id);  // backstop for lost terminal callbacks
+    end_pipeline(job_id);
     return;
   }
   const std::string contact = job->gram_contact;
@@ -401,7 +604,17 @@ void GridManager::recover_after_boot() {
   contact_to_job_.clear();
   probing_.clear();
   degraded_since_.clear();  // outage windows restart from the reboot
+  site_ready_.clear();
+  queued_.clear();
+  pipeline_site_of_.clear();
+  for (auto& [site, depth] : site_pipeline_) {
+    depth = 0;
+    set_depth_gauge(site, 0);
+  }
+  artifacts_.clear();  // the GASS store is scratch; re-stage on demand
   count("gridmanager.boot_recoveries");
+  // Boot-time recovery walks the whole persistent queue by design (§4.2 F3).
+  // lint-allow(schedd-full-scan): one-shot recovery scan
   for (const auto& [id, job] : schedd_.jobs()) {
     if (job.desc.universe != Universe::kGrid) continue;
     if (job.status == JobStatus::kCompleted ||
@@ -416,6 +629,10 @@ void GridManager::recover_after_boot() {
       // F3 is measured from the reboot to the re-established contact.
       note_degraded(id, "submit machine rebooted");
       contact_to_job_[job.gram_contact] = id;
+      if (job.remote_state != "ACTIVE") {
+        // Still working through the site's queue: it owes a pipeline slot.
+        begin_pipeline(id, job.gram_site);
+      }
       const std::string contact = job.gram_contact;
       const std::uint64_t job_id = id;
       gram_.ping_jobmanager(contact, [this, job_id, contact](bool ok) {
@@ -440,6 +657,7 @@ void GridManager::recover_after_boot() {
       // contact: re-drive with the SAME seq; dedup at the gatekeeper makes
       // this safe even if the original request did get through.
       submitting_.insert(id);
+      begin_pipeline(id, job.gram_site);
       const std::uint64_t job_id = id;
       const std::uint64_t seq = job.gram_seq;
       const sim::Address gatekeeper{job.gram_site,
@@ -453,6 +671,7 @@ void GridManager::recover_after_boot() {
                 std::optional<std::string> contact) {
               submitting_.erase(job_id);
               if (!contact) {
+                end_pipeline(job_id);
                 schedd_.mark_idle_again(job_id, LogEventKind::kResubmitted,
                                         "recovery: site unreachable");
                 return;
@@ -479,6 +698,8 @@ void GridManager::audit(std::vector<std::string>& out) const {
   // dropped and the probe ladder never watches it), unless the host is down
   // or the daemon has not started managing the queue yet.
   if (host_.alive() && started_) {
+    // The audit cross-checks tracking maps against the whole queue.
+    // lint-allow(schedd-full-scan): audit site
     for (const auto& [id, job] : schedd_.jobs()) {
       if (job.desc.universe != Universe::kGrid ||
           job.status != JobStatus::kRunning || job.gram_contact.empty()) {
@@ -521,6 +742,32 @@ void GridManager::audit(std::vector<std::string>& out) const {
   for (const std::uint64_t id : probing_) {
     if (!schedd_.query(id)) {
       out.push_back("probe loop for unknown job " + std::to_string(id));
+    }
+  }
+  // Pipeline conservation: the per-site depth counters must equal the
+  // per-site cardinality of pipeline_site_of_, and every slot holder /
+  // queued job must be a real queue entry.
+  std::map<std::string, std::size_t> recomputed;
+  for (const auto& [id, site] : pipeline_site_of_) {
+    ++recomputed[site];
+    if (!schedd_.query(id)) {
+      out.push_back("pipeline slot held by unknown job " +
+                    std::to_string(id));
+    }
+  }
+  for (const auto& [site, depth] : site_pipeline_) {
+    if (depth == 0) continue;
+    const auto it = recomputed.find(site);
+    if (it == recomputed.end() || it->second != depth) {
+      out.push_back("pipeline depth for " + site + " is " +
+                    std::to_string(depth) + " but " +
+                    std::to_string(it == recomputed.end() ? 0 : it->second) +
+                    " jobs hold slots there");
+    }
+  }
+  for (const std::uint64_t id : queued_) {
+    if (!schedd_.query(id)) {
+      out.push_back("ready queue holds unknown job " + std::to_string(id));
     }
   }
 }

@@ -13,6 +13,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,9 @@ class Schedd {
   std::vector<std::uint64_t> jobs_with_status(JobStatus status) const;
   std::vector<std::uint64_t> idle_jobs(Universe universe) const;
   std::size_t count(JobStatus status) const;
+  /// O(1) per-(universe, status) count from the secondary indexes — e.g.
+  /// the GridManager's in-flight cap check, formerly a full queue scan.
+  std::size_t count(Universe universe, JobStatus status) const;
   bool all_terminal() const;
   std::size_t active_count() const;  // idle + running + held
 
@@ -91,6 +95,12 @@ class Schedd {
   static std::size_t status_index(JobStatus status) {
     return static_cast<std::size_t>(status);
   }
+  static std::size_t universe_index(Universe universe) {
+    return static_cast<std::size_t>(universe);
+  }
+  /// Move `job.id` between the (universe, status) id sets. `previous` is
+  /// ignored when `is_new`.
+  void reindex(const Job& job, JobStatus previous, bool is_new);
   static std::string job_key(std::uint64_t id);
 
   sim::Host& host_;
@@ -98,6 +108,13 @@ class Schedd {
   std::map<std::uint64_t, Job> jobs_;
   std::uint64_t next_id_ = 1;
   std::array<std::size_t, 5> status_counts_{};  // indexed by JobStatus
+  /// Secondary indexes: per-(universe, status) job-id sets, kept in sync by
+  /// the same on_status_change choke point that maintains status_counts_
+  /// (and rebuilt wholesale in reload()). idle_jobs()/jobs_with_status()
+  /// read them in O(result); audit() cross-checks them against a full scan.
+  /// A job's universe never changes after submit, so moves only cross
+  /// status cells within one universe row.
+  std::array<std::array<std::set<std::uint64_t>, 5>, 2> status_sets_;
   std::vector<std::function<void(const Job&)>> listeners_;
   int boot_id_ = 0;
 };

@@ -1,5 +1,8 @@
 #include "condorg/core/schedd.h"
 
+#include <algorithm>
+#include <iterator>
+
 namespace condorg::core {
 namespace {
 constexpr const char* kNextIdKey = "schedd/next_id";
@@ -37,8 +40,24 @@ void Schedd::reload() {
     next_id_ = std::stoull(*stored);
   }
   status_counts_ = {};
+  status_sets_ = {};
   for (const auto& [id, job] : jobs_) {
     ++status_counts_[status_index(job.status)];
+    status_sets_[universe_index(job.desc.universe)][status_index(job.status)]
+        .insert(id);
+  }
+}
+
+void Schedd::reindex(const Job& job, JobStatus previous, bool is_new) {
+  auto& row = status_sets_[universe_index(job.desc.universe)];
+  if (!is_new) row[status_index(previous)].erase(job.id);
+  row[status_index(job.status)].insert(job.id);
+  if (is_new) {
+    // Total indexed ids only grows at submit/reload (jobs are never erased
+    // from the queue), so the gauge is refreshed on the insert edge.
+    host_.metrics()
+        .gauge("schedd_index_size", {{"host", host_.name()}})
+        .set(host_.now(), static_cast<double>(jobs_.size()));
   }
 }
 
@@ -64,6 +83,7 @@ void Schedd::on_status_change(const Job& job, JobStatus previous,
   sim::Tracer& tracer = host_.tracer();
   if (is_new) {
     ++status_counts_[status_index(job.status)];
+    reindex(job, job.status, /*is_new=*/true);
     host_.metrics().counter("schedd.submits", {{"host", host_.name()}}).inc();
     set_depth_gauge(job.status);
     if (tracer.enabled()) {
@@ -76,6 +96,7 @@ void Schedd::on_status_change(const Job& job, JobStatus previous,
   if (previous == job.status) return;
   --status_counts_[status_index(previous)];
   ++status_counts_[status_index(job.status)];
+  reindex(job, previous, /*is_new=*/false);
   host_.metrics()
       .counter("schedd.transitions", {{"host", host_.name()},
                                       {"from", to_string(previous)},
@@ -227,27 +248,34 @@ void Schedd::mark_evicted(std::uint64_t id, double checkpointed_work,
 }
 
 std::vector<std::uint64_t> Schedd::jobs_with_status(JobStatus status) const {
+  // O(result): merge the per-universe id sets (both already id-ordered) so
+  // the output order matches the old full scan exactly.
+  const auto& grid = status_sets_[universe_index(Universe::kGrid)]
+                                 [status_index(status)];
+  const auto& vanilla = status_sets_[universe_index(Universe::kVanilla)]
+                                    [status_index(status)];
   std::vector<std::uint64_t> out;
-  for (const auto& [id, job] : jobs_) {
-    if (job.status == status) out.push_back(id);
-  }
+  out.reserve(grid.size() + vanilla.size());
+  std::merge(grid.begin(), grid.end(), vanilla.begin(), vanilla.end(),
+             std::back_inserter(out));
   return out;
 }
 
 std::vector<std::uint64_t> Schedd::idle_jobs(Universe universe) const {
-  std::vector<std::uint64_t> out;
-  for (const auto& [id, job] : jobs_) {
-    if (job.status == JobStatus::kIdle && job.desc.universe == universe) {
-      out.push_back(id);
-    }
-  }
-  return out;
+  // O(result) from the secondary index; id-ascending like the old scan.
+  const auto& ids =
+      status_sets_[universe_index(universe)][status_index(JobStatus::kIdle)];
+  return {ids.begin(), ids.end()};
 }
 
 std::size_t Schedd::count(JobStatus status) const {
   // O(1) from the counts maintained by on_status_change (cross-checked
   // against a full scan in audit()); callers poll this in driver loops.
   return status_counts_[status_index(status)];
+}
+
+std::size_t Schedd::count(Universe universe, JobStatus status) const {
+  return status_sets_[universe_index(universe)][status_index(status)].size();
 }
 
 bool Schedd::all_terminal() const {
@@ -316,6 +344,18 @@ void Schedd::audit(std::vector<std::string>& out) const {
   // count()/all_terminal() caller is being lied to.
   if (scanned != status_counts_) {
     out.push_back("status count cache diverges from a queue scan");
+  }
+  // Same bar for the secondary indexes: every (universe, status) id set
+  // must hold exactly the ids a brute-force scan would find, or
+  // idle_jobs()/jobs_with_status()/count(universe, status) callers are
+  // driving stale state.
+  std::array<std::array<std::set<std::uint64_t>, 5>, 2> rebuilt;
+  for (const auto& [id, job] : jobs_) {
+    rebuilt[universe_index(job.desc.universe)][status_index(job.status)]
+        .insert(id);
+  }
+  if (rebuilt != status_sets_) {
+    out.push_back("status index diverges from a queue scan");
   }
 }
 

@@ -79,7 +79,9 @@ void FileService::on_message(const sim::Message& message) {
   const std::string path = message.body.get("path");
 
   if (message.type == "file.get") {
-    const auto file = store_.get(path);
+    // Borrowed view: serving a get must not copy the (possibly large)
+    // content an extra time, and the stored entry memoizes its checksum.
+    const FileData* file = store_.find(path);
     if (!file) {
       reply.set("why", "no such file: " + path);
       sim::rpc_reply(network_, message, address(), std::move(reply));
@@ -122,18 +124,19 @@ void FileService::on_message(const sim::Message& message) {
       appends_counter_.inc();
     }
     reply.set_bool("ok", true);
-    reply.set_uint("new_size", store_.get(path) ? store_.get(path)->size() : 0);
+    const auto stat = store_.stat(path);
+    reply.set_uint("new_size", stat ? stat->size : 0);
     reply_after_transfer(message, std::move(reply),
                          size ? size : message.body.get("content").size());
     return;
   }
 
   if (message.type == "file.stat") {
-    const auto file = store_.get(path);
-    if (file) {
+    // Fast path: size + memoized checksum, no FileData copy.
+    if (const auto stat = store_.stat(path)) {
       reply.set_bool("ok", true);
-      reply.set_uint("size", file->size());
-      reply.set_uint("checksum", file->checksum());
+      reply.set_uint("size", stat->size);
+      reply.set_uint("checksum", stat->checksum);
     } else {
       reply.set("why", "no such file: " + path);
     }

@@ -11,10 +11,18 @@ void FileStore::put(const std::string& path, std::string content,
   files_[path] = FileData{std::move(content), declared_size};
 }
 
+bool FileStore::put_if_absent(const std::string& path, std::string content,
+                              std::uint64_t declared_size) {
+  return files_
+      .emplace(path, FileData{std::move(content), declared_size})
+      .second;
+}
+
 void FileStore::append(const std::string& path, const std::string& chunk,
                        std::uint64_t chunk_size) {
   FileData& file = files_[path];
   file.content += chunk;
+  file.invalidate_checksum();
   if (chunk_size) {
     file.declared_size += chunk_size;
   } else if (file.declared_size) {
@@ -26,6 +34,17 @@ std::optional<FileData> FileStore::get(const std::string& path) const {
   const auto it = files_.find(path);
   if (it == files_.end()) return std::nullopt;
   return it->second;
+}
+
+const FileData* FileStore::find(const std::string& path) const {
+  const auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+std::optional<FileStat> FileStore::stat(const std::string& path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  return FileStat{it->second.size(), it->second.checksum()};
 }
 
 bool FileStore::contains(const std::string& path) const {

@@ -17,13 +17,39 @@
 namespace condorg::gass {
 
 struct FileData {
+  FileData() = default;
+  FileData(std::string content_in, std::uint64_t declared_size_in = 0)
+      : content(std::move(content_in)), declared_size(declared_size_in) {}
+
   std::string content;
   std::uint64_t declared_size = 0;  // bytes for bandwidth modelling
 
   std::uint64_t size() const {
     return declared_size ? declared_size : content.size();
   }
-  std::uint64_t checksum() const { return util::fnv1a(content); }
+  /// Content checksum, memoized by content identity: executables are
+  /// checksummed on every stage/stat, so recomputing FNV over the literal
+  /// bytes each call would dominate large-content serving. Code that
+  /// mutates `content` in place must call invalidate_checksum() (FileStore
+  /// does for append; put replaces the whole object).
+  std::uint64_t checksum() const {
+    if (!checksum_valid_) {
+      checksum_cache_ = util::fnv1a(content);
+      checksum_valid_ = true;
+    }
+    return checksum_cache_;
+  }
+  void invalidate_checksum() { checksum_valid_ = false; }
+
+ private:
+  mutable std::uint64_t checksum_cache_ = 0;
+  mutable bool checksum_valid_ = false;
+};
+
+/// Size + checksum without the content: the no-copy stat fast path.
+struct FileStat {
+  std::uint64_t size = 0;
+  std::uint64_t checksum = 0;
 };
 
 class FileStore {
@@ -33,12 +59,23 @@ class FileStore {
   void put(const std::string& path, std::string content,
            std::uint64_t declared_size = 0);
 
+  /// Store only when `path` is absent (content-addressed staging: the same
+  /// artifact is put once, no matter how many jobs reference it). Returns
+  /// true when this call stored the file.
+  bool put_if_absent(const std::string& path, std::string content,
+                     std::uint64_t declared_size = 0);
+
   /// Append a chunk (G-Cat style); creates the file if missing. The chunk's
   /// declared size accumulates.
   void append(const std::string& path, const std::string& chunk,
               std::uint64_t chunk_size = 0);
 
   std::optional<FileData> get(const std::string& path) const;
+  /// Borrowed view of a stored file (no copy); nullptr when absent. The
+  /// pointer is invalidated by the next mutating call.
+  const FileData* find(const std::string& path) const;
+  /// Size + checksum without copying the content.
+  std::optional<FileStat> stat(const std::string& path) const;
   bool contains(const std::string& path) const;
   bool erase(const std::string& path);
   std::vector<std::string> list(const std::string& prefix = "") const;

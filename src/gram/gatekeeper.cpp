@@ -31,10 +31,22 @@ Gatekeeper::Gatekeeper(sim::Host& host, sim::Network& network,
                                                            host.name())) {
   mutate_dedup_ = std::getenv("CONDORG_MUTATE_DEDUP") != nullptr;
   install();
-  boot_id_ = host_.add_boot([this] { install(); });
-  // Host crash: every JobManager process dies. Their stable records remain;
+  staging_cache_ = std::make_unique<gass::StagingCache>(
+      host_, network_, std::string(kGatekeeperService) + ".stagecache");
+  boot_id_ = host_.add_boot([this] {
+    install();
+    // Scratch space is gone after a crash: the replacement cache starts
+    // cold and re-fetches artifacts on demand.
+    staging_cache_ = std::make_unique<gass::StagingCache>(
+        host_, network_, std::string(kGatekeeperService) + ".stagecache");
+  });
+  // Host crash: every JobManager process dies (and the staging cache with
+  // them — it holds their waiter callbacks). Their stable records remain;
   // clients must ask for restarts (§4.2's recovery ladder).
-  crash_listener_ = host_.add_crash_listener([this] { jobmanagers_.clear(); });
+  crash_listener_ = host_.add_crash_listener([this] {
+    jobmanagers_.clear();
+    staging_cache_.reset();
+  });
 }
 
 Gatekeeper::~Gatekeeper() {
@@ -200,7 +212,7 @@ void Gatekeeper::handle_submit(const sim::Message& message) {
   jobmanagers_[contact] = std::make_unique<JobManager>(
       host_, network_, scheduler_, contact, std::move(spec), callback,
       auto_commit, message.body.get("credential"), &jm_state_counters_,
-      client_id, seq);
+      client_id, seq, staging_cache_.get());
   ++accepted_;
   ++jm_started_;
   accepted_counter_.inc();
@@ -238,7 +250,8 @@ void Gatekeeper::handle_restart(const sim::Message& message) {
   // Reattach from stable storage; the new JobManager works out whether the
   // local job is queued, running, or finished while unobserved.
   jobmanagers_[contact] = std::make_unique<JobManager>(
-      host_, network_, scheduler_, contact, &jm_state_counters_);
+      host_, network_, scheduler_, contact, &jm_state_counters_,
+      staging_cache_.get());
   ++jm_started_;
   jm_started_counter_.inc();
   jm_restarted_counter_.inc();

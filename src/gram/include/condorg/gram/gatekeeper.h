@@ -55,6 +55,10 @@ class Gatekeeper {
   /// The JobManager for a contact, if one is currently running.
   JobManager* find_jobmanager(const std::string& contact);
 
+  /// This site's staging cache (scratch space: wiped by a host crash,
+  /// rebuilt empty at boot). Never null while the host is up.
+  gass::StagingCache* staging_cache() { return staging_cache_.get(); }
+
   /// Kill one JobManager process (failure type F1) without touching the
   /// host, the local job, or stable storage.
   bool kill_jobmanager(const std::string& contact);
@@ -101,6 +105,7 @@ class Gatekeeper {
   // catches this bug class; never set outside that ctest.
   bool mutate_dedup_ = false;
   std::map<std::string, std::unique_ptr<JobManager>> jobmanagers_;
+  std::unique_ptr<gass::StagingCache> staging_cache_;
   int boot_id_ = 0;
   int crash_listener_ = 0;
   std::uint64_t accepted_ = 0;

@@ -17,6 +17,7 @@
 
 #include "condorg/batch/local_scheduler.h"
 #include "condorg/gass/client.h"
+#include "condorg/gass/staging_cache.h"
 #include "condorg/gram/protocol.h"
 #include "condorg/sim/host.h"
 #include "condorg/sim/lifetime.h"
@@ -44,20 +45,24 @@ class JobManager {
  public:
   /// Fresh-submission constructor: persists the job record, then waits for
   /// commit (two-phase) or proceeds immediately (`auto_commit`, the
-  /// one-phase ablation mode).
+  /// one-phase ablation mode). `staging_cache` (owned by the Gatekeeper,
+  /// may be null) serves content-addressed executables (exe_checksum != 0)
+  /// without re-transferring per job.
   JobManager(sim::Host& host, sim::Network& network,
              batch::LocalScheduler& scheduler, std::string contact,
              GramJobSpec spec, sim::Address client_callback, bool auto_commit,
              std::string forwarded_credential = "",
              const JobManagerStateCounters* state_counters = nullptr,
-             std::string client_id = "", std::uint64_t client_seq = 0);
+             std::string client_id = "", std::uint64_t client_seq = 0,
+             gass::StagingCache* staging_cache = nullptr);
 
   /// Reattach constructor: rebuilds a JobManager for `contact` from the
   /// record on the host's stable storage. Used by the Gatekeeper when asked
   /// to restart a JobManager after a crash.
   JobManager(sim::Host& host, sim::Network& network,
              batch::LocalScheduler& scheduler, std::string contact,
-             const JobManagerStateCounters* state_counters = nullptr);
+             const JobManagerStateCounters* state_counters = nullptr,
+             gass::StagingCache* staging_cache = nullptr);
 
   ~JobManager();
 
@@ -136,6 +141,7 @@ class JobManager {
   std::unique_ptr<sim::RpcClient> rpc_;
   std::unique_ptr<gass::FileClient> gass_;
   const JobManagerStateCounters* state_counters_ = nullptr;
+  gass::StagingCache* staging_cache_ = nullptr;
   int crash_listener_ = 0;
 };
 

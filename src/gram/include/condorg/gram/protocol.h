@@ -36,6 +36,10 @@ bool is_terminal(GramJobState state);
 /// What the client asks the site to run.
 struct GramJobSpec {
   std::string executable;        // path on the client's GASS server
+  /// Content checksum of the executable (0 = unknown). Non-zero values key
+  /// the site's staging cache: identical jobs share one transfer, and a
+  /// changed executable under the same path is detected and re-staged.
+  std::uint64_t exe_checksum = 0;
   std::string output;            // path on the client's GASS server
   std::string gass_url;          // "host/service" of the client GASS server
   double runtime_seconds = 60;   // true compute demand

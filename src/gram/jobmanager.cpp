@@ -47,7 +47,8 @@ JobManager::JobManager(sim::Host& host, sim::Network& network,
                        GramJobSpec spec, sim::Address client_callback,
                        bool auto_commit, std::string forwarded_credential,
                        const JobManagerStateCounters* state_counters,
-                       std::string client_id, std::uint64_t client_seq)
+                       std::string client_id, std::uint64_t client_seq,
+                       gass::StagingCache* staging_cache)
     : host_(host),
       network_(network),
       scheduler_(scheduler),
@@ -58,7 +59,8 @@ JobManager::JobManager(sim::Host& host, sim::Network& network,
       client_seq_(client_seq),
       auto_commit_(auto_commit),
       forwarded_credential_(std::move(forwarded_credential)),
-      state_counters_(state_counters) {
+      state_counters_(state_counters),
+      staging_cache_(staging_cache) {
   rpc_ = std::make_unique<sim::RpcClient>(
       host_, network_, jobmanager_service(contact_) + ".rpc");
   gass_ = std::make_unique<gass::FileClient>(
@@ -72,12 +74,14 @@ JobManager::JobManager(sim::Host& host, sim::Network& network,
 
 JobManager::JobManager(sim::Host& host, sim::Network& network,
                        batch::LocalScheduler& scheduler, std::string contact,
-                       const JobManagerStateCounters* state_counters)
+                       const JobManagerStateCounters* state_counters,
+                       gass::StagingCache* staging_cache)
     : host_(host),
       network_(network),
       scheduler_(scheduler),
       contact_(std::move(contact)),
-      state_counters_(state_counters) {
+      state_counters_(state_counters),
+      staging_cache_(staging_cache) {
   rpc_ = std::make_unique<sim::RpcClient>(
       host_, network_, jobmanager_service(contact_) + ".rpc");
   gass_ = std::make_unique<gass::FileClient>(
@@ -286,23 +290,32 @@ void JobManager::stage_in() {
     if (!process_alive_) return;
     const auto self = weak.lock();
     if (!self) return;
-    gass_->get(
-        sim::Address::parse(spec_.gass_url), spec_.executable,
-        [this, attempt, self](std::optional<gass::FileInfo> file) {
-          if (!process_alive_) return;
-          if (file) {
-            submit_to_scheduler();
-            return;
-          }
-          if (--*attempt <= 0) {
-            stage_out_and_finish(GramJobState::kFailed,
-                                 "staging failed: executable unreachable");
-            return;
-          }
-          host_.post(kStageRetryDelay,
-                     life_.wrap([self] { (*self)(); }));
-        },
-        kStageTimeout);
+    // The staging cache's waiter list outlives a replaced JobManager, so
+    // the callback must probe the lifetime before touching `this` (the
+    // direct-get path's callback dies with our own FileClient instead).
+    auto on_file = [this, attempt, self, alive = life_.observer()](
+                       std::optional<gass::FileInfo> file) {
+      if (!alive() || !process_alive_) return;
+      if (file) {
+        submit_to_scheduler();
+        return;
+      }
+      if (--*attempt <= 0) {
+        stage_out_and_finish(GramJobState::kFailed,
+                             "staging failed: executable unreachable");
+        return;
+      }
+      host_.post(kStageRetryDelay, life_.wrap([self] { (*self)(); }));
+    };
+    const sim::Address server = sim::Address::parse(spec_.gass_url);
+    if (staging_cache_ != nullptr && spec_.exe_checksum != 0) {
+      // Content-addressed executable: the per-site cache coalesces
+      // concurrent stages and serves repeats with zero transfers.
+      staging_cache_->fetch(server, spec_.executable, spec_.exe_checksum,
+                            std::move(on_file), kStageTimeout);
+    } else {
+      gass_->get(server, spec_.executable, std::move(on_file), kStageTimeout);
+    }
   };
   (*try_fetch)();
 }

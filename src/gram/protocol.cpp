@@ -29,6 +29,7 @@ bool is_terminal(GramJobState state) {
 
 void GramJobSpec::to_payload(sim::Payload& payload) const {
   payload.set("spec.executable", executable);
+  payload.set_uint("spec.exe_checksum", exe_checksum);
   payload.set("spec.output", output);
   payload.set("spec.gass_url", gass_url);
   payload.set_double("spec.runtime", runtime_seconds);
@@ -42,6 +43,7 @@ void GramJobSpec::to_payload(sim::Payload& payload) const {
 GramJobSpec GramJobSpec::from_payload(const sim::Payload& payload) {
   GramJobSpec spec;
   spec.executable = payload.get("spec.executable");
+  spec.exe_checksum = payload.get_uint("spec.exe_checksum");
   spec.output = payload.get("spec.output");
   spec.gass_url = payload.get("spec.gass_url");
   spec.runtime_seconds = payload.get_double("spec.runtime", 60.0);

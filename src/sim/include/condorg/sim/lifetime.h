@@ -26,6 +26,13 @@ class Lifetime {
   void revoke() { token_.reset(); }
   bool alive() const { return token_ != nullptr; }
 
+  /// A copyable probe reporting whether this Lifetime is still alive; safe
+  /// to invoke after the owner is destroyed. For callbacks with arguments,
+  /// where wrap() does not fit: capture the observer and bail when false.
+  std::function<bool()> observer() const {
+    return [weak = std::weak_ptr<char>(token_)] { return !weak.expired(); };
+  }
+
   /// Wrap a callback so it is a no-op once this Lifetime is gone.
   std::function<void()> wrap(std::function<void()> fn) const {
     return [weak = std::weak_ptr<char>(token_), fn = std::move(fn)] {

@@ -25,9 +25,11 @@ struct ExploreWorld {
 
   sim::Simulation& sim() { return testbed.world().sim(); }
 
-  void start_agent(const std::string& host) {
+  void start_agent(const std::string& host,
+                   const core::AgentOptions& options = {}) {
     testbed.add_submit_host(host);
-    agent = std::make_unique<core::CondorGAgent>(testbed.world(), host);
+    agent =
+        std::make_unique<core::CondorGAgent>(testbed.world(), host, options);
     agent->set_site_chooser(core::make_static_chooser(testbed.gatekeepers()));
     agent->start();
     // Period 1: check every invariant between every pair of events, so a
@@ -169,16 +171,46 @@ sim::RunOutcome run_fault_drill(sim::ScheduleOracle& oracle) {
   return world->finish(/*horizon=*/2400.0);
 }
 
+// Pipelined submission under a tight per-site cap: four jobs share one
+// executable, so the staging cache coalesces transfers while the pipeline
+// keeps at most two submits outstanding per gatekeeper. The oracle's
+// crash injection (gridmanager.submit_ack et al.) must never yield a
+// duplicate execution or a stuck pipeline slot.
+sim::RunOutcome run_submit_storm(sim::ScheduleOracle& oracle) {
+  auto world = std::make_unique<ExploreWorld>();
+  world->sim().set_controller(&oracle);
+
+  SiteSpec a;
+  a.name = "site-a.grid";
+  a.kind = SiteKind::kPbs;
+  a.cpus = 2;
+  world->testbed.add_site(a);
+
+  SiteSpec b;
+  b.name = "site-b.grid";
+  b.kind = SiteKind::kLsf;
+  b.cpus = 2;
+  world->testbed.add_site(b);
+
+  core::AgentOptions options;
+  options.gridmanager.max_pending_per_site = 2;
+  world->start_agent("submit.grid", options);
+  oracle.set_state_probe([w = world.get()] { return w->state_hash(); });
+  world->submit_jobs(/*count=*/4, /*runtime_seconds=*/120.0);
+  return world->finish(/*horizon=*/2400.0);
+}
+
 }  // namespace
 
 sim::Explorer::Scenario make_explore_scenario(const std::string& name) {
   if (name == "quickstart") return run_quickstart;
   if (name == "fault_drill") return run_fault_drill;
+  if (name == "submit_storm") return run_submit_storm;
   throw std::invalid_argument("unknown explore scenario: " + name);
 }
 
 std::vector<std::string> explore_scenario_names() {
-  return {"quickstart", "fault_drill"};
+  return {"quickstart", "fault_drill", "submit_storm"};
 }
 
 }  // namespace condorg::workloads

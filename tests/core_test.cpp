@@ -732,3 +732,245 @@ TEST(GlideIn, PreemptibleSlotsEvictAndJobsStillFinish) {
   // Preemption definitely happened, and checkpoints carried work across it.
   EXPECT_GE(agent.log().count(core::LogEventKind::kEvicted), 1u);
 }
+
+// ---------- Schedd secondary indexes ----------
+
+namespace {
+
+/// Brute-force (universe, status) id sets from a full queue scan, the
+/// oracle the secondary indexes must always agree with.
+void expect_index_matches_scan(const core::Schedd& schedd) {
+  for (const core::Universe universe :
+       {core::Universe::kGrid, core::Universe::kVanilla}) {
+    for (const core::JobStatus status :
+         {core::JobStatus::kIdle, core::JobStatus::kRunning,
+          core::JobStatus::kCompleted, core::JobStatus::kHeld,
+          core::JobStatus::kRemoved}) {
+      std::vector<std::uint64_t> brute;
+      for (const auto& [id, job] : schedd.jobs()) {
+        if (job.desc.universe == universe && job.status == status) {
+          brute.push_back(id);
+        }
+      }
+      EXPECT_EQ(schedd.count(universe, status), brute.size());
+      if (status == core::JobStatus::kIdle) {
+        EXPECT_EQ(schedd.idle_jobs(universe), brute);
+      }
+    }
+  }
+  for (const core::JobStatus status :
+       {core::JobStatus::kIdle, core::JobStatus::kRunning,
+        core::JobStatus::kCompleted, core::JobStatus::kHeld,
+        core::JobStatus::kRemoved}) {
+    std::vector<std::uint64_t> brute;
+    for (const auto& [id, job] : schedd.jobs()) {
+      if (job.status == status) brute.push_back(id);
+    }
+    EXPECT_EQ(schedd.jobs_with_status(status), brute);
+    EXPECT_EQ(schedd.count(status), brute.size());
+  }
+}
+
+}  // namespace
+
+TEST(ScheddIndex, RandomizedTransitionsMatchBruteForceScan) {
+  cs::World world;
+  cs::Host& host = world.add_host("submit");
+  core::Schedd schedd(host);
+  condorg::util::Rng rng(77);
+  const core::JobStatus kStatuses[] = {
+      core::JobStatus::kIdle, core::JobStatus::kRunning,
+      core::JobStatus::kCompleted, core::JobStatus::kHeld,
+      core::JobStatus::kRemoved};
+
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 120; ++i) {
+    core::JobDescription desc;
+    desc.universe = rng.below(2) == 0 ? core::Universe::kGrid
+                                      : core::Universe::kVanilla;
+    ids.push_back(schedd.submit(desc));
+  }
+  for (int step = 0; step < 2000; ++step) {
+    const std::uint64_t id = ids[rng.below(ids.size())];
+    const core::JobStatus next = kStatuses[rng.below(5)];
+    schedd.with_job(id, [next](core::Job& job) {
+      job.status = next;
+      if (next == core::JobStatus::kHeld) job.hold_reason = "test";
+    });
+    if (step % 250 == 0) expect_index_matches_scan(schedd);
+  }
+  expect_index_matches_scan(schedd);
+  std::vector<std::string> problems;
+  schedd.audit(problems);
+  for (const std::string& problem : problems) {
+    EXPECT_TRUE(problem.find("index") == std::string::npos &&
+                problem.find("count cache") == std::string::npos)
+        << problem;
+  }
+  // The index-size gauge tracks the queue size.
+  EXPECT_EQ(host.metrics()
+                .gauge("schedd_index_size", {{"host", "submit"}})
+                .value(),
+            static_cast<double>(ids.size()));
+}
+
+TEST(ScheddIndex, ReloadAfterCrashRebuildsIndexes) {
+  cs::World world;
+  cs::Host& host = world.add_host("submit");
+  core::Schedd schedd(host);
+  core::JobDescription vanilla;
+  vanilla.universe = core::Universe::kVanilla;
+  const auto a = schedd.submit(vanilla);
+  core::JobDescription grid;
+  grid.universe = core::Universe::kGrid;
+  const auto b = schedd.submit(grid);
+  const auto c = schedd.submit(grid);
+  schedd.mark_grid_submitted(b, 1, "site", "site:1");
+  schedd.mark_completed(b);
+  schedd.hold(c, "why");
+  host.crash();
+  host.restart();
+  expect_index_matches_scan(schedd);
+  EXPECT_EQ(schedd.idle_jobs(core::Universe::kGrid).size(), 0u);
+  EXPECT_EQ(schedd.count(core::Universe::kGrid, core::JobStatus::kCompleted),
+            1u);
+  EXPECT_EQ(schedd.count(core::Universe::kGrid, core::JobStatus::kHeld), 1u);
+  (void)a;
+}
+
+// ---------- pipelined submission ----------
+
+namespace {
+
+/// One 8-cpu site + an agent with a tight per-site pipeline cap.
+struct PipelineFixture : public ::testing::Test {
+  static constexpr std::size_t kCap = 4;
+
+  PipelineFixture() : testbed(42) {
+    cw::SiteSpec pbs;
+    pbs.name = "pbs.anl.gov";
+    pbs.kind = cw::SiteKind::kPbs;
+    pbs.cpus = 8;
+    testbed.add_site(pbs);
+    cw::SiteSpec lsf;
+    lsf.name = "lsf.ncsa.edu";
+    lsf.kind = cw::SiteKind::kLsf;
+    lsf.cpus = 8;
+    testbed.add_site(lsf);
+    testbed.add_submit_host("submit.wisc.edu");
+    core::AgentOptions options;
+    options.gridmanager.max_pending_per_site = kCap;
+    agent = std::make_unique<core::CondorGAgent>(testbed.world(),
+                                                 "submit.wisc.edu", options);
+    agent->set_site_chooser(core::make_static_chooser(testbed.gatekeepers()));
+    agent->start();
+  }
+
+  core::JobDescription grid_job(double runtime = 300.0) {
+    core::JobDescription desc;
+    desc.universe = core::Universe::kGrid;
+    desc.runtime_seconds = runtime;
+    desc.output_size = 2048;
+    return desc;
+  }
+
+  void run_to_completion(double deadline) {
+    while (!agent->schedd().all_terminal() &&
+           testbed.world().now() < deadline) {
+      if (!testbed.world().sim().run_until(testbed.world().now() + 50.0)) {
+        break;
+      }
+    }
+  }
+
+  std::size_t total_site_executions() const {
+    std::size_t n = 0;
+    for (const auto& site : testbed.sites()) {
+      for (const auto& record : site->scheduler->history()) {
+        if (record.state == condorg::batch::JobState::kCompleted) ++n;
+      }
+    }
+    return n;
+  }
+
+  cw::GridTestbed testbed;
+  std::unique_ptr<core::CondorGAgent> agent;
+};
+
+}  // namespace
+
+TEST_F(PipelineFixture, StormRespectsPerSiteDepthCapAndCompletes) {
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 40; ++i) ids.push_back(agent->submit(grid_job()));
+  run_to_completion(120000.0);
+  for (const auto id : ids) {
+    EXPECT_EQ(agent->query(id)->status, core::JobStatus::kCompleted)
+        << "job " << id;
+  }
+  EXPECT_EQ(total_site_executions(), 40u);
+  // The depth gauge never exceeded the configured cap at either site.
+  for (const char* site : {"pbs.anl.gov", "lsf.ncsa.edu"}) {
+    EXPECT_LE(agent->host()
+                  .metrics()
+                  .gauge("submit_pipeline_depth",
+                         {{"user", "user"}, {"site", site}})
+                  .peak(),
+              static_cast<double>(kCap))
+        << site;
+    EXPECT_EQ(agent->gridmanager().pipeline_depth(site), 0u) << site;
+  }
+  // The PENDING-at-site watch drained along with the queue (no leak).
+  EXPECT_EQ(agent->gridmanager().pending_watch_size(), 0u);
+}
+
+TEST_F(PipelineFixture, SharedExecutableStagesOncePerSite) {
+  // 24 jobs, one executable: the per-site cache must coalesce staging to
+  // one wire transfer per site.
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 24; ++i) {
+    core::JobDescription desc = grid_job();
+    desc.executable = "sweep.bin";
+    ids.push_back(agent->submit(desc));
+  }
+  run_to_completion(120000.0);
+  for (const auto id : ids) {
+    ASSERT_EQ(agent->query(id)->status, core::JobStatus::kCompleted)
+        << "job " << id;
+  }
+  EXPECT_EQ(agent->gridmanager().gass().gets_served(), 2u);  // one per site
+
+  // A different executable is a different artifact: staged afresh.
+  core::JobDescription changed = grid_job();
+  changed.executable = "sweep-v2.bin";
+  changed.grid_site = "pbs.anl.gov";
+  const auto id = agent->submit(changed);
+  run_to_completion(240000.0);
+  EXPECT_EQ(agent->query(id)->status, core::JobStatus::kCompleted);
+  EXPECT_EQ(agent->gridmanager().gass().gets_served(), 3u);
+  // Cache metrics surfaced per site.
+  std::uint64_t hits = 0;
+  for (const char* site : {"pbs.anl.gov", "lsf.ncsa.edu"}) {
+    hits += testbed.world()
+                .sim()
+                .metrics()
+                .counter_value("staging_cache_hits{site=" +
+                               std::string(site) + "}");
+  }
+  EXPECT_EQ(hits, 22u);  // 25 stage-ins, 3 wire transfers
+}
+
+TEST_F(PipelineFixture, SubmitMachineCrashMidStormStaysExactlyOnce) {
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 12; ++i) ids.push_back(agent->submit(grid_job(600.0)));
+  // Crash while the first pipeline of submits is still in flight, before
+  // most acks landed; the persisted seqs must re-drive without duplicates.
+  testbed.world().sim().schedule_at(60.5, [&] { agent->host().crash(); });
+  testbed.world().sim().schedule_at(100.0, [&] { agent->host().restart(); });
+  run_to_completion(240000.0);
+  for (const auto id : ids) {
+    EXPECT_EQ(agent->query(id)->status, core::JobStatus::kCompleted)
+        << "job " << id;
+  }
+  EXPECT_EQ(total_site_executions(), 12u);
+  EXPECT_EQ(agent->gridmanager().pending_watch_size(), 0u);
+}

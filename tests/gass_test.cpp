@@ -2,6 +2,7 @@
 
 #include "condorg/gass/client.h"
 #include "condorg/gass/file_service.h"
+#include "condorg/gass/staging_cache.h"
 #include "condorg/sim/world.h"
 
 namespace cg = condorg::gass;
@@ -38,6 +39,40 @@ TEST(FileStore, ChecksumDetectsContentChange) {
   store.put("a", "hello");
   store.put("b", "hellp");
   EXPECT_NE(store.get("a")->checksum(), store.get("b")->checksum());
+}
+
+TEST(FileStore, ChecksumMemoizedUntilContentChanges) {
+  cg::FileStore store;
+  store.put("f", "hello");
+  const std::uint64_t first = store.get("f")->checksum();
+  EXPECT_EQ(store.get("f")->checksum(), first);  // served from the memo
+  store.append("f", " world", 0);                // append invalidates
+  EXPECT_NE(store.get("f")->checksum(), first);
+  store.put("f", "hello");                       // re-put restores
+  EXPECT_EQ(store.get("f")->checksum(), first);
+}
+
+TEST(FileStore, PutIfAbsentKeepsFirstContent) {
+  cg::FileStore store;
+  EXPECT_TRUE(store.put_if_absent("exe/cas/1", "v1", 100));
+  EXPECT_FALSE(store.put_if_absent("exe/cas/1", "v2", 200));
+  EXPECT_EQ(store.get("exe/cas/1")->content, "v1");
+  EXPECT_EQ(store.get("exe/cas/1")->size(), 100u);
+}
+
+TEST(FileStore, FindAndStatFastPaths) {
+  cg::FileStore store;
+  store.put("f", "payload", 4096);
+  const cg::FileData* file = store.find("f");
+  ASSERT_NE(file, nullptr);
+  EXPECT_EQ(file->content, "payload");
+  EXPECT_EQ(store.find("missing"), nullptr);
+
+  const auto stat = store.stat("f");
+  ASSERT_TRUE(stat.has_value());
+  EXPECT_EQ(stat->size, 4096u);
+  EXPECT_EQ(stat->checksum, file->checksum());
+  EXPECT_FALSE(store.stat("missing").has_value());
 }
 
 // ---------- FileService over the network ----------
@@ -204,6 +239,128 @@ TEST_F(GassFixture, DurableStoreSurvivesCrash) {
              [&](std::optional<cg::FileInfo> info) { got = std::move(info); });
   world.sim().run();
   EXPECT_TRUE(got.has_value());
+}
+
+// ---------- per-site staging cache ----------
+
+namespace {
+
+struct StagingCacheFixture : public ::testing::Test {
+  StagingCacheFixture()
+      : submit(world.add_host("submit.wisc.edu")),
+        site_a(world.add_host("site-a.grid.org")),
+        site_b(world.add_host("site-b.grid.org")),
+        gass(submit, world.net(), "gass"),
+        cache_a(site_a, world.net(), "stagecache.a"),
+        cache_b(site_b, world.net(), "stagecache.b") {}
+
+  std::uint64_t put_exe(const std::string& path, const std::string& content) {
+    gass.store().put(path, content, content.size());
+    return gass.store().get(path)->checksum();
+  }
+
+  cs::World world;
+  cs::Host& submit;
+  cs::Host& site_a;
+  cs::Host& site_b;
+  cg::FileService gass;
+  cg::StagingCache cache_a;
+  cg::StagingCache cache_b;
+};
+
+}  // namespace
+
+TEST_F(StagingCacheFixture, CoalescesConcurrentFetchesIntoOneTransfer) {
+  const std::uint64_t checksum = put_exe("exe/cas/1", "worker-v1");
+  int delivered = 0;
+  for (int i = 0; i < 5; ++i) {
+    cache_a.fetch(gass.address(), "exe/cas/1", checksum,
+                  [&](std::optional<cg::FileInfo> info) {
+                    ASSERT_TRUE(info.has_value());
+                    EXPECT_EQ(info->content, "worker-v1");
+                    ++delivered;
+                  });
+  }
+  world.sim().run();
+  EXPECT_EQ(delivered, 5);
+  EXPECT_EQ(gass.gets_served(), 1u);  // one wire transfer for five jobs
+  EXPECT_EQ(cache_a.misses(), 1u);
+  EXPECT_EQ(cache_a.hits(), 4u);
+}
+
+TEST_F(StagingCacheFixture, CachedEntryServesRepeatsSynchronously) {
+  const std::uint64_t checksum = put_exe("exe/cas/1", "worker-v1");
+  cache_a.fetch(gass.address(), "exe/cas/1", checksum,
+                [](std::optional<cg::FileInfo>) {});
+  world.sim().run();
+  ASSERT_EQ(gass.gets_served(), 1u);
+
+  bool synchronous = false;
+  cache_a.fetch(gass.address(), "exe/cas/1", checksum,
+                [&](std::optional<cg::FileInfo> info) {
+                  ASSERT_TRUE(info.has_value());
+                  synchronous = true;
+                });
+  EXPECT_TRUE(synchronous);  // hit: no events needed
+  world.sim().run();
+  EXPECT_EQ(gass.gets_served(), 1u);
+  EXPECT_EQ(cache_a.entry_count(), 1u);
+}
+
+TEST_F(StagingCacheFixture, ChecksumMismatchInvalidatesAndRestages) {
+  const std::uint64_t old_sum = put_exe("exe/a.out", "build-1");
+  cache_a.fetch(gass.address(), "exe/a.out", old_sum,
+                [](std::optional<cg::FileInfo>) {});
+  world.sim().run();
+  ASSERT_EQ(gass.gets_served(), 1u);
+
+  // The user rebuilds the executable under the same name: the declared
+  // checksum changes, the cached copy must NOT be served.
+  const std::uint64_t new_sum = put_exe("exe/a.out", "build-2");
+  ASSERT_NE(new_sum, old_sum);
+  std::optional<cg::FileInfo> got;
+  cache_a.fetch(gass.address(), "exe/a.out", new_sum,
+                [&](std::optional<cg::FileInfo> info) { got = std::move(info); });
+  world.sim().run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->content, "build-2");
+  EXPECT_EQ(gass.gets_served(), 2u);  // re-staged exactly once
+}
+
+TEST_F(StagingCacheFixture, FailureNotifiesEveryWaiterAndAllowsRetry) {
+  int failures = 0;
+  for (int i = 0; i < 3; ++i) {
+    cache_a.fetch(gass.address(), "exe/missing", 7,
+                  [&](std::optional<cg::FileInfo> info) {
+                    EXPECT_FALSE(info.has_value());
+                    ++failures;
+                  });
+  }
+  world.sim().run();
+  EXPECT_EQ(failures, 3);
+  EXPECT_EQ(cache_a.entry_count(), 0u);  // failed entry is not cached
+
+  // Once the file exists a retry succeeds.
+  const std::uint64_t checksum = put_exe("exe/missing", "late");
+  std::optional<cg::FileInfo> got;
+  cache_a.fetch(gass.address(), "exe/missing", checksum,
+                [&](std::optional<cg::FileInfo> info) { got = std::move(info); });
+  world.sim().run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->content, "late");
+}
+
+TEST_F(StagingCacheFixture, SitesCacheIndependently) {
+  const std::uint64_t checksum = put_exe("exe/cas/1", "worker-v1");
+  for (cg::StagingCache* cache : {&cache_a, &cache_b}) {
+    cache->fetch(gass.address(), "exe/cas/1", checksum,
+                 [](std::optional<cg::FileInfo>) {});
+  }
+  world.sim().run();
+  // One transfer per site — a site cache never serves another site.
+  EXPECT_EQ(gass.gets_served(), 2u);
+  EXPECT_EQ(cache_a.misses(), 1u);
+  EXPECT_EQ(cache_b.misses(), 1u);
 }
 
 // ---------- authenticated service ----------

@@ -266,14 +266,106 @@ int print_metrics(const std::string& path) {
   return 0;
 }
 
+/// Family name of a serialized metric key (`name{k=v,...}` -> `name`).
+std::string metric_family(const std::string& key) {
+  return key.substr(0, key.find('{'));
+}
+
+/// Label block of a serialized metric key (`name{k=v,...}` -> `k=v,...`).
+std::string metric_labels(const std::string& key) {
+  const auto open = key.find('{');
+  if (open == std::string::npos) return "";
+  return key.substr(open + 1, key.size() - open - 2);
+}
+
+/// Submission-pipeline health at a glance: per-site staging-cache hit
+/// rates, pipeline-depth peaks against the configured cap, and the Schedd
+/// index footprint. Reads the same metrics JSON as the full tables.
+int print_pipeline_overview(const std::string& path) {
+  const std::optional<std::string> text = condorg::util::read_text_file(path);
+  if (!text) {
+    std::fprintf(stderr, "cannot open metrics file: %s\n", path.c_str());
+    return 1;
+  }
+  const std::optional<JsonValue> parsed = JsonValue::parse(*text);
+  if (!parsed || !parsed->is_object()) {
+    std::fprintf(stderr, "metrics file is not a JSON object: %s\n",
+                 path.c_str());
+    return 1;
+  }
+
+  std::map<std::string, double> hits;
+  std::map<std::string, double> misses;
+  if (const JsonValue* counters = parsed->find("counters");
+      counters != nullptr && counters->is_object()) {
+    for (const auto& [key, value] : counters->members()) {
+      const std::string family = metric_family(key);
+      if (family == "staging_cache_hits") {
+        hits[metric_labels(key)] = value.as_number();
+      } else if (family == "staging_cache_misses") {
+        misses[metric_labels(key)] = value.as_number();
+      }
+    }
+  }
+  std::map<std::string, std::string> sites;
+  for (const auto& [labels, n] : hits) sites.emplace(labels, "");
+  for (const auto& [labels, n] : misses) sites.emplace(labels, "");
+  if (!sites.empty()) {
+    Table table({"site", "hits", "misses", "hit rate"});
+    for (const auto& [labels, unused] : sites) {
+      const double h = hits.count(labels) ? hits.at(labels) : 0.0;
+      const double m = misses.count(labels) ? misses.at(labels) : 0.0;
+      const double total = h + m;
+      table.add_row({labels, format_number(h), format_number(m),
+                     total > 0.0 ? format_number(100.0 * h / total) + "%"
+                                 : "-"});
+    }
+    std::fputs(table.render("staging cache").c_str(), stdout);
+  } else {
+    std::printf("no staging-cache activity in this run\n");
+  }
+
+  bool any_depth = false;
+  bool any_index = false;
+  Table depth({"pipeline", "now", "peak", "average"});
+  Table index({"index", "size", "peak"});
+  if (const JsonValue* gauges = parsed->find("gauges");
+      gauges != nullptr && gauges->is_object()) {
+    for (const auto& [key, value] : gauges->members()) {
+      const std::string family = metric_family(key);
+      if (family == "submit_pipeline_depth") {
+        any_depth = true;
+        depth.add_row({metric_labels(key),
+                       format_number(value.number_at("value")),
+                       format_number(value.number_at("peak")),
+                       format_number(value.number_at("average"))});
+      } else if (family == "schedd_index_size") {
+        any_index = true;
+        index.add_row({metric_labels(key),
+                       format_number(value.number_at("value")),
+                       format_number(value.number_at("peak"))});
+      }
+    }
+  }
+  if (any_depth) {
+    std::fputs(depth.render("submit pipeline depth").c_str(), stdout);
+  }
+  if (any_index) {
+    std::fputs(index.render("schedd secondary indexes").c_str(), stdout);
+  }
+  return 0;
+}
+
 int usage() {
   std::fputs(
       "usage: condorg_report [--trace FILE] [--metrics FILE]\n"
-      "                      [--job N] [--recovery] [--self-check]\n"
+      "                      [--job N] [--recovery] [--overview] "
+      "[--self-check]\n"
       "  --trace FILE    trace JSONL written via CONDORG_TRACE\n"
       "  --metrics FILE  metrics JSON written via CONDORG_METRICS\n"
       "  --job N         print one job's timeline (needs --trace)\n"
       "  --recovery      recovery-latency percentiles (needs --trace)\n"
+      "  --overview      submission-pipeline summary (needs --metrics)\n"
       "  --self-check    validate trace structure; non-zero exit on damage\n",
       stderr);
   return 2;
@@ -286,6 +378,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::optional<std::uint64_t> job;
   bool recovery = false;
+  bool overview = false;
   bool self_check = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -298,6 +391,8 @@ int main(int argc, char** argv) {
       job = std::stoull(argv[++i]);
     } else if (arg == "--recovery") {
       recovery = true;
+    } else if (arg == "--overview") {
+      overview = true;
     } else if (arg == "--self-check") {
       self_check = true;
     } else {
@@ -333,6 +428,9 @@ int main(int argc, char** argv) {
                    trace.problems.size());
     }
   }
-  if (!metrics_path.empty()) rc = print_metrics(metrics_path);
+  if (!metrics_path.empty()) {
+    rc = overview ? print_pipeline_overview(metrics_path)
+                  : print_metrics(metrics_path);
+  }
   return rc;
 }

@@ -78,6 +78,13 @@ LINE_RULES = [
         "simulated code must read sim::Simulation::now(), not the host clock",
     ),
     (
+        "schedd-full-scan",
+        re.compile(r"\bfor\s*\(.*:\s*[\w.>()*-]*\bjobs\(\)"),
+        "full job-table scan; use the Schedd's secondary indexes "
+        "(idle_jobs / jobs_with_status / count) — audit, recovery, and "
+        "report sites may lint-allow",
+    ),
+    (
         "direct-io",
         re.compile(r"(?<![:\w])(?:std::)?(?:cout|cerr)\b|"
                    r"(?<![:\w])(?:std::)?"
@@ -337,7 +344,8 @@ def self_test(root):
     got = sorted({v.rule for v in found})
     want = sorted(["banned-rand", "wall-clock", "unordered-iteration",
                    "unordered-trace-emit", "virtual-in-derived",
-                   "unchecked-function-call", "direct-io"])
+                   "unchecked-function-call", "direct-io",
+                   "schedd-full-scan"])
     ok = got == want
     # The inline-allowed std::rand at the bottom must NOT be reported twice.
     rand_hits = sum(1 for v in found if v.rule == "banned-rand")

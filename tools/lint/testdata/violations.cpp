@@ -46,6 +46,18 @@ void fire() {
 
 void shout() { std::printf("loud\n"); }                // direct-io
 
+struct Queue {
+  std::unordered_map<int, int>* jobs();
+};
+int drain(Queue& schedd) {
+  int n = 0;
+  for (const auto& [id, job] : *schedd.jobs()) {       // schedd-full-scan
+    n += job;
+  }
+  // idle_jobs() is an index read, not a scan — must NOT trip the rule:
+  return n;
+}
+
 // Suppression forms must keep working:
 int allowed_noise() {
   // lint-allow(banned-rand): fixture proves inline allows suppress
