@@ -15,6 +15,7 @@
 
 #include "bench_report.h"
 #include "condorg/core/agent.h"
+#include "condorg/sim/det.h"
 #include "condorg/workloads/grid_builder.h"
 
 namespace core = condorg::core;
@@ -159,5 +160,6 @@ int main(int argc, char** argv) {
   }
   cu::JsonValue report = cu::JsonValue::object();
   report["benchmarks"] = std::move(benchmarks);
+  if (condorg::det::report("bench_s1") > 0) return 4;
   return condorg::bench::write_report("S1", std::move(report));
 }

@@ -6,6 +6,7 @@
 
 #include "condorg/core/agent.h"
 #include "condorg/core/broker.h"
+#include "condorg/sim/det.h"
 #include "condorg/util/strings.h"
 #include "condorg/workloads/grid_builder.h"
 #ifdef CONDORG_AUDIT
@@ -138,6 +139,7 @@ int main() {
       std::printf("trace written to:          %s\n", trace_path);
     }
   }
+  ok = ok && condorg::det::report("fault_drill") == 0;
   std::printf("\n%s\n", ok ? "ALL JOBS RECOVERED, EXACTLY ONCE."
                            : "RECOVERY INCOMPLETE OR DUPLICATED WORK!");
   return ok ? 0 : 1;

@@ -6,6 +6,7 @@
 
 #include "condorg/core/agent.h"
 #include "condorg/core/broker.h"
+#include "condorg/sim/det.h"
 #include "condorg/util/json.h"
 #include "condorg/util/strings.h"
 #include "condorg/workloads/grid_builder.h"
@@ -122,5 +123,8 @@ int main() {
     std::printf("metrics: %zu series -> %s\n",
                 testbed.world().sim().metrics().size(), metrics_path);
   }
+  // Determinism sanitizer (CONDORG_DETSAN=1 or -DCONDORG_DETSAN=ON):
+  // any host-ownership violation is a partition-safety failure.
+  if (condorg::det::report("quickstart") > 0) return 4;
   return completed == static_cast<int>(ids.size()) ? 0 : 1;
 }

@@ -1,35 +1,75 @@
 #!/usr/bin/env bash
-# Full correctness gate: determinism lint, a warnings-as-errors build with
-# the plain test suite, then the same suite under ASan+UBSan (with the
-# invariant auditor compiled into examples/benches). Mirrors what CI runs;
-# use the CMake presets (dev / asan / tsan) for the individual pieces.
+# Full correctness gate: determinism lint, partition-safety analysis, a
+# warnings-as-errors build with the plain test suite, the DetSan smoke
+# runs, then the same suite under ASan+UBSan (with the invariant auditor
+# compiled into examples/benches). Mirrors what CI runs; use the CMake
+# presets (dev / asan / tsan) for the individual pieces. Each stage prints
+# its wall time so regressions in the gate itself are visible.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== determinism lint =="
+stage_started=0
+stage_name=""
+stage_begin() {
+  stage_name="$1"
+  stage_started=${SECONDS}
+  echo "== ${stage_name} =="
+}
+stage_end() {
+  echo "-- ${stage_name}: $((SECONDS - stage_started))s"
+}
+
+stage_begin "determinism lint"
 python3 tools/lint/condorg_lint.py --root .
 python3 tools/lint/condorg_lint.py --root . --self-test
+stage_end
+
+stage_begin "analyze.partition (island-cut report + rule self-test)"
+# The static half of the partition-safety story: zero violations in the
+# tree, every fixture mutation caught, and an island-cut report covering
+# the GRAM/GASS/MDS/GSI message boundaries.
+python3 tools/analyze/condorg_partition.py --root . --build-dir build \
+  --report build/partition_report.json
+python3 tools/analyze/condorg_partition.py --self-test
+stage_end
 
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-echo "== dev build (warnings are errors) + tests =="
+stage_begin "dev build (warnings are errors) + tests"
 cmake --preset dev >/dev/null
 cmake --build --preset dev -j "${jobs}"
 ctest --preset dev -j "${jobs}"
+stage_end
 
-echo "== clang-tidy (skips when not installed) =="
+stage_begin "clang-tidy (skips when not installed)"
 bash scripts/tidy.sh --build-dir build
+stage_end
 
-echo "== schedule-space exploration =="
+stage_begin "detsan.smoke (determinism sanitizer armed)"
+# The dynamic half: quickstart, the fault drill, and the S1 submission
+# storm must complete with zero host-ownership violations when DetSan is
+# armed via the environment (exit 4 is the detsan-failure exit).
+CONDORG_DETSAN=1 ./build/examples/quickstart >/dev/null
+CONDORG_DETSAN=1 ./build/examples/fault_drill >/dev/null
+CONDORG_DETSAN=1 CONDORG_BENCH_DIR="$(mktemp -d)" \
+  ./build/bench/bench_s1_submission_storm \
+  --benchmark_filter='BM_SubmissionStorm/1000x8sites' >/dev/null
+stage_end
+
+stage_begin "schedule-space exploration"
 # The model checker must exhaust the bounded quickstart schedule space with
-# zero invariant violations, and must catch a deliberately broken gatekeeper
-# dedup with a counterexample that replays to the identical failing audit.
+# zero invariant violations, and must catch two seeded mutations with
+# counterexamples that replay to the identical failing audit: a broken
+# gatekeeper dedup, and a direct cross-host state access (DetSan).
 ./build/tools/condorg_explore --scenario quickstart \
   --require-distinct 1000 --require-exhausted
 CONDORG_MUTATE_DEDUP=1 ./build/tools/condorg_explore --scenario quickstart \
   --expect-violation >/dev/null
+CONDORG_MUTATE_CROSS_HOST=1 ./build/tools/condorg_explore \
+  --scenario quickstart --expect-violation >/dev/null
+stage_end
 
-echo "== trace determinism + report self-check =="
+stage_begin "trace determinism + report self-check"
 # Two same-seed quickstart runs must export byte-identical trace JSONL, and
 # the report tool must find no structural problems in it.
 trace_dir="$(mktemp -d)"
@@ -42,8 +82,9 @@ trap 'rm -rf "${trace_dir}"' EXIT
 cmp "${trace_dir}/run1.jsonl" "${trace_dir}/run2.jsonl"
 ./build/tools/condorg_report --trace "${trace_dir}/run1.jsonl" \
   --metrics "${trace_dir}/run1-metrics.json" --self-check
+stage_end
 
-echo "== bench telemetry comparator =="
+stage_begin "bench telemetry comparator"
 # The comparator's own logic is deterministic and always checked; diffing a
 # fresh bench run against the committed baselines needs real (noisy) numbers,
 # so it only runs when asked: CONDORG_BENCH_COMPARE=1 after running the
@@ -55,10 +96,12 @@ if [[ "${CONDORG_BENCH_COMPARE:-0}" == "1" ]]; then
   (cd build/bench && ./bench_s1_submission_storm >/dev/null)
   python3 tools/bench_compare.py bench/baselines build/bench
 fi
+stage_end
 
-echo "== ASan+UBSan build + tests (auditor enabled) =="
+stage_begin "ASan+UBSan build + tests (auditor enabled)"
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "${jobs}"
 ctest --preset asan -j "${jobs}"
+stage_end
 
 echo "ALL CHECKS PASSED"

@@ -80,7 +80,12 @@ if [[ ${status} -gt 1 ]]; then
   exit 2
 fi
 
-# Keep findings whose (file, check) pair is not allowlisted.
+# Keep findings whose (file, check) pair is not allowlisted, and fail on
+# stale suppressions: an allowlist entry that matched nothing in a real
+# clang-tidy run is debt that outlived its finding — it must be deleted,
+# or it will silently swallow the next genuine finding in that file.
+# (Entries against files checked only on other toolchains stay honest
+# because this code only runs when clang-tidy actually produced output.)
 python3 - "${raw}" tools/tidy/allowlist.txt <<'EOF'
 import os, re, sys
 finding = re.compile(r"^(?P<path>[^:\s]+):\d+:\d+: (?:warning|error): "
@@ -95,6 +100,7 @@ with open(sys.argv[2], encoding="utf-8") as fh:
         allows.setdefault(path.strip(), set()).add(check.strip())
 root = os.getcwd()
 kept, shown = 0, set()
+used = set()
 with open(sys.argv[1], encoding="utf-8", errors="replace") as fh:
     for line in fh:
         m = finding.match(line.rstrip())
@@ -103,14 +109,22 @@ with open(sys.argv[1], encoding="utf-8", errors="replace") as fh:
         rel = os.path.relpath(m.group("path"), root)
         checks = set(m.group("checks").split(","))
         if checks <= allows.get(rel, set()):
+            used.update((rel, check) for check in checks)
             continue
         if line not in shown:  # headers repeat across TUs
             shown.add(line)
             kept += 1
             sys.stdout.write(line)
+stale = sorted((rel, check) for rel, checks in allows.items()
+               for check in checks if (rel, check) not in used)
 if kept:
     print(f"\ntidy.sh: {kept} unallowlisted finding(s) — fix, NOLINT with a "
           "reason, or allowlist in tools/tidy/allowlist.txt")
     sys.exit(1)
-print("tidy.sh: clean")
+if stale:
+    for rel, check in stale:
+        print(f"tidy.sh: STALE suppression {rel}:{check} matched no "
+              "finding — delete it from tools/tidy/allowlist.txt")
+    sys.exit(1)
+print("tidy.sh: clean (no stale suppressions)")
 EOF

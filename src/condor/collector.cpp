@@ -8,12 +8,15 @@
 namespace condorg::condor {
 
 Collector::Collector(sim::Host& host, sim::Network& network)
-    : host_(host), network_(network) {
+    : host_(host),
+      network_(network),
+      entries_(host, "collector.entries"),
+      expiry_heap_(host, "collector.expiry_heap") {
   install();
   boot_id_ = host_.add_boot([this] { install(); });
   crash_listener_ = host_.add_crash_listener([this] {
-    entries_.clear();
-    expiry_heap_.clear();
+    entries_->clear();
+    expiry_heap_->clear();
   });
 }
 
@@ -37,12 +40,12 @@ void Collector::on_message(const sim::Message& message) {
       entry.ad = std::make_shared<const classad::ClassAd>(
           classad::parse_ad(message.body.get("ad")));
       entry.expires_at = host_.now() + message.body.get_double("ttl", 900.0);
-      expiry_heap_.push_back(Deadline{entry.expires_at, name});
-      std::push_heap(expiry_heap_.begin(), expiry_heap_.end(),
+      expiry_heap_->push_back(Deadline{entry.expires_at, name});
+      std::push_heap(expiry_heap_->begin(), expiry_heap_->end(),
                      [](const Deadline& a, const Deadline& b) {
                        return a.after(b);
                      });
-      entries_[name] = std::move(entry);
+      (*entries_)[name] = std::move(entry);
       ++ads_received_;
     } catch (const classad::ParseError&) {
       // Drop malformed ads silently (UDP-like semantics in real Condor).
@@ -50,7 +53,7 @@ void Collector::on_message(const sim::Message& message) {
     return;
   }
   if (message.type == "collector.invalidate") {
-    entries_.erase(message.body.get("name"));
+    entries_->erase(message.body.get("name"));
     return;
   }
 }
@@ -60,15 +63,15 @@ void Collector::prune() const {
   const auto after = [](const Deadline& a, const Deadline& b) {
     return a.after(b);
   };
-  while (!expiry_heap_.empty() && expiry_heap_.front().when <= now) {
-    std::pop_heap(expiry_heap_.begin(), expiry_heap_.end(), after);
-    const Deadline deadline = std::move(expiry_heap_.back());
-    expiry_heap_.pop_back();
-    const auto it = entries_.find(deadline.name);
+  while (!expiry_heap_->empty() && expiry_heap_->front().when <= now) {
+    std::pop_heap(expiry_heap_->begin(), expiry_heap_->end(), after);
+    const Deadline deadline = std::move(expiry_heap_->back());
+    expiry_heap_->pop_back();
+    const auto it = entries_->find(deadline.name);
     // Stale node if the name was re-advertised with a later deadline (the
     // newer node is still in the heap) or explicitly invalidated.
-    if (it != entries_.end() && it->second.expires_at <= now) {
-      entries_.erase(it);
+    if (it != entries_->end() && it->second.expires_at <= now) {
+      entries_->erase(it);
     }
   }
 }
@@ -77,8 +80,8 @@ std::vector<Collector::AdPtr> Collector::query(
     const classad::ExprPtr& constraint) const {
   prune();
   std::vector<AdPtr> out;
-  out.reserve(entries_.size());
-  for (const auto& [name, entry] : entries_) {
+  out.reserve(entries_->size());
+  for (const auto& [name, entry] : *entries_) {
     if (constraint) {
       const classad::Value v = constraint->evaluate(entry.ad.get(), nullptr);
       if (!v.is_bool() || !v.as_bool()) continue;
@@ -90,9 +93,9 @@ std::vector<Collector::AdPtr> Collector::query(
 
 std::size_t Collector::live_count() const {
   prune();
-  return entries_.size();
+  return entries_->size();
 }
 
-void Collector::invalidate(const std::string& name) { entries_.erase(name); }
+void Collector::invalidate(const std::string& name) { entries_->erase(name); }
 
 }  // namespace condorg::condor

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "condorg/classad/classad.h"
+#include "condorg/sim/det.h"
 #include "condorg/sim/host.h"
 #include "condorg/sim/network.h"
 
@@ -21,6 +22,10 @@ namespace condorg::condor {
 
 class Collector {
  public:
+  /// Personal-pool daemon on the submit host; query() is a same-host local
+  /// API for the Negotiator.
+  CONDORG_HOST_LOCAL("user");
+
   static constexpr const char* kService = "condor.collector";
 
   /// Query results share ownership of the stored ads instead of deep-copying
@@ -72,8 +77,10 @@ class Collector {
 
   sim::Host& host_;
   sim::Network& network_;
-  mutable std::map<std::string, Entry> entries_;  // ordered: query determinism
-  mutable std::vector<Deadline> expiry_heap_;     // min-heap on `when`
+  // `mutable` keeps prune()'s interior mutability; ordered map for query
+  // determinism, lazily-deleted min-heap on `when`.
+  mutable det::HostLocal<std::map<std::string, Entry>> entries_;
+  mutable det::HostLocal<std::vector<Deadline>> expiry_heap_;
   int boot_id_ = 0;
   int crash_listener_ = 0;
   std::uint64_t ads_received_ = 0;

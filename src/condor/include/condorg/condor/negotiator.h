@@ -14,6 +14,7 @@
 
 #include "condorg/classad/classad.h"
 #include "condorg/condor/collector.h"
+#include "condorg/sim/det.h"
 #include "condorg/sim/host.h"
 #include "condorg/util/metrics.h"
 
@@ -68,6 +69,9 @@ struct NegotiatorOptions {
 
 class Negotiator {
  public:
+  /// Personal-pool daemon on the submit host.
+  CONDORG_HOST_LOCAL("user");
+
   using JobSource = std::function<std::vector<IdleJob>()>;
   using MatchSink = std::function<void(const Match&)>;
   using Options = NegotiatorOptions;
@@ -81,8 +85,8 @@ class Negotiator {
   /// Run one cycle immediately (also used by tests).
   std::size_t negotiate_once();
 
-  std::uint64_t cycles() const { return cycles_; }
-  std::uint64_t matches_made() const { return matches_; }
+  std::uint64_t cycles() const { return *cycles_; }
+  std::uint64_t matches_made() const { return *matches_; }
 
  private:
   void cycle();
@@ -99,8 +103,8 @@ class Negotiator {
   util::Counter& matches_counter_;
   bool started_ = false;
   int boot_id_ = 0;
-  std::uint64_t cycles_ = 0;
-  std::uint64_t matches_ = 0;
+  det::HostLocal<std::uint64_t> cycles_;
+  det::HostLocal<std::uint64_t> matches_;
 };
 
 }  // namespace condorg::condor

@@ -482,7 +482,9 @@ Negotiator::Negotiator(sim::Host& host, Collector& collector, JobSource jobs,
       cycles_counter_(host_.metrics().counter("negotiator.cycles",
                                               {{"host", host_.name()}})),
       matches_counter_(host_.metrics().counter("negotiator.matches",
-                                               {{"host", host_.name()}})) {
+                                               {{"host", host_.name()}})),
+      cycles_(host, "negotiator.cycles", 0),
+      matches_(host, "negotiator.matches", 0) {
   boot_id_ = host_.add_boot([this] {
     if (started_) cycle();
   });
@@ -495,14 +497,14 @@ void Negotiator::start() {
 }
 
 std::size_t Negotiator::negotiate_once() {
-  ++cycles_;
+  ++*cycles_;
   cycles_counter_.inc();
   const std::vector<Collector::AdPtr> slots =
       collector_.query(slot_constraint_);
   const std::vector<IdleJob> jobs = jobs_();
   const std::vector<Match> matches = match_jobs_to_slots(jobs, slots);
   for (const Match& match : matches) {
-    ++matches_;
+    ++*matches_;
     matches_counter_.inc();
     sink_(match);
   }

@@ -8,7 +8,8 @@ CredentialManager::CredentialManager(Schedd& schedd, GridManager& gridmanager,
     : schedd_(schedd),
       gridmanager_(gridmanager),
       host_(schedd.host()),
-      options_(std::move(options)) {
+      options_(std::move(options)),
+      credential_(schedd.host(), "credmgr.credential") {
   if (options_.use_myproxy) {
     myproxy_ = std::make_unique<gsi::MyProxyClient>(host_, network,
                                                     "credmgr.myproxy");
@@ -19,9 +20,9 @@ CredentialManager::CredentialManager(Schedd& schedd, GridManager& gridmanager,
 }
 
 void CredentialManager::set_credential(gsi::Credential proxy) {
-  credential_ = std::move(proxy);
+  *credential_ = std::move(proxy);
   alarm_sent_for_current_ = false;
-  gridmanager_.set_credential_text(credential_->serialize());
+  gridmanager_.set_credential_text((*credential_)->serialize());
   gridmanager_.reforward_credential();
   release_credential_holds();
 }
@@ -36,8 +37,8 @@ void CredentialManager::scan() {
   const sim::Time now = host_.now();
   const bool have_active_jobs = schedd_.active_count() > 0;
 
-  if (credential_ && have_active_jobs) {
-    const double remaining = credential_->expires_at() - now;
+  if (*credential_ && have_active_jobs) {
+    const double remaining = (*credential_)->expires_at() - now;
 
     if (options_.alarm_threshold > 0 && remaining > options_.refresh_threshold &&
         remaining <= options_.alarm_threshold && !alarm_sent_for_current_) {
@@ -68,8 +69,8 @@ void CredentialManager::scan() {
 }
 
 void CredentialManager::audit(std::vector<std::string>& out) const {
-  if (!started_ || !host_.alive() || !credential_) return;
-  const double overdue = host_.now() - credential_->expires_at();
+  if (!started_ || !host_.alive() || !*credential_) return;
+  const double overdue = host_.now() - (*credential_)->expires_at();
   // Two full scan intervals is enough for the loop to have noticed the
   // expiry and held every live grid job (the hold actually fires
   // refresh_threshold seconds *before* expiry) or refreshed via MyProxy.

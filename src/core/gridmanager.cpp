@@ -17,7 +17,19 @@ GridManager::GridManager(Schedd& schedd, sim::Network& network,
       chooser_(std::move(chooser)),
       options_(options),
       gass_(host_, network, "gass." + user_),
-      gram_(host_, network, user_, options.gram) {
+      gram_(host_, network, user_, options.gram),
+      submitting_(host_, "gridmanager.submitting"),
+      contact_to_job_(host_, "gridmanager.contact_to_job"),
+      probing_(host_, "gridmanager.probing"),
+      pending_since_(host_, "gridmanager.pending_since"),
+      migrating_(host_, "gridmanager.migrating"),
+      degraded_since_(host_, "gridmanager.degraded_since"),
+      site_ready_(host_, "gridmanager.site_ready"),
+      queued_(host_, "gridmanager.queued"),
+      pipeline_site_of_(host_, "gridmanager.pipeline_site_of"),
+      site_pipeline_(host_, "gridmanager.site_pipeline"),
+      repump_(host_, "gridmanager.repump"),
+      artifacts_(host_, "gridmanager.artifacts") {
   host_.register_service("gridmanager." + user_,
                          [this](const sim::Message& m) {
                            if (m.type == "gram.callback") on_gram_callback(m);
@@ -47,8 +59,8 @@ void GridManager::count(std::string_view name) {
 }
 
 void GridManager::note_degraded(std::uint64_t job_id, std::string_view why) {
-  if (degraded_since_.count(job_id)) return;  // outage already open
-  degraded_since_.emplace(job_id, host_.now());
+  if (degraded_since_->count(job_id)) return;  // outage already open
+  degraded_since_->emplace(job_id, host_.now());
   sim::Tracer& tracer = host_.tracer();
   if (tracer.enabled()) {
     tracer.event("recovery.begin", job_id, host_.name(), host_.epoch(), why);
@@ -57,10 +69,10 @@ void GridManager::note_degraded(std::uint64_t job_id, std::string_view why) {
 
 void GridManager::note_recovered(std::uint64_t job_id,
                                  std::string_view how) {
-  const auto it = degraded_since_.find(job_id);
-  if (it == degraded_since_.end()) return;
+  const auto it = degraded_since_->find(job_id);
+  if (it == degraded_since_->end()) return;
   const double latency = host_.now() - it->second;
-  degraded_since_.erase(it);
+  degraded_since_->erase(it);
   host_.metrics()
       .histogram("gridmanager.recovery_seconds", {{"user", user_}})
       .observe(latency);
@@ -129,8 +141,8 @@ std::string GridManager::make_exe_content(const std::string& name) const {
 }
 
 const GridManager::Artifact& GridManager::stage_artifact(const Job& job) {
-  const auto memo = artifacts_.find(job.desc.executable);
-  if (memo != artifacts_.end()) return memo->second;
+  const auto memo = artifacts_->find(job.desc.executable);
+  if (memo != artifacts_->end()) return memo->second;
   std::string content = make_exe_content(job.desc.executable);
   Artifact artifact;
   artifact.checksum = util::fnv1a(content);
@@ -138,7 +150,7 @@ const GridManager::Artifact& GridManager::stage_artifact(const Job& job) {
   artifact.declared_size = job.desc.executable_size;
   gass_.store().put_if_absent(artifact.path, std::move(content),
                               artifact.declared_size);
-  return artifacts_.emplace(job.desc.executable, std::move(artifact))
+  return artifacts_->emplace(job.desc.executable, std::move(artifact))
       .first->second;
 }
 
@@ -156,8 +168,8 @@ void GridManager::stage_executable(const Job& job) {
 }
 
 std::size_t GridManager::pipeline_depth(const std::string& site) const {
-  const auto it = site_pipeline_.find(site);
-  return it == site_pipeline_.end() ? 0 : it->second;
+  const auto it = site_pipeline_->find(site);
+  return it == site_pipeline_->end() ? 0 : it->second;
 }
 
 void GridManager::set_depth_gauge(const std::string& site,
@@ -172,30 +184,30 @@ void GridManager::set_depth_gauge(const std::string& site,
 
 void GridManager::begin_pipeline(std::uint64_t job_id,
                                  const std::string& site) {
-  if (!pipeline_site_of_.emplace(job_id, site).second) return;
-  set_depth_gauge(site, ++site_pipeline_[site]);
+  if (!pipeline_site_of_->emplace(job_id, site).second) return;
+  set_depth_gauge(site, ++(*site_pipeline_)[site]);
 }
 
 void GridManager::end_pipeline(std::uint64_t job_id) {
-  const auto it = pipeline_site_of_.find(job_id);
-  if (it == pipeline_site_of_.end()) return;
+  const auto it = pipeline_site_of_->find(job_id);
+  if (it == pipeline_site_of_->end()) return;
   const std::string site = it->second;
-  pipeline_site_of_.erase(it);
-  std::size_t& depth = site_pipeline_[site];
+  pipeline_site_of_->erase(it);
+  std::size_t& depth = (*site_pipeline_)[site];
   if (depth > 0) --depth;
   set_depth_gauge(site, depth);
   pump_site(site);  // the freed slot refills without waiting for a tick
 }
 
 void GridManager::prune_pipeline() {
-  for (auto it = pipeline_site_of_.begin(); it != pipeline_site_of_.end();) {
+  for (auto it = pipeline_site_of_->begin(); it != pipeline_site_of_->end();) {
     const std::uint64_t id = (it++)->first;  // end_pipeline erases
     const auto job = schedd_.query(id);
     // A slot is owed while the submit is in flight or the job sits at the
     // site without an ACTIVE sighting; anything else (held, removed,
     // terminal with a lost callback) is reclaimed here.
     const bool owed =
-        job && (submitting_.count(id) != 0 ||
+        job && (submitting_->count(id) != 0 ||
                 (job->status == JobStatus::kRunning &&
                  job->remote_state != "ACTIVE"));
     if (!owed) end_pipeline(id);
@@ -208,14 +220,14 @@ void GridManager::drive_idle_jobs() {
     return;
   }
   for (const std::uint64_t id : schedd_.idle_jobs(Universe::kGrid)) {
-    if (queued_.count(id) || submitting_.count(id)) continue;
+    if (queued_->count(id) || submitting_->count(id)) continue;
     enqueue_idle(id);
   }
   pump_all();
 }
 
 void GridManager::drive_idle_jobs_reference() {
-  std::size_t in_flight = submitting_.size();
+  std::size_t in_flight = submitting_->size();
   if (options_.max_submitted_jobs > 0) {
     // Retained pre-index reference path for bench_s1; the production path
     // uses count(universe, status).
@@ -232,7 +244,7 @@ void GridManager::drive_idle_jobs_reference() {
         in_flight >= options_.max_submitted_jobs) {
       return;
     }
-    if (!submitting_.count(id)) {
+    if (!submitting_->count(id)) {
       submit_job(id);
       ++in_flight;
     }
@@ -247,19 +259,19 @@ void GridManager::enqueue_idle(std::uint64_t job_id) {
     submit_job(job_id);
     return;
   }
-  queued_.insert(job_id);
+  queued_->insert(job_id);
   if (!job->desc.grid_site.empty()) {
-    site_ready_[job->desc.grid_site].push_back(job_id);
+    (*site_ready_)[job->desc.grid_site].push_back(job_id);
     return;
   }
   chooser_(*job, [this, job_id](std::optional<sim::Address> gatekeeper) {
-    if (queued_.count(job_id) == 0) return;  // dropped meanwhile (reboot)
+    if (queued_->count(job_id) == 0) return;  // dropped meanwhile (reboot)
     if (!gatekeeper) {
       // No candidate resource right now; try again next tick.
-      queued_.erase(job_id);
+      queued_->erase(job_id);
       return;
     }
-    site_ready_[gatekeeper->host].push_back(job_id);
+    (*site_ready_)[gatekeeper->host].push_back(job_id);
     pump_site(gatekeeper->host);
   });
 }
@@ -267,7 +279,7 @@ void GridManager::enqueue_idle(std::uint64_t job_id) {
 void GridManager::pump_all() {
   // Site-name order (map order), job-id order within each site's queue:
   // the deterministic issue order the traces and the explorer rely on.
-  for (const auto& [site, queue] : site_ready_) repump_.insert(site);
+  for (const auto& [site, queue] : *site_ready_) repump_->insert(site);
   pump_site("");  // drain repump_; "" names no site and pumps nothing
 }
 
@@ -275,22 +287,22 @@ void GridManager::pump_site(const std::string& site) {
   if (pump_in_progress_) {
     // A completion callback freed a slot while the outer pump is mid-loop:
     // defer, the outermost call drains below.
-    repump_.insert(site);
+    repump_->insert(site);
     return;
   }
   pump_in_progress_ = true;
   do_pump(site);
-  while (!repump_.empty()) {
-    const std::string next = *repump_.begin();
-    repump_.erase(repump_.begin());
+  while (!repump_->empty()) {
+    const std::string next = *repump_->begin();
+    repump_->erase(repump_->begin());
     do_pump(next);
   }
   pump_in_progress_ = false;
 }
 
 void GridManager::do_pump(const std::string& site) {
-  const auto it = site_ready_.find(site);
-  if (it == site_ready_.end()) return;
+  const auto it = site_ready_->find(site);
+  if (it == site_ready_->end()) return;
   std::deque<std::uint64_t>& queue = it->second;
   while (!queue.empty()) {
     if (options_.max_pending_per_site > 0 &&
@@ -298,20 +310,20 @@ void GridManager::do_pump(const std::string& site) {
       return;
     }
     if (options_.max_submitted_jobs > 0 &&
-        submitting_.size() +
+        submitting_->size() +
                 schedd_.count(Universe::kGrid, JobStatus::kRunning) >=
             options_.max_submitted_jobs) {
       return;
     }
     const std::uint64_t job_id = queue.front();
     queue.pop_front();
-    queued_.erase(job_id);
+    queued_->erase(job_id);
     const auto job = schedd_.query(job_id);
     if (!job || job->status != JobStatus::kIdle ||
-        submitting_.count(job_id)) {
+        submitting_->count(job_id)) {
       continue;  // moved on (held/removed/re-driven) while waiting
     }
-    submitting_.insert(job_id);
+    submitting_->insert(job_id);
     stage_executable(*job);
     begin_pipeline(job_id, site);
     submit_to(job_id, sim::Address{site, gram::kGatekeeperService});
@@ -328,19 +340,19 @@ void GridManager::submit_job(std::uint64_t job_id) {
     // of submitting a second copy. The probe ladder handles a JobManager
     // that died in the meantime.
     const std::string contact = job->gram_contact;
-    contact_to_job_[contact] = job_id;
+    (*contact_to_job_)[contact] = job_id;
     schedd_.log().record(host_.now(), job_id, LogEventKind::kReconnected,
                          "release: reattaching to " + contact);
     schedd_.with_job(job_id,
                      [](Job& j) { j.status = JobStatus::kRunning; });
-    if (!probing_.count(job_id)) {
-      probing_.insert(job_id);
+    if (!probing_->count(job_id)) {
+      probing_->insert(job_id);
       host_.post(1.0, [this, job_id] { probe(job_id); });
     }
     return;
   }
 
-  submitting_.insert(job_id);
+  submitting_->insert(job_id);
   stage_executable(*job);
 
   if (!job->desc.grid_site.empty()) {
@@ -351,7 +363,7 @@ void GridManager::submit_job(std::uint64_t job_id) {
   chooser_(*job, [this, job_id](std::optional<sim::Address> gatekeeper) {
     if (!gatekeeper) {
       // No candidate resource right now; try again next tick.
-      submitting_.erase(job_id);
+      submitting_->erase(job_id);
       return;
     }
     submit_to(job_id, *gatekeeper);
@@ -362,7 +374,7 @@ void GridManager::submit_to(std::uint64_t job_id,
                             const sim::Address& gatekeeper) {
   const auto job = schedd_.query(job_id);
   if (!job || job->status != JobStatus::kIdle) {
-    submitting_.erase(job_id);
+    submitting_->erase(job_id);
     return;
   }
   // Allocate (or reuse, during crash recovery) the persisted sequence
@@ -385,7 +397,7 @@ void GridManager::submit_to(std::uint64_t job_id,
       seq, gatekeeper, spec_for(*job), callback_address(),
       [this, job_id, seq, gatekeeper,
        submit_span](std::optional<std::string> contact) {
-        submitting_.erase(job_id);
+        submitting_->erase(job_id);
         const auto current = schedd_.query(job_id);
         if (!current || current->status == JobStatus::kRemoved) {
           host_.tracer().end_span(submit_span, "stale", "job removed");
@@ -409,10 +421,10 @@ void GridManager::submit_to(std::uint64_t job_id,
         // in the queue — the §4.2 ladder must reconcile via the persisted
         // seq, not run the job twice.
         if (host_.crash_point("gridmanager.submit_ack")) return;
-        contact_to_job_[*contact] = job_id;
+        (*contact_to_job_)[*contact] = job_id;
         schedd_.mark_grid_submitted(job_id, seq, gatekeeper.host, *contact);
-        if (!probing_.count(job_id)) {
-          probing_.insert(job_id);
+        if (!probing_->count(job_id)) {
+          probing_->insert(job_id);
           host_.post(options_.probe_interval,
                      [this, job_id] { probe(job_id); });
         }
@@ -421,8 +433,8 @@ void GridManager::submit_to(std::uint64_t job_id,
 
 void GridManager::on_gram_callback(const sim::Message& message) {
   const std::string contact = message.body.get("contact");
-  const auto it = contact_to_job_.find(contact);
-  if (it == contact_to_job_.end()) return;  // stale / unknown
+  const auto it = contact_to_job_->find(contact);
+  if (it == contact_to_job_->end()) return;  // stale / unknown
   handle_remote_state(it->second, message.body.get("state"),
                       message.body.get("why"));
 }
@@ -433,35 +445,35 @@ void GridManager::handle_remote_state(std::uint64_t job_id,
   const auto job = schedd_.query(job_id);
   if (!job || job->status == JobStatus::kCompleted ||
       job->status == JobStatus::kRemoved) {
-    pending_since_.erase(job_id);  // terminal: drop the queued-at-site watch
+    pending_since_->erase(job_id);  // terminal: drop the queued-at-site watch
     end_pipeline(job_id);
     return;
   }
   if (state == "ACTIVE" && job->remote_state != "ACTIVE") {
-    pending_since_.erase(job_id);
+    pending_since_->erase(job_id);
     end_pipeline(job_id);  // the site started it; its slot frees up
     schedd_.mark_executing(job_id, "site=" + job->gram_site);
     return;
   }
   if (state == "DONE") {
-    pending_since_.erase(job_id);
+    pending_since_->erase(job_id);
     end_pipeline(job_id);
     schedd_.mark_completed(job_id);
-    probing_.erase(job_id);
-    degraded_since_.erase(job_id);  // job left the site; outage moot
+    probing_->erase(job_id);
+    degraded_since_->erase(job_id);  // job left the site; outage moot
     return;
   }
   if (state == "FAILED") {
-    pending_since_.erase(job_id);
+    pending_since_->erase(job_id);
     end_pipeline(job_id);
-    probing_.erase(job_id);
-    degraded_since_.erase(job_id);
-    if (migrating_.erase(job_id)) {
+    probing_->erase(job_id);
+    degraded_since_->erase(job_id);
+    if (migrating_->erase(job_id)) {
       // This FAILED is our own migration cancel taking effect: re-broker
       // without charging the job an attempt.
       ++queued_migrations_;
       count("gridmanager.migrations");
-      contact_to_job_.erase(job->gram_contact);
+      contact_to_job_->erase(job->gram_contact);
       schedd_.mark_idle_again(job_id, LogEventKind::kResubmitted,
                               "migrated: queued too long at " +
                                   job->gram_site);
@@ -480,17 +492,17 @@ void GridManager::handle_remote_state(std::uint64_t job_id,
   // PENDING / STAGE_IN / UNSUBMITTED: remember the remote state.
   schedd_.with_job(job_id, [&state](Job& j) { j.remote_state = state; });
   if (state == "PENDING") {
-    pending_since_.emplace(job_id, host_.now());  // keep first-seen time
+    pending_since_->emplace(job_id, host_.now());  // keep first-seen time
     maybe_migrate_pending(job_id);
   } else {
-    pending_since_.erase(job_id);
+    pending_since_->erase(job_id);
   }
 }
 
 void GridManager::maybe_migrate_pending(std::uint64_t job_id) {
   if (options_.max_pending_seconds <= 0) return;
-  const auto since = pending_since_.find(job_id);
-  if (since == pending_since_.end()) return;
+  const auto since = pending_since_->find(job_id);
+  if (since == pending_since_->end()) return;
   if (host_.now() - since->second < options_.max_pending_seconds) return;
   const auto job = schedd_.query(job_id);
   if (!job || job->remote_state != "PENDING" || job->gram_contact.empty()) {
@@ -500,8 +512,8 @@ void GridManager::maybe_migrate_pending(std::uint64_t job_id) {
   // demonstrably taken effect (the JobManager's FAILED callback, or the
   // cancel ack) release the job for re-brokering — re-submitting while the
   // old copy might still run would break exactly-once.
-  pending_since_.erase(job_id);
-  migrating_.insert(job_id);
+  pending_since_->erase(job_id);
+  migrating_->insert(job_id);
   const std::string contact = job->gram_contact;
   const std::string site = job->gram_site;
   gram_.cancel(contact, [this, job_id, contact, site](bool ok) {
@@ -509,20 +521,20 @@ void GridManager::maybe_migrate_pending(std::uint64_t job_id) {
       // Unreachable site: leave the job where it is; the probe ladder
       // keeps watching and migration can be retried on a later PENDING
       // report.
-      migrating_.erase(job_id);
-      pending_since_.emplace(job_id, host_.now());
+      migrating_->erase(job_id);
+      pending_since_->emplace(job_id, host_.now());
       return;
     }
     // Usually the JobManager's FAILED callback lands first and does the
     // re-queue; this path covers a lost callback.
-    if (!migrating_.erase(job_id)) return;
+    if (!migrating_->erase(job_id)) return;
     const auto current = schedd_.query(job_id);
     if (!current || current->gram_contact != contact ||
         current->status != JobStatus::kRunning) {
       return;  // state moved on while the cancel was in flight
     }
-    probing_.erase(job_id);
-    contact_to_job_.erase(contact);
+    probing_->erase(job_id);
+    contact_to_job_->erase(contact);
     end_pipeline(job_id);
     ++queued_migrations_;
     count("gridmanager.migrations");
@@ -537,8 +549,8 @@ void GridManager::probe(std::uint64_t job_id) {
       job->status == JobStatus::kCompleted ||
       job->status == JobStatus::kRemoved ||
       job->status == JobStatus::kHeld) {
-    probing_.erase(job_id);
-    pending_since_.erase(job_id);  // backstop for lost terminal callbacks
+    probing_->erase(job_id);
+    pending_since_->erase(job_id);  // backstop for lost terminal callbacks
     end_pipeline(job_id);
     return;
   }
@@ -568,7 +580,7 @@ void GridManager::probe(std::uint64_t job_id) {
         [this, job_id, contact](bool gk_ok) {
           const auto current = schedd_.query(job_id);
           if (!current || current->gram_contact != contact) {
-            probing_.erase(job_id);
+            probing_->erase(job_id);
             return;
           }
           if (gk_ok) {
@@ -600,18 +612,18 @@ void GridManager::probe(std::uint64_t job_id) {
 
 void GridManager::recover_after_boot() {
   // F3 recovery: rebuild in-memory state from the persistent queue.
-  submitting_.clear();
-  contact_to_job_.clear();
-  probing_.clear();
-  degraded_since_.clear();  // outage windows restart from the reboot
-  site_ready_.clear();
-  queued_.clear();
-  pipeline_site_of_.clear();
-  for (auto& [site, depth] : site_pipeline_) {
+  submitting_->clear();
+  contact_to_job_->clear();
+  probing_->clear();
+  degraded_since_->clear();  // outage windows restart from the reboot
+  site_ready_->clear();
+  queued_->clear();
+  pipeline_site_of_->clear();
+  for (auto& [site, depth] : *site_pipeline_) {
     depth = 0;
     set_depth_gauge(site, 0);
   }
-  artifacts_.clear();  // the GASS store is scratch; re-stage on demand
+  artifacts_->clear();  // the GASS store is scratch; re-stage on demand
   count("gridmanager.boot_recoveries");
   // Boot-time recovery walks the whole persistent queue by design (§4.2 F3).
   // lint-allow(schedd-full-scan): one-shot recovery scan
@@ -628,7 +640,7 @@ void GridManager::recover_after_boot() {
       // JobManager if it is gone, and resume probing. Recovery latency for
       // F3 is measured from the reboot to the re-established contact.
       note_degraded(id, "submit machine rebooted");
-      contact_to_job_[job.gram_contact] = id;
+      (*contact_to_job_)[job.gram_contact] = id;
       if (job.remote_state != "ACTIVE") {
         // Still working through the site's queue: it owes a pipeline slot.
         begin_pipeline(id, job.gram_site);
@@ -650,13 +662,13 @@ void GridManager::recover_after_boot() {
               });
         }
       });
-      probing_.insert(id);
+      probing_->insert(id);
       host_.post(options_.probe_interval, [this, job_id] { probe(job_id); });
     } else if (job.gram_seq != 0) {
       // Crash hit between allocating the sequence number and learning the
       // contact: re-drive with the SAME seq; dedup at the gatekeeper makes
       // this safe even if the original request did get through.
-      submitting_.insert(id);
+      submitting_->insert(id);
       begin_pipeline(id, job.gram_site);
       const std::uint64_t job_id = id;
       const std::uint64_t seq = job.gram_seq;
@@ -669,18 +681,18 @@ void GridManager::recover_after_boot() {
             seq, gatekeeper, spec_for(*j), callback_address(),
             [this, job_id, seq, gatekeeper](
                 std::optional<std::string> contact) {
-              submitting_.erase(job_id);
+              submitting_->erase(job_id);
               if (!contact) {
                 end_pipeline(job_id);
                 schedd_.mark_idle_again(job_id, LogEventKind::kResubmitted,
                                         "recovery: site unreachable");
                 return;
               }
-              contact_to_job_[*contact] = job_id;
+              (*contact_to_job_)[*contact] = job_id;
               schedd_.mark_grid_submitted(job_id, seq, gatekeeper.host,
                                           *contact);
-              if (!probing_.count(job_id)) {
-                probing_.insert(job_id);
+              if (!probing_->count(job_id)) {
+                probing_->insert(job_id);
                 host_.post(options_.probe_interval,
                            [this, job_id] { probe(job_id); });
               }
@@ -705,8 +717,8 @@ void GridManager::audit(std::vector<std::string>& out) const {
           job.status != JobStatus::kRunning || job.gram_contact.empty()) {
         continue;
       }
-      const auto tracked = contact_to_job_.find(job.gram_contact);
-      if (tracked == contact_to_job_.end()) {
+      const auto tracked = contact_to_job_->find(job.gram_contact);
+      if (tracked == contact_to_job_->end()) {
         out.push_back("running job " + std::to_string(id) + " contact " +
                       job.gram_contact + " untracked by the gridmanager");
       } else if (tracked->second != id) {
@@ -720,7 +732,7 @@ void GridManager::audit(std::vector<std::string>& out) const {
   // queue entries. Stale contact entries for jobs that moved on are part of
   // the design (late callbacks must be droppable), but entries for unknown
   // jobs mean the maps and the queue have diverged.
-  for (const auto& [contact, id] : contact_to_job_) {
+  for (const auto& [contact, id] : *contact_to_job_) {
     const auto job = schedd_.query(id);
     if (!job) {
       out.push_back("contact " + contact + " tracked for unknown job " +
@@ -729,17 +741,17 @@ void GridManager::audit(std::vector<std::string>& out) const {
     }
     if (job->status == JobStatus::kRunning && !job->gram_contact.empty() &&
         job->gram_contact != contact &&
-        contact_to_job_.count(job->gram_contact) == 0) {
+        contact_to_job_->count(job->gram_contact) == 0) {
       out.push_back("running job " + std::to_string(id) +
                     " reachable only via stale contact " + contact);
     }
   }
-  for (const std::uint64_t id : submitting_) {
+  for (const std::uint64_t id : *submitting_) {
     if (!schedd_.query(id)) {
       out.push_back("in-flight submit for unknown job " + std::to_string(id));
     }
   }
-  for (const std::uint64_t id : probing_) {
+  for (const std::uint64_t id : *probing_) {
     if (!schedd_.query(id)) {
       out.push_back("probe loop for unknown job " + std::to_string(id));
     }
@@ -748,14 +760,14 @@ void GridManager::audit(std::vector<std::string>& out) const {
   // per-site cardinality of pipeline_site_of_, and every slot holder /
   // queued job must be a real queue entry.
   std::map<std::string, std::size_t> recomputed;
-  for (const auto& [id, site] : pipeline_site_of_) {
+  for (const auto& [id, site] : *pipeline_site_of_) {
     ++recomputed[site];
     if (!schedd_.query(id)) {
       out.push_back("pipeline slot held by unknown job " +
                     std::to_string(id));
     }
   }
-  for (const auto& [site, depth] : site_pipeline_) {
+  for (const auto& [site, depth] : *site_pipeline_) {
     if (depth == 0) continue;
     const auto it = recomputed.find(site);
     if (it == recomputed.end() || it->second != depth) {
@@ -765,7 +777,7 @@ void GridManager::audit(std::vector<std::string>& out) const {
                     " jobs hold slots there");
     }
   }
-  for (const std::uint64_t id : queued_) {
+  for (const std::uint64_t id : *queued_) {
     if (!schedd_.query(id)) {
       out.push_back("ready queue holds unknown job " + std::to_string(id));
     }
@@ -773,7 +785,7 @@ void GridManager::audit(std::vector<std::string>& out) const {
 }
 
 void GridManager::reforward_credential() {
-  for (const auto& [contact, job_id] : contact_to_job_) {
+  for (const auto& [contact, job_id] : *contact_to_job_) {
     const auto job = schedd_.query(job_id);
     if (!job || job->status != JobStatus::kRunning) continue;
     gram_.refresh_remote_credential(contact, [](bool) {});

@@ -36,6 +36,9 @@ struct CredentialManagerOptions {
 
 class CredentialManager {
  public:
+  /// Submit-host daemon: the proxy lives with the user's agent.
+  CONDORG_HOST_LOCAL("user");
+
   CredentialManager(Schedd& schedd, GridManager& gridmanager,
                     sim::Network& network, CredentialManagerOptions options);
 
@@ -46,7 +49,7 @@ class CredentialManager {
   /// jobs held for credential expiry and re-forwards to active sites.
   void set_credential(gsi::Credential proxy);
   const std::optional<gsi::Credential>& credential() const {
-    return credential_;
+    return *credential_;
   }
 
   /// Start the periodic scan loop.
@@ -74,7 +77,7 @@ class CredentialManager {
   GridManager& gridmanager_;
   sim::Host& host_;
   CredentialManagerOptions options_;
-  std::optional<gsi::Credential> credential_;
+  det::HostLocal<std::optional<gsi::Credential>> credential_;
   std::unique_ptr<gsi::MyProxyClient> myproxy_;
   bool started_ = false;
   bool alarm_sent_for_current_ = false;

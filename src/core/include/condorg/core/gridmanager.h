@@ -76,6 +76,9 @@ struct GridManagerOptions {
 
 class GridManager {
  public:
+  /// Submit-host daemon (one per user, co-located with the Schedd).
+  CONDORG_HOST_LOCAL("user");
+
   GridManager(Schedd& schedd, sim::Network& network, std::string user,
               SiteChooser chooser, GridManagerOptions options = {});
   ~GridManager();
@@ -121,7 +124,7 @@ class GridManager {
   std::size_t pipeline_depth(const std::string& site) const;
   /// Jobs under the PENDING-at-site watch (bounded: entries are erased when
   /// the job goes ACTIVE, terminal, or is migrated).
-  std::size_t pending_watch_size() const { return pending_since_.size(); }
+  std::size_t pending_watch_size() const { return pending_since_->size(); }
 
  private:
   /// A content-addressed staged executable: one GASS store entry per
@@ -184,29 +187,36 @@ class GridManager {
   gram::GramClient gram_;
   bool started_ = false;
   int boot_id_ = 0;
-  std::set<std::uint64_t> submitting_;  // jobs with an in-flight submit
-  std::map<std::string, std::uint64_t> contact_to_job_;
-  std::set<std::uint64_t> probing_;     // jobs with an active probe loop
-  std::map<std::uint64_t, double> pending_since_;  // queued-at-site watch
-  std::set<std::uint64_t> migrating_;  // cancel-for-migration in flight
-  std::map<std::uint64_t, double> degraded_since_;  // open recovery windows
+  // jobs with an in-flight submit
+  det::HostLocal<std::set<std::uint64_t>> submitting_;
+  det::HostLocal<std::map<std::string, std::uint64_t>> contact_to_job_;
+  // jobs with an active probe loop
+  det::HostLocal<std::set<std::uint64_t>> probing_;
+  // queued-at-site watch
+  det::HostLocal<std::map<std::uint64_t, double>> pending_since_;
+  // cancel-for-migration in flight
+  det::HostLocal<std::set<std::uint64_t>> migrating_;
+  // open recovery windows
+  det::HostLocal<std::map<std::uint64_t, double>> degraded_since_;
 
   // --- pipelined submission state (production path) ---
   /// Idle jobs routed to a site, awaiting a pipeline slot (job-id order is
   /// preserved: jobs enter in id order and are popped front-first).
-  std::map<std::string, std::deque<std::uint64_t>> site_ready_;
+  det::HostLocal<std::map<std::string, std::deque<std::uint64_t>>>
+      site_ready_;
   /// Jobs in some ready queue or awaiting a chooser verdict.
-  std::set<std::uint64_t> queued_;
+  det::HostLocal<std::set<std::uint64_t>> queued_;
   /// Jobs holding a pipeline slot, and at which site.
-  std::map<std::uint64_t, std::string> pipeline_site_of_;
+  det::HostLocal<std::map<std::uint64_t, std::string>> pipeline_site_of_;
   /// Per-site slot counts (== per-site cardinality of pipeline_site_of_,
   /// cross-checked in audit()).
-  std::map<std::string, std::size_t> site_pipeline_;
+  det::HostLocal<std::map<std::string, std::size_t>> site_pipeline_;
   bool pump_in_progress_ = false;
-  std::set<std::string> repump_;
+  det::HostLocal<std::set<std::string>> repump_;
   /// Content-addressed staging memo: executable name -> staged artifact.
-  std::map<std::string, Artifact> artifacts_;
-  /// Cached per-site depth gauges (registry references are stable).
+  det::HostLocal<std::map<std::string, Artifact>> artifacts_;
+  /// Cached per-site depth gauges (registry references are stable;
+  /// det-local(depth_gauges_): written only from this daemon's events).
   std::map<std::string, util::Gauge*> depth_gauges_;
 
   std::uint64_t submissions_ = 0;

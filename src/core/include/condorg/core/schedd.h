@@ -19,12 +19,16 @@
 
 #include "condorg/core/job.h"
 #include "condorg/core/userlog.h"
+#include "condorg/sim/det.h"
 #include "condorg/sim/host.h"
 
 namespace condorg::core {
 
 class Schedd {
  public:
+  /// Submit-host daemon: the queue lives with the user's agent.
+  CONDORG_HOST_LOCAL("user");
+
   explicit Schedd(sim::Host& host);
   ~Schedd();
 
@@ -59,7 +63,7 @@ class Schedd {
                     const std::string& detail);
 
   // --- queue inspection ---
-  const std::map<std::uint64_t, Job>& jobs() const { return jobs_; }
+  const std::map<std::uint64_t, Job>& jobs() const { return *jobs_; }
   std::vector<std::uint64_t> jobs_with_status(JobStatus status) const;
   std::vector<std::uint64_t> idle_jobs(Universe universe) const;
   std::size_t count(JobStatus status) const;
@@ -105,16 +109,19 @@ class Schedd {
 
   sim::Host& host_;
   UserLog log_;
-  std::map<std::uint64_t, Job> jobs_;
+  det::HostLocal<std::map<std::uint64_t, Job>> jobs_;
   std::uint64_t next_id_ = 1;
-  std::array<std::size_t, 5> status_counts_{};  // indexed by JobStatus
+  // indexed by JobStatus
+  det::HostLocal<std::array<std::size_t, 5>> status_counts_;
   /// Secondary indexes: per-(universe, status) job-id sets, kept in sync by
   /// the same on_status_change choke point that maintains status_counts_
   /// (and rebuilt wholesale in reload()). idle_jobs()/jobs_with_status()
   /// read them in O(result); audit() cross-checks them against a full scan.
   /// A job's universe never changes after submit, so moves only cross
   /// status cells within one universe row.
-  std::array<std::array<std::set<std::uint64_t>, 5>, 2> status_sets_;
+  det::HostLocal<std::array<std::array<std::set<std::uint64_t>, 5>, 2>>
+      status_sets_;
+  // det-local(listeners_): registered by same-host daemons at wiring time.
   std::vector<std::function<void(const Job&)>> listeners_;
   int boot_id_ = 0;
 };

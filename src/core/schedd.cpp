@@ -12,7 +12,11 @@ std::string Schedd::job_key(std::uint64_t id) {
   return "schedd/job/" + std::to_string(id);
 }
 
-Schedd::Schedd(sim::Host& host) : host_(host) {
+Schedd::Schedd(sim::Host& host)
+    : host_(host),
+      jobs_(host, "schedd.jobs"),
+      status_counts_(host, "schedd.status_counts"),
+      status_sets_(host, "schedd.status_sets") {
   reload();
   boot_id_ = host_.add_boot([this] { reload(); });
   // Every user-log event doubles as a trace event, which is what gives the
@@ -29,27 +33,27 @@ Schedd::Schedd(sim::Host& host) : host_(host) {
 Schedd::~Schedd() { host_.remove_boot(boot_id_); }
 
 void Schedd::reload() {
-  jobs_.clear();
+  jobs_->clear();
   for (const std::string& key : host_.disk().keys_with_prefix("schedd/job/")) {
     const auto text = host_.disk().get(key);
     if (!text) continue;
     Job job = Job::deserialize(*text);
-    jobs_.emplace(job.id, std::move(job));
+    jobs_->emplace(job.id, std::move(job));
   }
   if (const auto stored = host_.disk().get(kNextIdKey)) {
     next_id_ = std::stoull(*stored);
   }
   status_counts_ = {};
   status_sets_ = {};
-  for (const auto& [id, job] : jobs_) {
-    ++status_counts_[status_index(job.status)];
-    status_sets_[universe_index(job.desc.universe)][status_index(job.status)]
+  for (const auto& [id, job] : *jobs_) {
+    ++(*status_counts_)[status_index(job.status)];
+    (*status_sets_)[universe_index(job.desc.universe)][status_index(job.status)]
         .insert(id);
   }
 }
 
 void Schedd::reindex(const Job& job, JobStatus previous, bool is_new) {
-  auto& row = status_sets_[universe_index(job.desc.universe)];
+  auto& row = (*status_sets_)[universe_index(job.desc.universe)];
   if (!is_new) row[status_index(previous)].erase(job.id);
   row[status_index(job.status)].insert(job.id);
   if (is_new) {
@@ -57,7 +61,7 @@ void Schedd::reindex(const Job& job, JobStatus previous, bool is_new) {
     // from the queue), so the gauge is refreshed on the insert edge.
     host_.metrics()
         .gauge("schedd_index_size", {{"host", host_.name()}})
-        .set(host_.now(), static_cast<double>(jobs_.size()));
+        .set(host_.now(), static_cast<double>(jobs_->size()));
   }
 }
 
@@ -75,14 +79,14 @@ void Schedd::set_depth_gauge(JobStatus status) {
       .gauge("schedd.queue_depth",
              {{"host", host_.name()}, {"status", to_string(status)}})
       .set(host_.now(),
-           static_cast<double>(status_counts_[status_index(status)]));
+           static_cast<double>((*status_counts_)[status_index(status)]));
 }
 
 void Schedd::on_status_change(const Job& job, JobStatus previous,
                               bool is_new) {
   sim::Tracer& tracer = host_.tracer();
   if (is_new) {
-    ++status_counts_[status_index(job.status)];
+    ++(*status_counts_)[status_index(job.status)];
     reindex(job, job.status, /*is_new=*/true);
     host_.metrics().counter("schedd.submits", {{"host", host_.name()}}).inc();
     set_depth_gauge(job.status);
@@ -94,8 +98,8 @@ void Schedd::on_status_change(const Job& job, JobStatus previous,
     return;
   }
   if (previous == job.status) return;
-  --status_counts_[status_index(previous)];
-  ++status_counts_[status_index(job.status)];
+  --(*status_counts_)[status_index(previous)];
+  ++(*status_counts_)[status_index(job.status)];
   reindex(job, previous, /*is_new=*/false);
   host_.metrics()
       .counter("schedd.transitions", {{"host", host_.name()},
@@ -124,7 +128,7 @@ std::uint64_t Schedd::submit(JobDescription description) {
   job.desc = std::move(description);
   job.submit_time = host_.now();
   persist(job);
-  const auto [it, inserted] = jobs_.emplace(id, std::move(job));
+  const auto [it, inserted] = jobs_->emplace(id, std::move(job));
   on_status_change(it->second, it->second.status, /*is_new=*/true);
   log_.record(host_.now(), id, LogEventKind::kSubmit,
               std::string(to_string(it->second.desc.universe)) + " universe");
@@ -133,15 +137,15 @@ std::uint64_t Schedd::submit(JobDescription description) {
 }
 
 std::optional<Job> Schedd::query(std::uint64_t id) const {
-  const auto it = jobs_.find(id);
-  if (it == jobs_.end()) return std::nullopt;
+  const auto it = jobs_->find(id);
+  if (it == jobs_->end()) return std::nullopt;
   return it->second;
 }
 
 bool Schedd::with_job(std::uint64_t id,
                       const std::function<void(Job&)>& mutate) {
-  const auto it = jobs_.find(id);
-  if (it == jobs_.end()) return false;
+  const auto it = jobs_->find(id);
+  if (it == jobs_->end()) return false;
   const JobStatus previous = it->second.status;
   mutate(it->second);
   persist(it->second);
@@ -151,8 +155,8 @@ bool Schedd::with_job(std::uint64_t id,
 }
 
 bool Schedd::hold(std::uint64_t id, const std::string& reason) {
-  const auto it = jobs_.find(id);
-  if (it == jobs_.end() || it->second.status == JobStatus::kCompleted ||
+  const auto it = jobs_->find(id);
+  if (it == jobs_->end() || it->second.status == JobStatus::kCompleted ||
       it->second.status == JobStatus::kRemoved) {
     return false;
   }
@@ -164,8 +168,8 @@ bool Schedd::hold(std::uint64_t id, const std::string& reason) {
 }
 
 bool Schedd::release(std::uint64_t id) {
-  const auto it = jobs_.find(id);
-  if (it == jobs_.end() || it->second.status != JobStatus::kHeld) {
+  const auto it = jobs_->find(id);
+  if (it == jobs_->end() || it->second.status != JobStatus::kHeld) {
     return false;
   }
   log_.record(host_.now(), id, LogEventKind::kReleased, "");
@@ -176,8 +180,8 @@ bool Schedd::release(std::uint64_t id) {
 }
 
 bool Schedd::remove(std::uint64_t id) {
-  const auto it = jobs_.find(id);
-  if (it == jobs_.end() || it->second.status == JobStatus::kCompleted ||
+  const auto it = jobs_->find(id);
+  if (it == jobs_->end() || it->second.status == JobStatus::kCompleted ||
       it->second.status == JobStatus::kRemoved) {
     return false;
   }
@@ -210,8 +214,8 @@ void Schedd::mark_executing(std::uint64_t id, const std::string& where) {
 }
 
 void Schedd::mark_completed(std::uint64_t id) {
-  const auto it = jobs_.find(id);
-  if (it == jobs_.end() || it->second.status == JobStatus::kCompleted) {
+  const auto it = jobs_->find(id);
+  if (it == jobs_->end() || it->second.status == JobStatus::kCompleted) {
     return;  // idempotent: duplicate DONE callbacks are harmless
   }
   log_.record(host_.now(), id, LogEventKind::kTerminated, "");
@@ -250,9 +254,9 @@ void Schedd::mark_evicted(std::uint64_t id, double checkpointed_work,
 std::vector<std::uint64_t> Schedd::jobs_with_status(JobStatus status) const {
   // O(result): merge the per-universe id sets (both already id-ordered) so
   // the output order matches the old full scan exactly.
-  const auto& grid = status_sets_[universe_index(Universe::kGrid)]
+  const auto& grid = (*status_sets_)[universe_index(Universe::kGrid)]
                                  [status_index(status)];
-  const auto& vanilla = status_sets_[universe_index(Universe::kVanilla)]
+  const auto& vanilla = (*status_sets_)[universe_index(Universe::kVanilla)]
                                     [status_index(status)];
   std::vector<std::uint64_t> out;
   out.reserve(grid.size() + vanilla.size());
@@ -264,35 +268,35 @@ std::vector<std::uint64_t> Schedd::jobs_with_status(JobStatus status) const {
 std::vector<std::uint64_t> Schedd::idle_jobs(Universe universe) const {
   // O(result) from the secondary index; id-ascending like the old scan.
   const auto& ids =
-      status_sets_[universe_index(universe)][status_index(JobStatus::kIdle)];
+      (*status_sets_)[universe_index(universe)][status_index(JobStatus::kIdle)];
   return {ids.begin(), ids.end()};
 }
 
 std::size_t Schedd::count(JobStatus status) const {
   // O(1) from the counts maintained by on_status_change (cross-checked
   // against a full scan in audit()); callers poll this in driver loops.
-  return status_counts_[status_index(status)];
+  return (*status_counts_)[status_index(status)];
 }
 
 std::size_t Schedd::count(Universe universe, JobStatus status) const {
-  return status_sets_[universe_index(universe)][status_index(status)].size();
+  return (*status_sets_)[universe_index(universe)][status_index(status)].size();
 }
 
 bool Schedd::all_terminal() const {
-  return status_counts_[status_index(JobStatus::kCompleted)] +
-             status_counts_[status_index(JobStatus::kRemoved)] ==
-         jobs_.size();
+  return (*status_counts_)[status_index(JobStatus::kCompleted)] +
+             (*status_counts_)[status_index(JobStatus::kRemoved)] ==
+         jobs_->size();
 }
 
 std::size_t Schedd::active_count() const {
-  return jobs_.size() - count(JobStatus::kCompleted) -
+  return jobs_->size() - count(JobStatus::kCompleted) -
          count(JobStatus::kRemoved);
 }
 
 void Schedd::audit(std::vector<std::string>& out) const {
   std::map<std::uint64_t, std::uint64_t> seq_owner;  // gram_seq -> job id
   std::array<std::size_t, 5> scanned{};
-  for (const auto& [id, job] : jobs_) {
+  for (const auto& [id, job] : *jobs_) {
     ++scanned[status_index(job.status)];
     if (job.id != id) {
       out.push_back("job " + std::to_string(id) + " stored under wrong key");
@@ -342,7 +346,7 @@ void Schedd::audit(std::vector<std::string>& out) const {
   }
   // The incremental status counts must agree with a full scan, or every
   // count()/all_terminal() caller is being lied to.
-  if (scanned != status_counts_) {
+  if (scanned != *status_counts_) {
     out.push_back("status count cache diverges from a queue scan");
   }
   // Same bar for the secondary indexes: every (universe, status) id set
@@ -350,11 +354,11 @@ void Schedd::audit(std::vector<std::string>& out) const {
   // idle_jobs()/jobs_with_status()/count(universe, status) callers are
   // driving stale state.
   std::array<std::array<std::set<std::uint64_t>, 5>, 2> rebuilt;
-  for (const auto& [id, job] : jobs_) {
+  for (const auto& [id, job] : *jobs_) {
     rebuilt[universe_index(job.desc.universe)][status_index(job.status)]
         .insert(id);
   }
-  if (rebuilt != status_sets_) {
+  if (rebuilt != *status_sets_) {
     out.push_back("status index diverges from a queue scan");
   }
 }

@@ -13,6 +13,8 @@ FileService::FileService(sim::Host& host, sim::Network& network,
       network_(network),
       service_(std::move(service)),
       auth_(std::move(auth)),
+      store_(host, "gass.store"),
+      applied_chunks_(host, "gass.applied_chunks"),
       bytes_counter_(host.metrics().counter("gass.bytes_served",
                                             {{"service", service_}})),
       auth_failures_counter_(host.metrics().counter(
@@ -81,7 +83,7 @@ void FileService::on_message(const sim::Message& message) {
   if (message.type == "file.get") {
     // Borrowed view: serving a get must not copy the (possibly large)
     // content an extra time, and the stored entry memoizes its checksum.
-    const FileData* file = store_.find(path);
+    const FileData* file = store_->find(path);
     if (!file) {
       reply.set("why", "no such file: " + path);
       sim::rpc_reply(network_, message, address(), std::move(reply));
@@ -99,7 +101,7 @@ void FileService::on_message(const sim::Message& message) {
 
   if (message.type == "file.put") {
     const std::uint64_t size = message.body.get_uint("size");
-    store_.put(path, message.body.get("content"), size);
+    store_->put(path, message.body.get("content"), size);
     ++puts_;
     puts_counter_.inc();
     reply.set_bool("ok", true);
@@ -116,15 +118,15 @@ void FileService::on_message(const sim::Message& message) {
     if (message.body.has("writer")) {
       const std::string key = path + "\x1f" + message.body.get("writer");
       const std::uint64_t seq = message.body.get_uint("chunk_seq");
-      duplicate = !applied_chunks_[key].insert(seq).second;
+      duplicate = !(*applied_chunks_)[key].insert(seq).second;
     }
     if (!duplicate) {
-      store_.append(path, message.body.get("content"), size);
+      store_->append(path, message.body.get("content"), size);
       ++appends_;
       appends_counter_.inc();
     }
     reply.set_bool("ok", true);
-    const auto stat = store_.stat(path);
+    const auto stat = store_->stat(path);
     reply.set_uint("new_size", stat ? stat->size : 0);
     reply_after_transfer(message, std::move(reply),
                          size ? size : message.body.get("content").size());
@@ -133,7 +135,7 @@ void FileService::on_message(const sim::Message& message) {
 
   if (message.type == "file.stat") {
     // Fast path: size + memoized checksum, no FileData copy.
-    if (const auto stat = store_.stat(path)) {
+    if (const auto stat = store_->stat(path)) {
       reply.set_bool("ok", true);
       reply.set_uint("size", stat->size);
       reply.set_uint("checksum", stat->checksum);
@@ -166,7 +168,7 @@ void FileService::on_message(const sim::Message& message) {
             FileData data;
             data.content = got.get("content");
             data.declared_size = got.get_uint("size");
-            store_.put(path, std::move(data));
+            store_->put(path, std::move(data));
             ack.set_bool("ok", true);
             ack.set_uint("size", got.get_uint("size"));
             ack.set_uint("checksum", got.get_uint("checksum"));

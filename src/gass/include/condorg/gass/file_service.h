@@ -24,6 +24,7 @@
 
 #include "condorg/gass/file_store.h"
 #include "condorg/gsi/auth.h"
+#include "condorg/sim/det.h"
 #include "condorg/sim/host.h"
 #include "condorg/sim/network.h"
 #include "condorg/util/metrics.h"
@@ -42,8 +43,8 @@ class FileService {
   FileService& operator=(const FileService&) = delete;
 
   sim::Address address() const { return {host_.name(), service_}; }
-  FileStore& store() { return store_; }
-  const FileStore& store() const { return store_; }
+  FileStore& store() { return *store_; }
+  const FileStore& store() const { return *store_; }
 
   /// When true (default), the service handler is re-registered on host
   /// restart and files survive (they are journalled to stable storage would
@@ -70,11 +71,15 @@ class FileService {
   sim::Network& network_;
   std::string service_;
   gsi::AuthConfig auth_;
-  FileStore store_;
+  // FileService instances live on whichever host runs the endpoint (the
+  // GridManager's embedded GASS server, a central GridFTP repository, the
+  // NCSA MSS), so the store is host-owned without a fixed partition tag.
+  det::HostLocal<FileStore> store_;
   /// Applied chunk_seq values per (path, writer) for idempotent appends.
   /// A set (not a high-water mark): retried and resent chunks may arrive
   /// out of order over the jittered network.
-  std::map<std::string, std::set<std::uint64_t>> applied_chunks_;
+  det::HostLocal<std::map<std::string, std::set<std::uint64_t>>>
+      applied_chunks_;
   bool survives_crash_ = true;
   int boot_id_ = 0;
   int crash_listener_ = 0;

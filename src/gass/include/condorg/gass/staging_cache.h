@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "condorg/gass/client.h"
+#include "condorg/sim/det.h"
 #include "condorg/sim/host.h"
 #include "condorg/sim/network.h"
 #include "condorg/util/metrics.h"
@@ -31,6 +32,10 @@ namespace condorg::gass {
 
 class StagingCache {
  public:
+  /// Site front-end scratch space, owned by the Gatekeeper. Waiter
+  /// callbacks (JobManager stage-in continuations) run on the same host.
+  CONDORG_HOST_LOCAL("site");
+
   /// `reply_service` names the FileClient's reply endpoint on `host` and
   /// must be unique per cache instance.
   StagingCache(sim::Host& host, sim::Network& network,
@@ -55,13 +60,15 @@ class StagingCache {
   std::uint64_t hits() const { return hits_; }
   /// Transfers started.
   std::uint64_t misses() const { return misses_; }
-  std::size_t entry_count() const { return entries_.size(); }
+  std::size_t entry_count() const { return entries_->size(); }
 
  private:
   struct Entry {
     FileInfo info;
     bool in_flight = false;
     std::uint64_t expected_checksum = 0;  // of the in-flight transfer
+    // det-local(waiters): Entry values live inside the HostLocal
+    // entries_ map; every access already passes its ownership check.
     std::vector<FetchCallback> waiters;
   };
 
@@ -70,7 +77,7 @@ class StagingCache {
 
   sim::Host& host_;
   FileClient client_;
-  std::map<std::string, Entry> entries_;
+  det::HostLocal<std::map<std::string, Entry>> entries_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   util::Counter& hits_counter_;

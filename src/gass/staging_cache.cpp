@@ -8,6 +8,7 @@ StagingCache::StagingCache(sim::Host& host, sim::Network& network,
                            const std::string& reply_service)
     : host_(host),
       client_(host, network, reply_service),
+      entries_(host, "stagecache.entries"),
       hits_counter_(host.metrics().counter("staging_cache_hits",
                                            {{"site", host.name()}})),
       misses_counter_(host.metrics().counter("staging_cache_misses",
@@ -16,8 +17,8 @@ StagingCache::StagingCache(sim::Host& host, sim::Network& network,
 void StagingCache::fetch(const sim::Address& server, const std::string& path,
                          std::uint64_t expected_checksum, FetchCallback done,
                          double timeout) {
-  auto it = entries_.find(path);
-  if (it != entries_.end() && !it->second.in_flight) {
+  auto it = entries_->find(path);
+  if (it != entries_->end() && !it->second.in_flight) {
     if (expected_checksum == 0 ||
         it->second.info.checksum == expected_checksum) {
       ++hits_;
@@ -27,10 +28,10 @@ void StagingCache::fetch(const sim::Address& server, const std::string& path,
     }
     // The executable content changed under this path: invalidate and fall
     // through to a fresh transfer.
-    entries_.erase(it);
-    it = entries_.end();
+    entries_->erase(it);
+    it = entries_->end();
   }
-  if (it != entries_.end()) {
+  if (it != entries_->end()) {
     // A transfer for this path is already in flight: coalesce. If the
     // caller expects different content than the in-flight transfer was
     // started for, the checksum check on arrival sorts it out (the waiter
@@ -41,7 +42,7 @@ void StagingCache::fetch(const sim::Address& server, const std::string& path,
     it->second.waiters.push_back(std::move(done));
     return;
   }
-  Entry& entry = entries_[path];
+  Entry& entry = (*entries_)[path];
   entry.in_flight = true;
   entry.expected_checksum = expected_checksum;
   entry.waiters.push_back(std::move(done));
@@ -55,8 +56,8 @@ void StagingCache::start_transfer(const sim::Address& server,
   client_.get(
       server, path,
       [this, path](std::optional<FileInfo> file) {
-        const auto it = entries_.find(path);
-        if (it == entries_.end()) return;  // invalidated while in flight
+        const auto it = entries_->find(path);
+        if (it == entries_->end()) return;  // invalidated while in flight
         // Take the waiters before invoking any: a callback may re-enter
         // fetch() for the same path.
         std::vector<FetchCallback> waiters = std::move(it->second.waiters);
@@ -64,7 +65,7 @@ void StagingCache::start_transfer(const sim::Address& server,
         if (!file) {
           // Failed transfer: nothing to cache; every waiter retries through
           // its own ladder (JobManager::stage_in backs off and re-fetches).
-          entries_.erase(it);
+          entries_->erase(it);
           for (auto& waiter : waiters) waiter(std::nullopt);
           return;
         }

@@ -22,6 +22,7 @@ Gatekeeper::Gatekeeper(sim::Host& host, sim::Network& network,
       network_(network),
       scheduler_(scheduler),
       options_(std::move(options)),
+      jobmanagers_(host, "gatekeeper.jobmanagers"),
       accepted_counter_(count("gatekeeper.accepted")),
       duplicates_counter_(count("gatekeeper.duplicates")),
       auth_failures_counter_(count("gatekeeper.auth_failures")),
@@ -44,7 +45,7 @@ Gatekeeper::Gatekeeper(sim::Host& host, sim::Network& network,
   // them — it holds their waiter callbacks). Their stable records remain;
   // clients must ask for restarts (§4.2's recovery ladder).
   crash_listener_ = host_.add_crash_listener([this] {
-    jobmanagers_.clear();
+    jobmanagers_->clear();
     staging_cache_.reset();
   });
 }
@@ -76,8 +77,8 @@ util::Counter& Gatekeeper::count(const char* name) {
 }
 
 JobManager* Gatekeeper::find_jobmanager(const std::string& contact) {
-  const auto it = jobmanagers_.find(contact);
-  if (it == jobmanagers_.end()) return nullptr;
+  const auto it = jobmanagers_->find(contact);
+  if (it == jobmanagers_->end()) return nullptr;
   return it->second->process_alive() ? it->second.get() : nullptr;
 }
 
@@ -91,7 +92,7 @@ bool Gatekeeper::kill_jobmanager(const std::string& contact) {
 void Gatekeeper::audit(std::vector<std::string>& out) const {
   // callback|tag -> contact of the live JobManager already running that job.
   std::map<std::string, std::string> job_owner;
-  for (const auto& [contact, jm] : jobmanagers_) {
+  for (const auto& [contact, jm] : *jobmanagers_) {
     if (contact != jm->contact()) {
       out.push_back("jobmanager for " + jm->contact() +
                     " registered under contact " + contact);
@@ -209,7 +210,7 @@ void Gatekeeper::handle_submit(const sim::Message& message) {
   const bool auto_commit = !message.body.get_bool("two_phase", true);
   const sim::Address callback =
       sim::Address::parse(message.body.get("callback"));
-  jobmanagers_[contact] = std::make_unique<JobManager>(
+  (*jobmanagers_)[contact] = std::make_unique<JobManager>(
       host_, network_, scheduler_, contact, std::move(spec), callback,
       auto_commit, message.body.get("credential"), &jm_state_counters_,
       client_id, seq, staging_cache_.get());
@@ -249,14 +250,14 @@ void Gatekeeper::handle_restart(const sim::Message& message) {
   }
   // Reattach from stable storage; the new JobManager works out whether the
   // local job is queued, running, or finished while unobserved.
-  jobmanagers_[contact] = std::make_unique<JobManager>(
+  (*jobmanagers_)[contact] = std::make_unique<JobManager>(
       host_, network_, scheduler_, contact, &jm_state_counters_,
       staging_cache_.get());
   ++jm_started_;
   jm_started_counter_.inc();
   jm_restarted_counter_.inc();
   reply.set_bool("ok", true);
-  reply.set("state", to_string(jobmanagers_[contact]->state()));
+  reply.set("state", to_string((*jobmanagers_)[contact]->state()));
   sim::rpc_reply(network_, message, address(), std::move(reply));
 }
 

@@ -15,6 +15,7 @@
 
 #include "condorg/gram/protocol.h"
 #include "condorg/gsi/credential.h"
+#include "condorg/sim/det.h"
 #include "condorg/sim/host.h"
 #include "condorg/sim/network.h"
 #include "condorg/sim/rpc.h"
@@ -39,6 +40,8 @@ sim::Address gatekeeper_address_for(const std::string& contact);
 
 class GramClient {
  public:
+  CONDORG_HOST_LOCAL("user");
+
   GramClient(sim::Host& host, sim::Network& network, std::string client_id,
              GramClientOptions options = {});
 

@@ -20,6 +20,7 @@
 #include "condorg/gram/jobmanager.h"
 #include "condorg/gram/protocol.h"
 #include "condorg/gsi/auth.h"
+#include "condorg/sim/det.h"
 #include "condorg/sim/host.h"
 #include "condorg/sim/network.h"
 #include "condorg/util/metrics.h"
@@ -39,6 +40,9 @@ struct GatekeeperOptions {
 
 class Gatekeeper {
  public:
+  /// Site front-end daemon: owns this site's JobManagers and scratch cache.
+  CONDORG_HOST_LOCAL("site");
+
   Gatekeeper(sim::Host& host, sim::Network& network,
              batch::LocalScheduler& scheduler, GatekeeperOptions options = {});
   ~Gatekeeper();
@@ -67,7 +71,7 @@ class Gatekeeper {
   /// (read-only; used by cross-site auditing).
   void for_each_jobmanager(
       const std::function<void(const JobManager&)>& visit) const {
-    for (const auto& [contact, jm] : jobmanagers_) visit(*jm);
+    for (const auto& [contact, jm] : *jobmanagers_) visit(*jm);
   }
 
   /// Invariant audit hook: audits every live JobManager, checks each is
@@ -79,7 +83,7 @@ class Gatekeeper {
   /// violation.
   void audit(std::vector<std::string>& out) const;
 
-  std::size_t jobmanager_count() const { return jobmanagers_.size(); }
+  std::size_t jobmanager_count() const { return jobmanagers_->size(); }
   std::uint64_t submissions_accepted() const { return accepted_; }
   std::uint64_t duplicate_submissions() const { return duplicates_; }
   std::uint64_t auth_failures() const { return auth_failures_; }
@@ -104,7 +108,8 @@ class Gatekeeper {
   // only so the explorer's mutation self-test can prove the model checker
   // catches this bug class; never set outside that ctest.
   bool mutate_dedup_ = false;
-  std::map<std::string, std::unique_ptr<JobManager>> jobmanagers_;
+  det::HostLocal<std::map<std::string, std::unique_ptr<JobManager>>>
+      jobmanagers_;
   std::unique_ptr<gass::StagingCache> staging_cache_;
   int boot_id_ = 0;
   int crash_listener_ = 0;

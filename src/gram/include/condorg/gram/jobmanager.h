@@ -19,6 +19,7 @@
 #include "condorg/gass/client.h"
 #include "condorg/gass/staging_cache.h"
 #include "condorg/gram/protocol.h"
+#include "condorg/sim/det.h"
 #include "condorg/sim/host.h"
 #include "condorg/sim/lifetime.h"
 #include "condorg/sim/network.h"
@@ -43,6 +44,9 @@ struct JobManagerStateCounters {
 
 class JobManager {
  public:
+  /// Site front-end process, one per GRAM job.
+  CONDORG_HOST_LOCAL("site");
+
   /// Fresh-submission constructor: persists the job record, then waits for
   /// commit (two-phase) or proceeds immediately (`auto_commit`, the
   /// one-phase ablation mode). `staging_cache` (owned by the Gatekeeper,
@@ -129,7 +133,7 @@ class JobManager {
   std::string client_id_;
   std::uint64_t client_seq_ = 0;
   bool auto_commit_ = false;
-  GramJobState state_ = GramJobState::kUnsubmitted;
+  det::HostLocal<GramJobState> state_;
   bool committed_ = false;
   std::uint64_t local_job_id_ = 0;
   std::uint64_t streamed_chunks_ = 0;  // also the append sequence number

@@ -58,6 +58,7 @@ JobManager::JobManager(sim::Host& host, sim::Network& network,
       client_id_(std::move(client_id)),
       client_seq_(client_seq),
       auto_commit_(auto_commit),
+      state_(host, "jobmanager.state", GramJobState::kUnsubmitted),
       forwarded_credential_(std::move(forwarded_credential)),
       state_counters_(state_counters),
       staging_cache_(staging_cache) {
@@ -80,6 +81,7 @@ JobManager::JobManager(sim::Host& host, sim::Network& network,
       network_(network),
       scheduler_(scheduler),
       contact_(std::move(contact)),
+      state_(host, "jobmanager.state", GramJobState::kUnsubmitted),
       state_counters_(state_counters),
       staging_cache_(staging_cache) {
   rpc_ = std::make_unique<sim::RpcClient>(

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "condorg/gsi/credential.h"
+#include "condorg/sim/det.h"
 #include "condorg/sim/host.h"
 #include "condorg/sim/network.h"
 #include "condorg/sim/rpc.h"
@@ -24,6 +25,8 @@ namespace condorg::gsi {
 /// crashes; the service handler is re-registered by a boot function.
 class MyProxyServer {
  public:
+  CONDORG_HOST_LOCAL("central");
+
   static constexpr const char* kService = "myproxy";
 
   MyProxyServer(sim::Host& host, sim::Network& network, Pki& pki);

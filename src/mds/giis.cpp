@@ -7,12 +7,15 @@ namespace condorg::mds {
 
 GiisServer::GiisServer(sim::Host& host, sim::Network& network,
                        gsi::AuthConfig auth)
-    : host_(host), network_(network), auth_(std::move(auth)) {
+    : host_(host),
+      network_(network),
+      auth_(std::move(auth)),
+      entries_(host, "giis.entries") {
   install();
   boot_id_ = host_.add_boot([this] { install(); });
   // Directory contents are soft state rebuilt by re-registration: a crash
   // wipes them (the paper's design leans on exactly this property).
-  crash_listener_ = host_.add_crash_listener([this] { entries_.clear(); });
+  crash_listener_ = host_.add_crash_listener([this] { entries_->clear(); });
 }
 
 GiisServer::~GiisServer() {
@@ -28,9 +31,9 @@ void GiisServer::install() {
 
 void GiisServer::prune() {
   const sim::Time now = host_.now();
-  for (auto it = entries_.begin(); it != entries_.end();) {
+  for (auto it = entries_->begin(); it != entries_->end();) {
     if (it->second.expires_at <= now) {
-      it = entries_.erase(it);
+      it = entries_->erase(it);
     } else {
       ++it;
     }
@@ -39,7 +42,7 @@ void GiisServer::prune() {
 
 std::size_t GiisServer::live_count() const {
   std::size_t live = 0;
-  for (const auto& [name, entry] : entries_) {
+  for (const auto& [name, entry] : *entries_) {
     if (entry.expires_at > host_.now()) ++live;
   }
   return live;
@@ -68,7 +71,7 @@ void GiisServer::on_message(const sim::Message& message) {
       // Validate the ad parses before accepting it into the directory.
       try {
         (void)classad::parse_ad(ad_text);
-        entries_[name] = Entry{ad_text, host_.now() + ttl};
+        (*entries_)[name] = Entry{ad_text, host_.now() + ttl};
         ++registrations_;
         reply.set_bool("ok", true);
       } catch (const classad::ParseError& e) {
@@ -80,7 +83,7 @@ void GiisServer::on_message(const sim::Message& message) {
   }
 
   if (message.type == "grrp.unregister") {
-    entries_.erase(message.body.get("name"));
+    entries_->erase(message.body.get("name"));
     reply.set_bool("ok", true);
     sim::rpc_reply(network_, message, address(), std::move(reply));
     return;
@@ -102,7 +105,7 @@ void GiisServer::on_message(const sim::Message& message) {
       }
     }
     std::size_t matched = 0;
-    for (const auto& [name, entry] : entries_) {
+    for (const auto& [name, entry] : *entries_) {
       bool include = true;
       if (constraint) {
         const classad::ClassAd ad = classad::parse_ad(entry.ad_text);
@@ -124,8 +127,8 @@ void GiisServer::on_message(const sim::Message& message) {
   if (message.type == "grip.lookup") {
     prune();
     ++queries_;
-    const auto it = entries_.find(message.body.get("name"));
-    if (it == entries_.end()) {
+    const auto it = entries_->find(message.body.get("name"));
+    if (it == entries_->end()) {
       reply.set("why", "no such resource");
     } else {
       reply.set_bool("ok", true);

@@ -9,6 +9,7 @@
 
 #include "condorg/classad/classad.h"
 #include "condorg/gsi/credential.h"
+#include "condorg/sim/det.h"
 #include "condorg/sim/rpc.h"
 
 namespace condorg::mds {
@@ -20,6 +21,8 @@ struct ResourceRecord {
 
 class MdsClient {
  public:
+  CONDORG_HOST_LOCAL("user");
+
   MdsClient(sim::Host& host, sim::Network& network,
             const std::string& reply_service);
 

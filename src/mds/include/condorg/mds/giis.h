@@ -19,6 +19,7 @@
 
 #include "condorg/classad/classad.h"
 #include "condorg/gsi/auth.h"
+#include "condorg/sim/det.h"
 #include "condorg/sim/host.h"
 #include "condorg/sim/network.h"
 
@@ -26,6 +27,8 @@ namespace condorg::mds {
 
 class GiisServer {
  public:
+  CONDORG_HOST_LOCAL("central");
+
   static constexpr const char* kService = "mds.giis";
 
   GiisServer(sim::Host& host, sim::Network& network,
@@ -57,7 +60,7 @@ class GiisServer {
   sim::Host& host_;
   sim::Network& network_;
   gsi::AuthConfig auth_;
-  std::map<std::string, Entry> entries_;  // keyed by resource name
+  det::HostLocal<std::map<std::string, Entry>> entries_;  // by name
   int boot_id_ = 0;
   int crash_listener_ = 0;
   std::uint64_t registrations_ = 0;

@@ -13,6 +13,7 @@
 
 #include "condorg/classad/classad.h"
 #include "condorg/gsi/credential.h"
+#include "condorg/sim/det.h"
 #include "condorg/sim/host.h"
 #include "condorg/sim/network.h"
 #include "condorg/sim/rpc.h"
@@ -26,6 +27,8 @@ struct ProviderOptions {
 
 class InfoProvider {
  public:
+  CONDORG_HOST_LOCAL("site");
+
   using Snapshot = std::function<classad::ClassAd()>;
   using Options = ProviderOptions;
 
@@ -60,6 +63,8 @@ class InfoProvider {
   std::string name_;
   Snapshot snapshot_;
   Options options_;
+  // det-local(directories_): target GIIS addresses, fixed at attach time
+  // and only read from this host's periodic tick events.
   std::vector<sim::Address> directories_;
   std::string credential_;
   bool started_ = false;

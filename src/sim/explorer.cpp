@@ -6,6 +6,7 @@
 #include <set>
 #include <utility>
 
+#include "condorg/sim/det.h"
 #include "condorg/util/strings.h"
 
 namespace condorg::sim {
@@ -83,6 +84,10 @@ ScheduleOracle::ScheduleOracle(const Config& config,
     : config_(config), forced_(std::move(forced)) {}
 
 std::uint64_t ScheduleOracle::state_hash(std::uint64_t salt) const {
+  // The probe reads cross-host daemon state and may be invoked from inside
+  // a stamped event (inject_crash fires at a crash_point in daemon code);
+  // it is harness-privileged, so run it with no current host.
+  det::ScopedHost privileged(nullptr);
   return util::fnv1a_mix(salt, probe_ ? probe_() : 0);
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "condorg/sim/det.h"
 #include "condorg/sim/schedule_controller.h"
 
 namespace condorg::sim {
@@ -14,13 +15,20 @@ EventId Host::post(Time delay, std::function<void()> fn) {
   const Epoch expected = epoch_;
   return sim_.schedule_in(
       delay, [this, expected, fn = std::move(fn)] {
-        if (alive_ && epoch_ == expected) fn();
+        if (alive_ && epoch_ == expected) {
+          // DetSan: this event executes on this host.
+          det::ScopedHost scope(this);
+          fn();
+        }
       });
 }
 
 EventId Host::post_any_epoch(Time delay, std::function<void()> fn) {
   return sim_.schedule_in(delay, [this, fn = std::move(fn)] {
-    if (alive_) fn();
+    if (alive_) {
+      det::ScopedHost scope(this);
+      fn();
+    }
   });
 }
 
@@ -50,12 +58,16 @@ void Host::crash() {
   ++epoch_;
   ++crash_count_;
   services_.clear();
+  // Crash listeners run in this host's context (they tear down this
+  // host's daemons), whatever context initiated the crash.
+  det::ScopedHost scope(this);
   invoke_live(crash_listeners_);
 }
 
 void Host::restart() {
   if (alive_) return;
   alive_ = true;
+  det::ScopedHost scope(this);
   invoke_live(boots_);
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "condorg/sim/det.h"
 #include "condorg/sim/schedule_controller.h"
 
 namespace condorg::sim {
@@ -183,7 +184,12 @@ void Network::send(Message message) {
       return;
     }
     ++delivered_;
-    (*handler)(message);
+    {
+      // DetSan: the handler runs on the destination host. The tap is a
+      // harness observer and stays outside the stamped scope.
+      det::ScopedHost scope(dest);
+      (*handler)(message);
+    }
     if (tap_) tap_(message);
   });
 }

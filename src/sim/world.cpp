@@ -2,11 +2,15 @@
 
 #include <stdexcept>
 
+#include "condorg/sim/det.h"
+
 namespace condorg::sim {
 
 World::World(std::uint64_t seed)
     : sim_(seed),
       net_(sim_, [this](const std::string& name) { return find_host(name); }) {
+  // Every binary that builds a World honors CONDORG_DETSAN=1 at runtime.
+  det::arm_from_env();
 }
 
 Host& World::add_host(const std::string& name) {

@@ -55,6 +55,7 @@ class LogConfig {
   static void emit(std::string_view line);
 
  private:
+  // lint-allow(mutable-global): atomic log-level config, island-safe
   static std::atomic<int> level_;
 };
 

@@ -1,5 +1,6 @@
 #include "condorg/workloads/explore_scenarios.h"
 
+#include <cstdlib>
 #include <stdexcept>
 #include <utility>
 
@@ -7,6 +8,7 @@
 #include "condorg/core/audit.h"
 #include "condorg/core/broker.h"
 #include "condorg/gram/protocol.h"
+#include "condorg/sim/det.h"
 #include "condorg/util/strings.h"
 #include "condorg/workloads/grid_builder.h"
 
@@ -27,6 +29,10 @@ struct ExploreWorld {
 
   void start_agent(const std::string& host,
                    const core::AgentOptions& options = {}) {
+    // DetSan violations are process-global; the explorer runs many
+    // schedules in one process, so each run starts from a drained slate
+    // and harvests its own violations in finish().
+    (void)det::take_violations();
     testbed.add_submit_host(host);
     agent =
         std::make_unique<core::CondorGAgent>(testbed.world(), host, options);
@@ -99,6 +105,12 @@ struct ExploreWorld {
                                             v.check.c_str(),
                                             v.detail.c_str()));
     }
+    // DetSan ownership violations count as audit failures: the formatted
+    // line is deterministic (owner clock + host names), so a violating
+    // schedule replays byte-for-byte like any other counterexample.
+    for (const auto& v : det::take_violations()) {
+      out.violations.push_back(v.format());
+    }
     return out;
   }
 
@@ -118,6 +130,19 @@ sim::RunOutcome run_quickstart(sim::ScheduleOracle& oracle) {
   world->start_agent("submit.grid");
   oracle.set_state_probe([w = world.get()] { return w->state_hash(); });
   world->submit_jobs(/*count=*/3, /*runtime_seconds=*/120.0);
+
+  // CONDORG_MUTATE_CROSS_HOST: seed the exact bug DetSan exists to catch —
+  // an event dispatched on the site front-end reaching directly into the
+  // submit host's Schedd (a cross-island direct call, invisible to the
+  // auditor's protocol invariants). DetSan is armed explicitly so the
+  // self-test works in any build flavour.
+  if (std::getenv("CONDORG_MUTATE_CROSS_HOST") != nullptr) {
+    det::set_enabled(true);
+    core::CondorGAgent* agent = world->agent.get();
+    world->testbed.site(0).frontend->post(60.0, [agent] {
+      (void)agent->schedd().count(core::JobStatus::kIdle);
+    });
+  }
   return world->finish(/*horizon=*/1800.0);
 }
 

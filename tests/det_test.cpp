@@ -1,0 +1,196 @@
+// DetSan unit tests: HostLocal ownership checks, handoff, ScopedHost
+// stamping/nesting, kernel stamp points (post/crash/restart), and the
+// interplay with sim::Lifetime-fenced callbacks. These pin the sanitizer
+// semantics the explorer's cross-host mutation test relies on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "condorg/sim/det.h"
+#include "condorg/sim/lifetime.h"
+#include "condorg/sim/world.h"
+
+namespace cs = condorg::sim;
+namespace cd = condorg::det;
+
+namespace {
+
+// Every test runs with DetSan armed and a drained violation buffer, and
+// restores the process-wide flag afterwards (it defaults on under
+// -DCONDORG_DETSAN=ON builds, off otherwise).
+class DetSanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = cd::enabled();
+    (void)cd::take_violations();
+    cd::set_enabled(true);
+  }
+  void TearDown() override {
+    (void)cd::take_violations();
+    cd::set_enabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_F(DetSanTest, OwnerAndNullContextAccessAreAllowed) {
+  cs::World world;
+  cs::Host& a = world.add_host("a.grid");
+  cd::HostLocal<int> counter(a, "test.counter", 7);
+
+  // Driver code (no event context) may touch anything.
+  EXPECT_EQ(cd::current_host(), nullptr);
+  EXPECT_EQ(*counter, 7);
+  counter = 8;
+
+  // The owner's own events may too.
+  a.post(1.0, [&] {
+    EXPECT_EQ(cd::current_host(), &a);
+    ++*counter;
+  });
+  world.sim().run();
+  EXPECT_EQ(*counter, 9);
+  EXPECT_EQ(cd::violation_count(), 0u);
+}
+
+TEST_F(DetSanTest, CrossHostEventAccessIsRecorded) {
+  cs::World world;
+  cs::Host& a = world.add_host("a.grid");
+  cs::Host& b = world.add_host("b.grid");
+  cd::HostLocal<int> counter(a, "test.counter", 0);
+
+  b.post(2.0, [&] { (void)*counter; });
+  world.sim().run();
+
+  ASSERT_EQ(cd::violation_count(), 1u);
+  const std::vector<cd::Violation> violations = cd::take_violations();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].owner, "a.grid");
+  EXPECT_EQ(violations[0].accessor, "b.grid");
+  EXPECT_EQ(violations[0].label, "test.counter");
+  EXPECT_DOUBLE_EQ(violations[0].when, 2.0);
+  EXPECT_EQ(violations[0].format(),
+            "t=2.000 detsan: host 'b.grid' accessed 'test.counter' "
+            "owned by host 'a.grid'");
+  // take_violations drained both the buffer and the count.
+  EXPECT_EQ(cd::violation_count(), 0u);
+}
+
+TEST_F(DetSanTest, DisarmedAccessesAreNotRecorded) {
+  cd::set_enabled(false);
+  cs::World world;
+  cs::Host& a = world.add_host("a.grid");
+  cs::Host& b = world.add_host("b.grid");
+  cd::HostLocal<int> counter(a, "test.counter", 0);
+
+  b.post(1.0, [&] { ++*counter; });
+  world.sim().run();
+  EXPECT_EQ(*counter, 1);
+  EXPECT_EQ(cd::violation_count(), 0u);
+}
+
+TEST_F(DetSanTest, HandoffMigratesOwnership) {
+  cs::World world;
+  cs::Host& a = world.add_host("a.grid");
+  cs::Host& b = world.add_host("b.grid");
+  cd::HostLocal<std::string> token(a, "test.token", "x");
+
+  // Null context may hand off; afterwards b owns the state and a is the
+  // trespasser.
+  token.handoff(b);
+  EXPECT_EQ(token.owner(), &b);
+
+  b.post(1.0, [&] { *token += "b"; });
+  a.post(2.0, [&] { *token += "a"; });
+  world.sim().run();
+
+  const std::vector<cd::Violation> violations = cd::take_violations();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].accessor, "a.grid");
+  EXPECT_EQ(violations[0].owner, "b.grid");
+}
+
+TEST_F(DetSanTest, ScopedHostNestsAndGrantsNullPrivilege) {
+  cs::World world;
+  cs::Host& a = world.add_host("a.grid");
+  cs::Host& b = world.add_host("b.grid");
+  cd::HostLocal<int> counter(a, "test.counter", 0);
+
+  b.post(1.0, [&] {
+    EXPECT_EQ(cd::current_host(), &b);
+    {
+      // Privileged section, as used by the explorer's state probe.
+      cd::ScopedHost privileged(nullptr);
+      EXPECT_EQ(cd::current_host(), nullptr);
+      ++*counter;  // allowed: null context
+      {
+        cd::ScopedHost inner(&a);
+        EXPECT_EQ(cd::current_host(), &a);
+        ++*counter;  // allowed: owner context
+      }
+      EXPECT_EQ(cd::current_host(), nullptr);
+    }
+    EXPECT_EQ(cd::current_host(), &b);
+    ++*counter;  // violation: back in b's context
+  });
+  world.sim().run();
+
+  EXPECT_EQ(*counter, 3);
+  EXPECT_EQ(cd::violation_count(), 1u);
+}
+
+TEST_F(DetSanTest, CrashAndBootCallbacksRunInHostContext) {
+  cs::World world;
+  cs::Host& a = world.add_host("a.grid");
+  const cs::Host* seen_at_crash = nullptr;
+  const cs::Host* seen_at_boot = nullptr;
+  a.add_crash_listener([&] { seen_at_crash = cd::current_host(); });
+  a.add_boot([&] { seen_at_boot = cd::current_host(); });
+
+  a.crash_for(10.0);
+  world.sim().run();
+  EXPECT_EQ(seen_at_crash, &a);
+  EXPECT_EQ(seen_at_boot, &a);
+  EXPECT_EQ(cd::violation_count(), 0u);
+}
+
+TEST_F(DetSanTest, LifetimeFenceSuppressesTheAccessEntirely) {
+  cs::World world;
+  cs::Host& a = world.add_host("a.grid");
+  cs::Host& b = world.add_host("b.grid");
+  cd::HostLocal<int> counter(a, "test.counter", 0);
+
+  // A daemon wrapping its timers in a Lifetime: once the Lifetime dies,
+  // the fenced callback never runs, so no access and no violation — the
+  // sanitizer observes real accesses only.
+  auto lifetime = std::make_unique<cs::Lifetime>();
+  b.post(1.0, lifetime->wrap([&] { ++*counter; }));
+  b.post(2.0, lifetime->wrap([&] { ++*counter; }));
+  world.sim().run_until(1.5);
+  EXPECT_EQ(cd::violation_count(), 1u);  // first access did happen
+  lifetime.reset();
+  world.sim().run();
+  EXPECT_EQ(*counter, 1);
+  EXPECT_EQ(cd::violation_count(), 1u);  // second never ran
+}
+
+TEST_F(DetSanTest, StorageCapsAtBoundButCountKeepsGoing) {
+  cs::World world;
+  cs::Host& a = world.add_host("a.grid");
+  cs::Host& b = world.add_host("b.grid");
+  cd::HostLocal<int> counter(a, "test.counter", 0);
+
+  b.post(1.0, [&] {
+    for (int i = 0; i < 300; ++i) (void)*counter;
+  });
+  world.sim().run();
+
+  EXPECT_EQ(cd::violation_count(), 300u);
+  const std::vector<cd::Violation> violations = cd::take_violations();
+  EXPECT_EQ(violations.size(), 256u);  // kMaxRecorded
+  EXPECT_EQ(cd::violation_count(), 0u);
+}
+
+}  // namespace

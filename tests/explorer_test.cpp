@@ -294,6 +294,27 @@ TEST(Explorer, MutatedDedupYieldsReplayableCounterexample) {
   EXPECT_EQ(again.trace_digest, replayed.trace_digest);
 }
 
+TEST(Explorer, CrossHostMutationYieldsReplayableDetsanCounterexample) {
+  ScopedEnv mutate("CONDORG_MUTATE_CROSS_HOST", "1");
+  cs::Explorer explorer("quickstart", cw::make_explore_scenario("quickstart"),
+                        small_quickstart_config());
+  const cs::Explorer::Result result = explorer.explore();
+  ASSERT_TRUE(result.violation_found)
+      << "DetSan failed to catch the seeded cross-host access";
+  ASSERT_FALSE(result.violations.empty());
+  EXPECT_NE(result.violations.front().find("detsan"), std::string::npos);
+  EXPECT_NE(result.violations.front().find("schedd.status_counts"),
+            std::string::npos);
+
+  // The ownership violation replays byte-for-byte through the serialized
+  // counterexample, like any protocol-invariant violation.
+  const std::string text = result.counterexample.serialize();
+  cs::ScheduleTrace parsed;
+  ASSERT_TRUE(cs::ScheduleTrace::parse(text, &parsed));
+  const cs::RunOutcome replayed = explorer.replay(parsed);
+  EXPECT_EQ(replayed.violations, result.violations);
+}
+
 TEST(Explorer, HealthyDedupSurvivesTheCounterexampleSchedule) {
   // Find a counterexample under the mutation...
   cs::ScheduleTrace counterexample;

@@ -1,0 +1,26 @@
+// Fixture: a user-partition daemon with one correctly-wrapped field and
+// one seeded violation (an unannotated container member).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace condorg::core {
+
+class FixtureSchedd {
+ public:
+  CONDORG_HOST_LOCAL("user");
+
+  explicit FixtureSchedd(sim::Host& host);
+
+ private:
+  det::HostLocal<std::map<std::uint64_t, int>> jobs_;
+  // SEEDED VIOLATION (unannotated-daemon-field): container state in an
+  // annotated daemon without HostLocal or a det-local() audit.
+  std::map<std::uint64_t, int> pending_;
+  // Audited raw member: the det-local(watchers_) marker suppresses the rule.
+  std::vector<int> watchers_;
+};
+
+}  // namespace condorg::core

@@ -1,0 +1,22 @@
+// Fixture: a fully-clean site-partition daemon — the self-test requires
+// that this file contributes ZERO violations (no false positives).
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace condorg::gass {
+
+class FixtureCleanCache {
+ public:
+  CONDORG_HOST_LOCAL("site");
+
+  std::size_t entry_count() const { return entries_->size(); }
+
+ private:
+  det::HostLocal<std::map<std::string, int>> entries_;
+  // det-local(listeners_): observer list, mutated only from owner events.
+  std::map<int, int> listeners_;
+};
+
+}  // namespace condorg::gass

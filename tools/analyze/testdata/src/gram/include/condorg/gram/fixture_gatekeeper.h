@@ -1,0 +1,20 @@
+// Fixture: a site-partition daemon, referenced illegally from the
+// user-partition fixture_schedd.cpp.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace condorg::gram {
+
+class FixtureGatekeeper {
+ public:
+  CONDORG_HOST_LOCAL("site");
+
+  void submit_direct(int job);
+
+ private:
+  det::HostLocal<std::map<std::string, int>> jobmanagers_;
+};
+
+}  // namespace condorg::gram

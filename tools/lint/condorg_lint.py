@@ -52,6 +52,7 @@ Exit status: 0 = clean, 1 = unallowlisted violations, 2 = usage error.
 """
 
 import argparse
+import json
 import os
 import re
 import sys
@@ -371,6 +372,9 @@ def main():
     parser.add_argument("--allowlist", default=None,
                         help="override allowlist path "
                              "(default: tools/lint/allowlist.txt under root)")
+    parser.add_argument("--json", action="store_true",
+                        help="print diagnostics as a JSON array (stable "
+                             "(file, line, rule) order, machine-readable)")
     parser.add_argument("--self-test", action="store_true",
                         help="lint the bundled fixture and check every rule "
                              "fires")
@@ -413,6 +417,16 @@ def main():
         rel = os.path.relpath(path, root)
         violations.extend(
             lint_file(path, rel, allows.get(rel, set()), root, header_cache))
+    # Deterministic output order regardless of scan order: diffable across
+    # runs and machines, and what the partition analyzer merges against.
+    violations.sort(key=lambda v: (v.path, v.line_no, v.rule))
+
+    if args.json:
+        print(json.dumps([{
+            "file": v.path, "line": v.line_no, "rule": v.rule,
+            "message": v.message,
+        } for v in violations], indent=2))
+        return 1 if violations else 0
 
     for v in violations:
         print(v)
