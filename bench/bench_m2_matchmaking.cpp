@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_phase_profile.h"
 #include "bench_report.h"
 #include "condorg/classad/parser.h"
 #include "condorg/condor/negotiator.h"
@@ -139,5 +140,14 @@ int main(int argc, char** argv) {
   }
   cu::JsonValue report = cu::JsonValue::object();
   report["benchmarks"] = std::move(benchmarks);
+
+  // Matchmaking itself has no GRAM pipeline, so the latency-attribution
+  // fields come from one small traced grid campaign (2 sites x 16 cpus,
+  // 200 jobs) — enough signal for bench_compare.py to catch a phase-level
+  // latency regression without turning M2 into a second S1.
+  condorg::bench::PhaseProfile profile =
+      condorg::bench::profile_storm(42, 200, 2, 16, 300.0, 1 << 20);
+  report["latency_attribution"] = std::move(profile.json);
+
   return condorg::bench::write_report("M2", std::move(report));
 }

@@ -1,0 +1,84 @@
+// Per-phase latency attribution for the bench harness: re-run a bench's
+// campaign shape once, untimed, with the causal tracer armed, walk the
+// trace with sim::CriticalPath, and fold the aggregates into the BENCH
+// JSON as a "latency_attribution" object. tools/bench_compare.py gates
+// these fields alongside throughput, so a change that shifts time between
+// phases (say, staging into poll-wait) fails the comparison even when the
+// end-to-end makespan is unchanged.
+//
+// The attribution run is separate from the timed iterations on purpose:
+// the tracer is armed here and disarmed there, so arming cost never
+// pollutes the throughput numbers and the throughput runs never truncate
+// the trace.
+#pragma once
+
+#include <string>
+
+#include "condorg/core/agent.h"
+#include "condorg/sim/critical_path.h"
+#include "condorg/util/json.h"
+#include "condorg/workloads/grid_builder.h"
+
+namespace condorg::bench {
+
+struct PhaseProfile {
+  util::JsonValue json;           // the "latency_attribution" object
+  double attributed_share = 0.0;  // fraction of to-ACTIVE time named
+};
+
+/// One traced submission storm: `jobs` identical grid jobs sharing one
+/// executable, fanned round-robin over `sites` gatekeepers (the S1 shape;
+/// smaller benches pass smaller numbers). Deterministic for a fixed seed.
+inline PhaseProfile profile_storm(std::uint64_t seed, int jobs, int sites,
+                                  int cpus_per_site, double runtime_seconds,
+                                  std::uint64_t exe_bytes) {
+  workloads::GridTestbed testbed(seed);
+  for (int s = 0; s < sites; ++s) {
+    workloads::SiteSpec spec;
+    spec.name = "site" + std::to_string(s) + ".grid.org";
+    spec.cpus = cpus_per_site;
+    testbed.add_site(spec);
+  }
+  testbed.add_submit_host("submit.wisc.edu");
+  testbed.world().sim().tracer().set_enabled(true);
+
+  core::AgentOptions options;
+  options.gridmanager.staged_content_bytes = exe_bytes;
+  options.gridmanager.max_pending_per_site = 128;
+  core::CondorGAgent agent(testbed.world(), "submit.wisc.edu", options);
+  agent.start();
+  for (int i = 0; i < jobs; ++i) {
+    core::JobDescription job;
+    job.universe = core::Universe::kGrid;
+    job.executable = "sweep.bin";
+    job.executable_size = exe_bytes;
+    job.runtime_seconds = runtime_seconds;
+    job.grid_site =
+        testbed.site(static_cast<std::size_t>(i % sites)).spec.name;
+    job.notify_email = false;
+    agent.submit(job);
+  }
+  sim::Simulation& sim = testbed.world().sim();
+  while (!agent.schedd().all_terminal() && sim.now() < 400000.0) {
+    sim.run_until(sim.now() + 3600.0);
+  }
+
+  const sim::CriticalPath path(sim.tracer().records());
+  PhaseProfile out;
+  out.attributed_share = path.attributed_share();
+  util::JsonValue json = util::JsonValue::object();
+  json["jobs"] = static_cast<std::uint64_t>(path.jobs_seen());
+  json["reached_active"] =
+      static_cast<std::uint64_t>(path.to_active().size());
+  json["mean_time_to_active_seconds"] = path.mean_time_to_active();
+  json["attributed_share"] = path.attributed_share();
+  util::JsonValue p99 = util::JsonValue::object();
+  for (const auto& [phase, seconds] : path.phase_p99_to_active()) {
+    p99[phase] = seconds;
+  }
+  json["phase_p99_seconds"] = std::move(p99);
+  out.json = std::move(json);
+  return out;
+}
+
+}  // namespace condorg::bench

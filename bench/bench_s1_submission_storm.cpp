@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_phase_profile.h"
 #include "bench_report.h"
 #include "condorg/core/agent.h"
 #include "condorg/sim/det.h"
@@ -160,6 +161,22 @@ int main(int argc, char** argv) {
   }
   cu::JsonValue report = cu::JsonValue::object();
   report["benchmarks"] = std::move(benchmarks);
+
+  // Untimed re-run of the 10k x 8 storm with the causal tracer armed:
+  // per-phase p99 time-to-ACTIVE for bench_compare.py to gate. The walk
+  // must attribute >= 95% of time-to-ACTIVE to named phases — an eroding
+  // share means daemons stopped stamping the records the walker needs.
+  condorg::bench::PhaseProfile profile = condorg::bench::profile_storm(
+      42, 10000, kSites, kCpusPerSite, 300.0, kContentBytes);
+  report["latency_attribution"] = std::move(profile.json);
+  if (profile.attributed_share < 0.95) {
+    std::fprintf(stderr,
+                 "latency attribution degraded: %.4f of time-to-ACTIVE "
+                 "named (need >= 0.95)\n",
+                 profile.attributed_share);
+    return 5;
+  }
+
   if (condorg::det::report("bench_s1") > 0) return 4;
   return condorg::bench::write_report("S1", std::move(report));
 }

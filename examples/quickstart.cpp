@@ -3,6 +3,7 @@
 // log — the paper's §4.1 user experience in ~60 lines of calling code.
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 #include "condorg/core/agent.h"
 #include "condorg/core/broker.h"
@@ -24,8 +25,12 @@ int main() {
   // CONDORG_METRICS=<path> a metrics snapshot — both readable with
   // tools/condorg_report. Tracing goes on before any daemon exists so every
   // job has a complete root span.
+  // CONDORG_PROFILE=<path> additionally dumps the kernel profiler (the
+  // World constructor already armed it for any non-"0" value; "1" arms
+  // without dumping).
   const char* trace_path = std::getenv("CONDORG_TRACE");
   const char* metrics_path = std::getenv("CONDORG_METRICS");
+  const char* profile_path = std::getenv("CONDORG_PROFILE");
   if (trace_path != nullptr) {
     testbed.world().sim().tracer().set_enabled(true);
   }
@@ -122,6 +127,17 @@ int main() {
     }
     std::printf("metrics: %zu series -> %s\n",
                 testbed.world().sim().metrics().size(), metrics_path);
+  }
+  if (profile_path != nullptr && std::string_view(profile_path) != "0" &&
+      std::string_view(profile_path) != "1") {
+    const std::string json =
+        testbed.world().sim().profiler().to_json(/*include_wall=*/false)
+            .dump();
+    if (!condorg::util::write_text_file(profile_path, json + "\n")) {
+      std::fprintf(stderr, "failed to write profile to %s\n", profile_path);
+      return 3;
+    }
+    std::printf("profile: -> %s\n", profile_path);
   }
   // Determinism sanitizer (CONDORG_DETSAN=1 or -DCONDORG_DETSAN=ON):
   // any host-ownership violation is a partition-safety failure.

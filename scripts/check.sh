@@ -84,6 +84,33 @@ cmp "${trace_dir}/run1.jsonl" "${trace_dir}/run2.jsonl"
   --metrics "${trace_dir}/run1-metrics.json" --self-check
 stage_end
 
+stage_begin "report.critical_path (byte-stable causal attribution)"
+# The critical-path walk must pass its own self-check (per-job phase
+# attributions tile the walk window exactly — violations exit nonzero) and
+# both the JSON and the folded-flamegraph exports must be byte-identical
+# across the two same-seed runs above.
+./build/tools/condorg_report --trace "${trace_dir}/run1.jsonl" \
+  --critical-path > "${trace_dir}/cp1.json"
+./build/tools/condorg_report --trace "${trace_dir}/run2.jsonl" \
+  --critical-path > "${trace_dir}/cp2.json"
+cmp "${trace_dir}/cp1.json" "${trace_dir}/cp2.json"
+./build/tools/condorg_report --trace "${trace_dir}/run1.jsonl" \
+  --flame > "${trace_dir}/cp1.folded"
+./build/tools/condorg_report --trace "${trace_dir}/run2.jsonl" \
+  --flame > "${trace_dir}/cp2.folded"
+cmp "${trace_dir}/cp1.folded" "${trace_dir}/cp2.folded"
+stage_end
+
+stage_begin "profile.traffic_matrix (dynamic vs static island cut)"
+# The kernel profiler's measured cross-partition traffic matrix must agree
+# with the analyzer's static cut classification on the set of message
+# types, and the dumped profile must render through the report CLI.
+./build/tools/condorg_profile_check build/partition_report.json \
+  --dump build/profile.json
+./build/tools/condorg_report --profile build/profile.json \
+  --traffic-matrix >/dev/null
+stage_end
+
 stage_begin "bench telemetry comparator"
 # The comparator's own logic is deterministic and always checked; diffing a
 # fresh bench run against the committed baselines needs real (noisy) numbers,

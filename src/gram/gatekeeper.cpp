@@ -157,6 +157,15 @@ void Gatekeeper::on_message(const sim::Message& message) {
     return;
   }
 
+  sim::Tracer& tracer = host_.tracer();
+  if (tracer.enabled() && message.type != "gram.ping") {
+    // Milestone for the critical-path taxonomy: request authenticated at
+    // the gatekeeper (the interval ending here is the submit RTT's request
+    // leg; auth itself is synchronous, so the auth phase is honest zeros).
+    tracer.event("gk.auth", job_from_tag(message.body.get("spec.tag")),
+                 host_.name(), host_.epoch(), message.type);
+  }
+
   if (message.type == "gram.ping") {
     // The GridManager's probe for distinguishing a dead JobManager (F1)
     // from a dead front-end / partition (F2/F4).

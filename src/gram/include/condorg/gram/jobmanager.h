@@ -147,6 +147,8 @@ class JobManager {
   const JobManagerStateCounters* state_counters_ = nullptr;
   gass::StagingCache* staging_cache_ = nullptr;
   int crash_listener_ = 0;
+  sim::SpanId stage_in_span_ = 0;
+  sim::SpanId stage_out_span_ = 0;
 };
 
 }  // namespace condorg::gram

@@ -64,4 +64,18 @@ inline std::string jobmanager_service(const std::string& contact) {
   return "gram.jm." + contact;
 }
 
+/// The GridManager tags grid submissions "job<id>" (spec_for); other
+/// clients use free-form tags. Returns 0 when the tag names no job, which
+/// trace consumers treat as "no job association".
+inline std::uint64_t job_from_tag(const std::string& tag) {
+  if (tag.rfind("job", 0) != 0) return 0;
+  std::uint64_t id = 0;
+  for (std::size_t i = 3; i < tag.size(); ++i) {
+    const char c = tag[i];
+    if (c < '0' || c > '9') return 0;
+    id = id * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return id;
+}
+
 }  // namespace condorg::gram

@@ -10,20 +10,6 @@ constexpr double kLocalPollInterval = 15.0;   // watch PENDING->ACTIVE
 constexpr double kStageTimeout = 600.0;
 constexpr double kStageRetryDelay = 60.0;
 constexpr int kStageRetries = 30;
-
-// The GridManager tags grid submissions "job<id>" (spec_for); other clients
-// use free-form tags. Returns 0 when the tag names no job, which trace
-// consumers treat as "no job association".
-std::uint64_t job_from_tag(const std::string& tag) {
-  if (tag.rfind("job", 0) != 0) return 0;
-  std::uint64_t id = 0;
-  for (std::size_t i = 3; i < tag.size(); ++i) {
-    const char c = tag[i];
-    if (c < '0' || c > '9') return 0;
-    id = id * 10 + static_cast<std::uint64_t>(c - '0');
-  }
-  return id;
-}
 }  // namespace
 
 std::string JobManager::record_key(const std::string& contact) {
@@ -70,6 +56,13 @@ JobManager::JobManager(sim::Host& host, sim::Network& network,
   install();
   persist();
   crash_listener_ = host_.add_crash_listener([this] { process_alive_ = false; });
+  sim::Tracer& tracer = host_.tracer();
+  if (tracer.enabled()) {
+    // Milestone for the critical-path taxonomy: the interval ending here is
+    // the gatekeeper's auth+spawn work.
+    tracer.event("jm.created", job_from_tag(spec_.tag), host_.name(),
+                 host_.epoch(), contact_);
+  }
   if (auto_commit_) commit();
 }
 
@@ -142,6 +135,10 @@ void JobManager::install() {
 void JobManager::kill_process() {
   if (!process_alive_) return;
   process_alive_ = false;
+  // The tracer outlives the process: close any staging span this
+  // incarnation left open (a reattached JobManager opens fresh ones).
+  host_.tracer().end_span(stage_in_span_, "crashed");
+  host_.tracer().end_span(stage_out_span_, "crashed");
   life_.revoke();
   if (job_handler_token_) {
     scheduler_.remove_job_handler(job_handler_token_);
@@ -278,10 +275,24 @@ void JobManager::on_message(const sim::Message& message) {
 void JobManager::commit() {
   committed_ = true;
   persist();
+  sim::Tracer& tracer = host_.tracer();
+  if (tracer.enabled()) {
+    // Milestone: the interval ending here is the commit leg of the
+    // two-phase submit RTT.
+    tracer.event("jm.commit", job_from_tag(spec_.tag), host_.name(),
+                 host_.epoch(), contact_);
+  }
   stage_in();
 }
 
 void JobManager::stage_in() {
+  sim::Tracer& tracer = host_.tracer();
+  if (tracer.enabled()) {
+    stage_in_span_ = tracer.begin_span(
+        "jm.stage_in", job_from_tag(spec_.tag), host_.name(), host_.epoch(),
+        tracer.job_root(client_callback_.host, job_from_tag(spec_.tag)),
+        spec_.executable);
+  }
   set_state(GramJobState::kStageIn, "staging executable");
   // Fetch the executable from the client's GASS server, with retries: the
   // submit machine may be briefly down or partitioned.
@@ -330,6 +341,7 @@ void JobManager::submit_to_scheduler() {
   request.cpus = spec_.cpus;
   request.tag = contact_;
   local_job_id_ = scheduler_.submit(std::move(request));
+  host_.tracer().end_span(stage_in_span_, "ok");
   set_state(GramJobState::kPending, "queued locally");
   watch_scheduler();
 }
@@ -384,10 +396,22 @@ void JobManager::on_local_terminal(const batch::JobRecord& record) {
 
 void JobManager::stage_out_and_finish(GramJobState final_state,
                                       const std::string& why) {
+  // A stage-in abandoned by failure or cancel still closes its span.
+  host_.tracer().end_span(stage_in_span_,
+                          final_state == GramJobState::kDone ? "ok" : "error",
+                          why);
   if (final_state == GramJobState::kDone && !spec_.output.empty()) {
     // Ship the output file back to the client's GASS server, retrying
     // through client downtime, THEN report DONE — so DONE implies output
     // is in place.
+    sim::Tracer& tracer = host_.tracer();
+    if (tracer.enabled()) {
+      stage_out_span_ = tracer.begin_span(
+          "jm.stage_out", job_from_tag(spec_.tag), host_.name(),
+          host_.epoch(),
+          tracer.job_root(client_callback_.host, job_from_tag(spec_.tag)),
+          spec_.output);
+    }
     auto attempt = std::make_shared<int>(kStageRetries);
     auto try_put = std::make_shared<std::function<void()>>();
     *try_put = [this, attempt, final_state, why,
@@ -401,10 +425,12 @@ void JobManager::stage_out_and_finish(GramJobState final_state,
           [this, attempt, self, final_state, why](bool ok) {
             if (!process_alive_) return;
             if (ok) {
+              host_.tracer().end_span(stage_out_span_, "ok");
               set_state(final_state, why);
               return;
             }
             if (--*attempt <= 0) {
+              host_.tracer().end_span(stage_out_span_, "error");
               set_state(GramJobState::kFailed, "output staging failed");
               return;
             }

@@ -1,0 +1,351 @@
+#include "condorg/sim/critical_path.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+#include "condorg/util/json.h"
+#include "condorg/util/stats.h"
+
+namespace condorg::sim {
+namespace {
+
+bool starts_with(const std::string& text, const char* prefix) {
+  return text.rfind(prefix, 0) == 0;
+}
+
+/// Phase of the interval *ending* at `record` — the record marks the
+/// completion of the phase's work, so the time since its cause belongs to
+/// that phase.
+Phase classify(const TraceRecord& record) {
+  const std::string& name = record.name;
+  const bool is_begin = record.kind == TraceRecord::Kind::kSpanBegin;
+  // Root span: the begin anchors the walk (queue time precedes it); the
+  // end closes on the terminal callback, so time ending there is runtime.
+  if (name == "job") {
+    return is_begin ? Phase::kScheddQueue : Phase::kExecution;
+  }
+  if (name == "gram.submit") {
+    // begin: the GridManager picked the job up (idle wait ends);
+    // end: the two-phase submit acknowledged (RTT ends).
+    return is_begin ? Phase::kScheddQueue : Phase::kGramSubmitRtt;
+  }
+  if (name == "gk.auth") return Phase::kGramSubmitRtt;  // request leg landed
+  if (name == "jm.created") return Phase::kGatekeeperAuth;
+  if (name == "jm.commit") return Phase::kGramSubmitRtt;  // commit leg
+  if (name == "jm.stage_in") {
+    return is_begin ? Phase::kJobmanagerSpawn : Phase::kStageIn;
+  }
+  if (name == "jm.stage_out") {
+    return is_begin ? Phase::kExecution : Phase::kStageOut;
+  }
+  if (name == "jm.state") {
+    if (starts_with(record.detail, "ACTIVE")) return Phase::kPollWait;
+    if (starts_with(record.detail, "DONE")) return Phase::kExecution;
+    if (starts_with(record.detail, "FAILED")) return Phase::kRecovery;
+    return Phase::kJobmanagerSpawn;  // STAGE_IN / PENDING bookkeeping edges
+  }
+  if (name == "userlog.EXECUTE" || name == "userlog.GRID_SUBMIT" ||
+      name == "userlog.TERMINATED") {
+    return Phase::kGramSubmitRtt;  // callback leg back to the submit host
+  }
+  if (name == "userlog.SUBMIT") return Phase::kScheddQueue;
+  if (starts_with(name, "userlog.")) return Phase::kRecovery;
+  if (starts_with(name, "recovery.")) return Phase::kRecovery;
+  if (starts_with(name, "credential.")) return Phase::kRecovery;
+  if (starts_with(name, "gram.")) return Phase::kGramSubmitRtt;
+  if (starts_with(name, "gk.")) return Phase::kGatekeeperAuth;
+  if (starts_with(name, "jm.")) return Phase::kJobmanagerSpawn;
+  return Phase::kUnattributed;
+}
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+struct Indexes {
+  const std::vector<TraceRecord>* records = nullptr;
+  std::map<RecordId, std::size_t> by_id;
+  // Per job, record indexes in push (= id, = time) order.
+  std::map<std::uint64_t, std::vector<std::size_t>> by_job;
+  // Per job, declared [recovery.begin, recovery.end] windows (an unmatched
+  // begin stays open to +inf). These overlay the walk: outage time inside a
+  // window is carved out of whatever interval covers it, because a recovery
+  // that overlaps execution never shows up as a backward step of its own.
+  std::map<std::uint64_t, std::vector<std::pair<double, double>>> recovery;
+};
+
+/// Charge [lo, hi] to `bucket`, except the parts inside the job's declared
+/// recovery windows, which go to the recovery phase.
+void attribute(const Indexes& ix, std::uint64_t job, double lo, double hi,
+               std::size_t bucket, CriticalPath::JobWalk& out) {
+  if (hi <= lo) return;
+  double overlap = 0.0;
+  if (bucket != static_cast<std::size_t>(Phase::kRecovery)) {
+    const auto it = ix.recovery.find(job);
+    if (it != ix.recovery.end()) {
+      for (const auto& [begin, end] : it->second) {
+        overlap += std::max(0.0, std::min(hi, end) - std::max(lo, begin));
+      }
+      overlap = std::min(overlap, hi - lo);  // windows never overlap, but
+                                             // stay safe against bad input
+    }
+  }
+  out.phases[static_cast<std::size_t>(Phase::kRecovery)] += overlap;
+  out.phases[bucket] += (hi - lo) - overlap;
+}
+
+/// Backward walk from `from` to the job's root begin, tiling the window
+/// into phase buckets. Each step follows the cause edge when it stays on
+/// this job's chain (job-agnostic records allowed), else falls back to the
+/// job's own previous record; the covered interval is charged to the phase
+/// the stepped-from record ends.
+CriticalPath::JobWalk walk(const Indexes& ix, std::uint64_t job,
+                           std::size_t from, std::size_t root) {
+  const std::vector<TraceRecord>& records = *ix.records;
+  const std::vector<std::size_t>& own = ix.by_job.at(job);
+  CriticalPath::JobWalk out;
+  out.job = job;
+  const double root_t = records[root].t;
+  out.window = records[from].t - root_t;
+
+  std::size_t cur = from;
+  std::size_t steps = 0;
+  while (records[cur].id != records[root].id && records[cur].t > root_t &&
+         ++steps <= records.size()) {
+    const TraceRecord& effect = records[cur];
+    std::size_t pred = kNpos;
+    if (effect.cause != 0) {
+      const auto it = ix.by_id.find(effect.cause);
+      if (it != ix.by_id.end()) {
+        const TraceRecord& candidate = records[it->second];
+        if (candidate.id < effect.id && candidate.t <= effect.t &&
+            (candidate.job == job || candidate.job == 0)) {
+          pred = it->second;
+        }
+      }
+    }
+    if (pred == kNpos) {
+      // Cause missing or off-chain (e.g. a GridManager tick that batched
+      // several jobs): resume from this job's latest earlier record.
+      auto it = std::upper_bound(
+          own.begin(), own.end(), effect.id,
+          [&records](RecordId id, std::size_t index) {
+            return id <= records[index].id;
+          });
+      if (it != own.begin()) pred = *(it - 1);
+    }
+    const auto bucket = static_cast<std::size_t>(classify(effect));
+    if (pred == kNpos) {
+      attribute(ix, job, root_t, effect.t, bucket, out);
+      return out;
+    }
+    const TraceRecord& before = records[pred];
+    attribute(ix, job, std::max(before.t, root_t), effect.t, bucket, out);
+    if (before.t <= root_t && before.id != records[root].id) return out;
+    cur = pred;
+  }
+  return out;
+}
+
+void aggregate_phases(const std::vector<CriticalPath::JobWalk>& walks,
+                      util::JsonValue& into) {
+  double window_sum = 0.0;
+  for (const auto& w : walks) window_sum += w.window;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    util::Samples samples;
+    double total = 0.0;
+    for (const auto& w : walks) {
+      samples.add(w.phases[p]);
+      total += w.phases[p];
+    }
+    util::JsonValue entry = util::JsonValue::object();
+    entry["total_seconds"] = total;
+    entry["mean_seconds"] = samples.empty() ? 0.0 : samples.mean();
+    entry["p50_seconds"] = samples.empty() ? 0.0 : samples.percentile(50);
+    entry["p99_seconds"] = samples.empty() ? 0.0 : samples.percentile(99);
+    entry["share"] = window_sum > 0.0 ? total / window_sum : 0.0;
+    into[phase_name(static_cast<Phase>(p))] = std::move(entry);
+  }
+}
+
+void fold_walks(const std::vector<CriticalPath::JobWalk>& walks,
+                const char* stack, std::string& out) {
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    double total = 0.0;
+    for (const auto& w : walks) total += w.phases[p];
+    const auto ms = static_cast<long long>(std::llround(total * 1000.0));
+    if (ms <= 0) continue;
+    out += stack;
+    out += ';';
+    out += phase_name(static_cast<Phase>(p));
+    out += ' ';
+    out += std::to_string(ms);
+    out += '\n';
+  }
+}
+
+}  // namespace
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kScheddQueue:
+      return "schedd-queue";
+    case Phase::kGramSubmitRtt:
+      return "gram-submit-rtt";
+    case Phase::kGatekeeperAuth:
+      return "gatekeeper-auth";
+    case Phase::kJobmanagerSpawn:
+      return "jobmanager-spawn";
+    case Phase::kStageIn:
+      return "stage-in";
+    case Phase::kPollWait:
+      return "poll-wait";
+    case Phase::kRecovery:
+      return "recovery";
+    case Phase::kExecution:
+      return "execution";
+    case Phase::kStageOut:
+      return "stage-out";
+    case Phase::kUnattributed:
+      return "unattributed";
+  }
+  return "?";
+}
+
+CriticalPath::CriticalPath(const std::vector<TraceRecord>& records) {
+  Indexes ix;
+  ix.records = &records;
+  std::map<std::uint64_t, double> open_recovery;  // job -> begin time
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].id != 0) ix.by_id.emplace(records[i].id, i);
+    if (records[i].job != 0) {
+      ix.by_job[records[i].job].push_back(i);
+      if (records[i].name == "recovery.begin") {
+        open_recovery.emplace(records[i].job, records[i].t);
+      } else if (records[i].name == "recovery.end") {
+        const auto it = open_recovery.find(records[i].job);
+        if (it != open_recovery.end()) {
+          ix.recovery[records[i].job].emplace_back(it->second, records[i].t);
+          open_recovery.erase(it);
+        }
+      }
+    }
+  }
+  for (const auto& [job, begin] : open_recovery) {
+    // Never-recovered jobs: the outage runs to the end of the trace.
+    ix.recovery[job].emplace_back(begin,
+                                  std::numeric_limits<double>::infinity());
+  }
+  for (const auto& [job, indexes] : ix.by_job) {
+    std::size_t root = kNpos;
+    std::size_t active = kNpos;
+    std::size_t terminal = kNpos;
+    for (const std::size_t i : indexes) {
+      const TraceRecord& r = records[i];
+      if (r.name == "job" && r.kind == TraceRecord::Kind::kSpanBegin &&
+          root == kNpos) {
+        root = i;
+      } else if (r.name == "userlog.EXECUTE" && active == kNpos) {
+        active = i;
+      } else if (r.name == "job" && r.kind == TraceRecord::Kind::kSpanEnd &&
+                 terminal == kNpos) {
+        terminal = i;
+      }
+    }
+    if (root == kNpos) continue;
+    ++jobs_seen_;
+    if (active != kNpos) to_active_.push_back(walk(ix, job, active, root));
+    if (terminal != kNpos) {
+      to_terminal_.push_back(walk(ix, job, terminal, root));
+    }
+  }
+}
+
+double CriticalPath::mean_time_to_active() const {
+  if (to_active_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& w : to_active_) sum += w.window;
+  return sum / static_cast<double>(to_active_.size());
+}
+
+double CriticalPath::attributed_share() const {
+  double window_sum = 0.0;
+  double unattributed = 0.0;
+  for (const auto& w : to_active_) {
+    window_sum += w.window;
+    unattributed += w.phases[static_cast<std::size_t>(Phase::kUnattributed)];
+  }
+  if (window_sum <= 0.0) return 0.0;
+  return 1.0 - unattributed / window_sum;
+}
+
+std::map<std::string, double> CriticalPath::phase_p99_to_active() const {
+  std::map<std::string, double> out;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    util::Samples samples;
+    for (const auto& w : to_active_) samples.add(w.phases[p]);
+    out[phase_name(static_cast<Phase>(p))] =
+        samples.empty() ? 0.0 : samples.percentile(99);
+  }
+  return out;
+}
+
+std::string CriticalPath::to_json() const {
+  util::JsonValue root = util::JsonValue::object();
+  root["jobs_seen"] = static_cast<std::uint64_t>(jobs_seen_);
+  root["reached_active"] = static_cast<std::uint64_t>(to_active_.size());
+  root["reached_terminal"] = static_cast<std::uint64_t>(to_terminal_.size());
+  util::Samples tta;
+  for (const auto& w : to_active_) tta.add(w.window);
+  util::JsonValue tta_json = util::JsonValue::object();
+  tta_json["count"] = static_cast<std::uint64_t>(tta.count());
+  tta_json["mean_seconds"] = tta.empty() ? 0.0 : tta.mean();
+  tta_json["p50_seconds"] = tta.empty() ? 0.0 : tta.percentile(50);
+  tta_json["p99_seconds"] = tta.empty() ? 0.0 : tta.percentile(99);
+  tta_json["max_seconds"] = tta.empty() ? 0.0 : tta.max();
+  root["time_to_active"] = std::move(tta_json);
+  root["attributed_share"] = attributed_share();
+  util::JsonValue phases = util::JsonValue::object();
+  aggregate_phases(to_active_, phases);
+  root["phases"] = std::move(phases);
+  util::JsonValue terminal = util::JsonValue::object();
+  aggregate_phases(to_terminal_, terminal);
+  root["terminal_phases"] = std::move(terminal);
+  return root.dump();
+}
+
+std::string CriticalPath::to_folded() const {
+  std::string out;
+  fold_walks(to_active_, "time-to-active", out);
+  fold_walks(to_terminal_, "to-terminal", out);
+  return out;
+}
+
+std::vector<std::string> CriticalPath::self_check() const {
+  std::vector<std::string> problems;
+  const auto check = [&problems](const std::vector<JobWalk>& walks,
+                                 const char* what) {
+    for (const JobWalk& w : walks) {
+      double sum = 0.0;
+      for (const double s : w.phases) sum += s;
+      if (w.window < 0.0) {
+        problems.push_back(std::string(what) + " job " +
+                           std::to_string(w.job) + ": negative window");
+        continue;
+      }
+      const double tolerance = 1e-6 * std::max(1.0, w.window);
+      if (std::abs(sum - w.window) > tolerance) {
+        problems.push_back(
+            std::string(what) + " job " + std::to_string(w.job) +
+            ": phases sum to " + util::JsonValue::number_to_string(sum) +
+            " but window is " + util::JsonValue::number_to_string(w.window));
+      }
+    }
+  };
+  check(to_active_, "to-active");
+  check(to_terminal_, "to-terminal");
+  return problems;
+}
+
+}  // namespace condorg::sim

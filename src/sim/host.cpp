@@ -18,7 +18,7 @@ EventId Host::post(Time delay, std::function<void()> fn) {
         if (alive_ && epoch_ == expected) {
           // DetSan: this event executes on this host.
           det::ScopedHost scope(this);
-          fn();
+          run_profiled(fn);
         }
       });
 }
@@ -27,9 +27,20 @@ EventId Host::post_any_epoch(Time delay, std::function<void()> fn) {
   return sim_.schedule_in(delay, [this, fn = std::move(fn)] {
     if (alive_) {
       det::ScopedHost scope(this);
-      fn();
+      run_profiled(fn);
     }
   });
+}
+
+void Host::run_profiled(const std::function<void()>& fn) {
+  Profiler& profiler = sim_.profiler();
+  if (profiler.enabled()) {
+    const std::uint64_t start = Profiler::clock_ns();
+    fn();
+    profiler.record_timer(name_, Profiler::clock_ns() - start);
+  } else {
+    fn();
+  }
 }
 
 namespace {

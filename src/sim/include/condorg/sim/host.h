@@ -94,6 +94,10 @@ class Host {
   std::size_t crash_count() const { return crash_count_; }
 
  private:
+  /// Invoke a timer callback, accumulating its wall-clock cost in the
+  /// kernel profiler when armed (one branch when not).
+  void run_profiled(const std::function<void()>& fn);
+
   Simulation& sim_;
   std::string name_;
   bool alive_ = true;

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "condorg/sim/profiler.h"
 #include "condorg/sim/tracer.h"
 #include "condorg/sim/types.h"
 #include "condorg/util/metrics.h"
@@ -105,6 +106,11 @@ class Simulation {
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
 
+  /// Kernel profiler (disabled until Profiler::set_enabled; sim::World arms
+  /// it from CONDORG_PROFILE). Hooked at Network delivery and Host::post.
+  Profiler& profiler() { return profiler_; }
+  const Profiler& profiler() const { return profiler_; }
+
  private:
   // Event storage is a slab of reusable records addressed by a 32-bit slot
   // index; an EventId packs (slot + 1) in the high 32 bits and the slot's
@@ -142,6 +148,13 @@ class Simulation {
   struct EventRecord {
     std::function<void()> fn;  // non-null iff live
     std::uint32_t gen = 1;
+    // Tracer causal cursor snapshotted at scheduling time (0 when tracing
+    // is off). dispatch() re-installs it around fn() so records emitted by
+    // the callback point at the record that caused the event — across
+    // Host::post timers, Network deliveries, and crash/boot callbacks
+    // alike, since they all funnel through schedule_at. Lives in the slab
+    // (not PendingEvent) to keep the calendar buckets compact.
+    RecordId cause = 0;
   };
 
   static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
@@ -180,6 +193,7 @@ class Simulation {
   std::uint64_t audit_period_ = 1024;
   util::MetricsRegistry metrics_;
   Tracer tracer_{*this};
+  Profiler profiler_;
 };
 
 }  // namespace condorg::sim

@@ -19,10 +19,22 @@
 // (end_job). Roots are keyed by (submit host, job id) so multi-agent worlds
 // do not collide, and the bookkeeping records double-closes — the invariant
 // auditor's orphan/duplicate check reads it back via job_root_state().
+//
+// Causal edges: every record carries a dense id and the id of the record
+// that caused it, turning a job's trace into a DAG instead of a bag of
+// spans. The causal cursor lives in the Tracer: each pushed record advances
+// it to its own id, and the kernel snapshots the cursor into every
+// scheduled event (Simulation::schedule_at) and re-installs it around the
+// event's dispatch (ScopedContext). That one choke point covers Host::post
+// timers, Network message delivery, and crash/recovery callbacks — the
+// effect record of a cross-host RTT points at the record that sent the
+// request even when nothing was recorded in between. sim::CriticalPath
+// walks these edges backward to attribute latency per phase.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <tuple>
@@ -35,6 +47,7 @@ namespace condorg::sim {
 class Simulation;
 
 using SpanId = std::uint64_t;
+using RecordId = std::uint64_t;
 
 struct TraceRecord {
   enum class Kind { kSpanBegin, kSpanEnd, kEvent };
@@ -49,9 +62,14 @@ struct TraceRecord {
   Epoch epoch = 0;
   std::string status;  // span ends only: "ok", "completed", "error", ...
   std::string detail;
+  RecordId id = 0;     // dense, 1-based, assigned by Tracer::push
+  RecordId cause = 0;  // id of the causally-preceding record; 0 = root cause
 
   /// One flat JSON object (one JSONL line, without the newline).
   std::string to_json() const;
+  /// Parse one JSONL line back into a record; nullopt on malformed input.
+  /// from_json(to_json()) round-trips every field byte-for-byte.
+  static std::optional<TraceRecord> from_json(std::string_view line);
 };
 
 class Tracer {
@@ -65,6 +83,30 @@ class Tracer {
   /// Callers building expensive detail strings should guard on enabled().
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
+
+  /// Causal cursor: the id of the most recent record on the current causal
+  /// chain (advanced by every push, re-installed around event dispatch).
+  /// 0 outside any chain — the next record becomes a root cause.
+  RecordId context() const { return context_; }
+
+  /// RAII install of a causal context. The kernel wraps each event's
+  /// dispatch in one, carrying the cursor captured when the event was
+  /// scheduled; harness code that wants a fresh chain installs 0.
+  class ScopedContext {
+   public:
+    ScopedContext(Tracer& tracer, RecordId cause)
+        : tracer_(&tracer), previous_(tracer.context_) {
+      tracer.context_ = cause;
+    }
+    ~ScopedContext() { tracer_->context_ = previous_; }
+
+    ScopedContext(const ScopedContext&) = delete;
+    ScopedContext& operator=(const ScopedContext&) = delete;
+
+   private:
+    Tracer* tracer_;
+    RecordId previous_;
+  };
 
   SpanId begin_span(std::string_view name, std::uint64_t job,
                     std::string_view host, Epoch epoch, SpanId parent = 0,
@@ -119,6 +161,8 @@ class Tracer {
   Simulation& sim_;
   bool enabled_ = false;
   SpanId next_span_ = 1;
+  RecordId next_record_ = 1;
+  RecordId context_ = 0;
   std::vector<TraceRecord> records_;
   std::map<SpanId, std::size_t> open_spans_;  // span -> begin record index
   std::map<RootKey, RootInfo> roots_;

@@ -188,7 +188,14 @@ void Network::send(Message message) {
       // DetSan: the handler runs on the destination host. The tap is a
       // harness observer and stays outside the stamped scope.
       det::ScopedHost scope(dest);
-      (*handler)(message);
+      Profiler& profiler = sim_.profiler();
+      if (profiler.enabled()) {
+        const std::uint64_t start = Profiler::clock_ns();
+        (*handler)(message);
+        profiler.record_message(message, Profiler::clock_ns() - start);
+      } else {
+        (*handler)(message);
+      }
     }
     if (tap_) tap_(message);
   });

@@ -129,6 +129,7 @@ EventId Simulation::schedule_at(Time when, std::function<void()> fn) {
   }
   EventRecord& rec = slots_[slot];
   rec.fn = std::move(fn);
+  rec.cause = tracer_.enabled() ? tracer_.context() : 0;
   const std::uint32_t gen = rec.gen;
 
   const std::uint64_t key = bucket_key(when);
@@ -168,7 +169,9 @@ void Simulation::dispatch(const PendingEvent& ev) {
   // may schedule (reusing this slot under a fresh generation) or cancel
   // other events.
   std::function<void()> fn = std::move(rec.fn);
+  const RecordId cause = rec.cause;
   rec.fn = nullptr;
+  rec.cause = 0;
   ++rec.gen;
   free_.push_back(ev.slot);
   --live_;
@@ -179,7 +182,14 @@ void Simulation::dispatch(const PendingEvent& ev) {
   static_assert(sizeof(when_bits) == sizeof(ev.when));
   std::memcpy(&when_bits, &ev.when, sizeof(when_bits));
   trace_digest_ = fnv1a_mix(fnv1a_mix(trace_digest_, when_bits), ev.seq);
-  fn();
+  if (tracer_.enabled()) {
+    // Re-install the causal cursor captured when this event was scheduled:
+    // records emitted by the callback chain off the record that caused it.
+    Tracer::ScopedContext context(tracer_, cause);
+    fn();
+  } else {
+    fn();
+  }
   // Audit after the callback returns: between events every daemon's state is
   // quiescent, so cross-daemon invariants are meaningful.
   if (auditor_ != nullptr && dispatched_ % audit_period_ == 0) {

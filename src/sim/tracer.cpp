@@ -59,11 +59,56 @@ std::string TraceRecord::to_json() const {
     out += util::JsonValue::escape(detail);
     out += "\"";
   }
+  out += ",\"id\":";
+  out += std::to_string(id);
+  if (cause != 0) {
+    out += ",\"cause\":";
+    out += std::to_string(cause);
+  }
   out += "}";
   return out;
 }
 
+std::optional<TraceRecord> TraceRecord::from_json(std::string_view line) {
+  const std::optional<util::JsonValue> parsed = util::JsonValue::parse(line);
+  if (!parsed || !parsed->is_object()) return std::nullopt;
+  const auto text = [&parsed](const char* key) {
+    const util::JsonValue* value = parsed->find(key);
+    return value != nullptr && value->is_string() ? value->as_string()
+                                                  : std::string();
+  };
+  TraceRecord record;
+  record.t = parsed->number_at("t");
+  const std::string kind = text("kind");
+  if (kind == "span_begin") {
+    record.kind = Kind::kSpanBegin;
+  } else if (kind == "span_end") {
+    record.kind = Kind::kSpanEnd;
+  } else if (kind == "event") {
+    record.kind = Kind::kEvent;
+  } else {
+    return std::nullopt;
+  }
+  record.span = static_cast<SpanId>(parsed->number_at("span"));
+  record.parent = static_cast<SpanId>(parsed->number_at("parent"));
+  record.job = static_cast<std::uint64_t>(parsed->number_at("job"));
+  record.name = text("name");
+  record.host = text("host");
+  record.epoch = static_cast<Epoch>(parsed->number_at("epoch"));
+  record.status = text("status");
+  record.detail = text("detail");
+  record.id = static_cast<RecordId>(parsed->number_at("id"));
+  record.cause = static_cast<RecordId>(parsed->number_at("cause"));
+  return record;
+}
+
 void Tracer::push(TraceRecord record) {
+  record.id = next_record_++;
+  record.cause = context_;
+  // Advance the causal cursor: within one dispatch, later records chain off
+  // earlier ones, and the kernel snapshots the cursor into every event
+  // scheduled from here on.
+  context_ = record.id;
   const std::string line = record.to_json();
   for (const char c : line) {
     digest_ ^= static_cast<unsigned char>(c);

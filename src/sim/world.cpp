@@ -1,6 +1,8 @@
 #include "condorg/sim/world.h"
 
+#include <cstdlib>
 #include <stdexcept>
+#include <string_view>
 
 #include "condorg/sim/det.h"
 
@@ -9,8 +11,14 @@ namespace condorg::sim {
 World::World(std::uint64_t seed)
     : sim_(seed),
       net_(sim_, [this](const std::string& name) { return find_host(name); }) {
-  // Every binary that builds a World honors CONDORG_DETSAN=1 at runtime.
+  // Every binary that builds a World honors CONDORG_DETSAN=1 at runtime,
+  // and CONDORG_PROFILE=1 arms the kernel profiler the same way.
   det::arm_from_env();
+  const char* profile = std::getenv("CONDORG_PROFILE");
+  if (profile != nullptr && *profile != '\0' &&
+      std::string_view(profile) != "0") {
+    sim_.profiler().set_enabled(true);
+  }
 }
 
 Host& World::add_host(const std::string& name) {

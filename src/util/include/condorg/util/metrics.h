@@ -30,7 +30,20 @@ namespace condorg::util {
 using MetricLabels = std::vector<std::pair<std::string, std::string>>;
 
 /// Canonical key: `name` or `name{k1=v1,k2=v2}` with labels sorted by key.
+/// Structural characters (`\\`, `,`, `=`, `{`, `}`) inside a label name or
+/// value are backslash-escaped so the key stays unambiguous.
 std::string metric_key(std::string_view name, const MetricLabels& labels);
+
+/// Parsed form of a canonical metric key, label values unescaped.
+struct ParsedMetricKey {
+  std::string name;
+  MetricLabels labels;
+};
+
+/// Inverse of metric_key: `metric_key(p.name, p.labels)` rebuilds the input
+/// for any key metric_key produced. Input without a label block parses as a
+/// bare name.
+ParsedMetricKey parse_metric_key(std::string_view key);
 
 /// Monotonically increasing event count.
 class Counter {

@@ -3,6 +3,21 @@
 #include <algorithm>
 
 namespace condorg::util {
+namespace {
+
+// Label names and values may contain the key's own structural characters
+// (a GASS path with a ',', a detail with '='). Backslash-escape them so the
+// canonical key stays unambiguous and parse_metric_key can invert it.
+void append_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    if (c == '\\' || c == ',' || c == '=' || c == '{' || c == '}') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+}
+
+}  // namespace
 
 std::string metric_key(std::string_view name, const MetricLabels& labels) {
   std::string key(name);
@@ -14,12 +29,54 @@ std::string metric_key(std::string_view name, const MetricLabels& labels) {
   for (const auto& [label, value] : sorted) {
     if (!first) key.push_back(',');
     first = false;
-    key += label;
+    append_escaped(key, label);
     key.push_back('=');
-    key += value;
+    append_escaped(key, value);
   }
   key.push_back('}');
   return key;
+}
+
+ParsedMetricKey parse_metric_key(std::string_view key) {
+  ParsedMetricKey out;
+  std::size_t brace = std::string_view::npos;
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    if (key[i] == '\\') {
+      ++i;  // escaped character can never open the label block
+    } else if (key[i] == '{') {
+      brace = i;
+      break;
+    }
+  }
+  if (brace == std::string_view::npos || key.back() != '}') {
+    out.name = std::string(key);
+    return out;
+  }
+  out.name = std::string(key.substr(0, brace));
+  const std::string_view body = key.substr(brace + 1, key.size() - brace - 2);
+  std::string label;
+  std::string value;
+  bool in_value = false;
+  const auto flush = [&] {
+    out.labels.emplace_back(std::move(label), std::move(value));
+    label.clear();
+    value.clear();
+    in_value = false;
+  };
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    if (c == '\\' && i + 1 < body.size()) {
+      (in_value ? value : label).push_back(body[++i]);
+    } else if (c == '=' && !in_value) {
+      in_value = true;
+    } else if (c == ',') {
+      flush();
+    } else {
+      (in_value ? value : label).push_back(c);
+    }
+  }
+  if (!label.empty() || in_value) flush();
+  return out;
 }
 
 Counter& MetricsRegistry::counter(std::string_view name,

@@ -6,6 +6,8 @@
 
 #include "condorg/core/agent.h"
 #include "condorg/core/broker.h"
+#include "condorg/sim/critical_path.h"
+#include "condorg/sim/profiler.h"
 #include "condorg/sim/tracer.h"
 #include "condorg/sim/world.h"
 #include "condorg/util/json.h"
@@ -251,6 +253,426 @@ TEST(Tracer, SameSeedRunsExportByteIdenticalJsonl) {
   const auto [jsonl_c, digest_c] = traced_campaign(99);
   EXPECT_NE(jsonl_a, jsonl_c);
   EXPECT_NE(digest_a, digest_c);
+}
+
+// ---------- metric key escaping ----------
+
+TEST(MetricKey, EscapesAndParsesStructuralCharacters) {
+  const cu::MetricLabels labels = {
+      {"path", "a,b=c}d{e"}, {"plain", "v"}, {"back", "x\\y"}};
+  const std::string key = cu::metric_key("fam", labels);
+  const cu::ParsedMetricKey parsed = cu::parse_metric_key(key);
+  EXPECT_EQ(parsed.name, "fam");
+  ASSERT_EQ(parsed.labels.size(), 3u);
+  EXPECT_EQ(parsed.labels[0].first, "back");
+  EXPECT_EQ(parsed.labels[0].second, "x\\y");
+  EXPECT_EQ(parsed.labels[1].first, "path");
+  EXPECT_EQ(parsed.labels[1].second, "a,b=c}d{e");
+  EXPECT_EQ(parsed.labels[2].first, "plain");
+  EXPECT_EQ(parsed.labels[2].second, "v");
+  // Round trip: re-serializing the parsed form rebuilds the exact key.
+  EXPECT_EQ(cu::metric_key(parsed.name, parsed.labels), key);
+
+  const cu::ParsedMetricKey bare = cu::parse_metric_key("hits");
+  EXPECT_EQ(bare.name, "hits");
+  EXPECT_TRUE(bare.labels.empty());
+
+  // Unescaped legacy keys still parse.
+  const cu::ParsedMetricKey legacy = cu::parse_metric_key("x{a=1,b=2}");
+  EXPECT_EQ(legacy.name, "x");
+  ASSERT_EQ(legacy.labels.size(), 2u);
+  EXPECT_EQ(legacy.labels[1].second, "2");
+}
+
+// ---------- causal edges ----------
+
+TEST(Tracer, CausalEdgesFollowScheduling) {
+  cs::Simulation sim;
+  cs::Tracer& tracer = sim.tracer();
+  tracer.set_enabled(true);
+  sim.schedule_at(1.0, [&] {
+    tracer.event("a", 1, "h", 1);
+    // Scheduled after the push: the cursor now points at "a", so the
+    // deferred event's record must name "a" as its cause.
+    sim.schedule_at(5.0, [&] { tracer.event("b", 1, "h", 1); });
+  });
+  sim.schedule_at(2.0, [&] { tracer.event("c", 2, "h", 1); });
+  sim.run();
+
+  ASSERT_EQ(tracer.records().size(), 3u);
+  const auto& records = tracer.records();
+  EXPECT_EQ(records[0].name, "a");
+  EXPECT_EQ(records[0].cause, 0u);  // scheduled outside any chain
+  EXPECT_EQ(records[1].name, "c");
+  EXPECT_EQ(records[1].cause, 0u);  // independent root cause
+  EXPECT_EQ(records[2].name, "b");
+  EXPECT_EQ(records[2].cause, records[0].id);
+  // Ids are dense and 1-based in push order.
+  EXPECT_EQ(records[0].id, 1u);
+  EXPECT_EQ(records[1].id, 2u);
+  EXPECT_EQ(records[2].id, 3u);
+}
+
+TEST(TraceRecord, JsonRoundTripPreservesEveryField) {
+  cs::Simulation sim;
+  cs::Tracer& tracer = sim.tracer();
+  tracer.set_enabled(true);
+  sim.schedule_at(1.5, [&] {
+    const cs::SpanId span =
+        tracer.begin_span("jm.stage_in", 4, "site", 2, 0, "exe \"q\" \\ x");
+    tracer.event("gk.auth", 4, "site", 2, "gram.submit");
+    sim.schedule_at(2.5,
+                    [&tracer, span] { tracer.end_span(span, "error",
+                                                      "no route"); });
+  });
+  sim.run();
+
+  ASSERT_EQ(tracer.records().size(), 3u);
+  for (const cs::TraceRecord& record : tracer.records()) {
+    const std::string line = record.to_json();
+    const auto parsed = cs::TraceRecord::from_json(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    // Byte-for-byte: the parsed record re-serializes to the same line, so
+    // offline tools see exactly the ids and edges the tracer emitted.
+    EXPECT_EQ(parsed->to_json(), line);
+    EXPECT_EQ(parsed->id, record.id);
+    EXPECT_EQ(parsed->cause, record.cause);
+  }
+  EXPECT_FALSE(cs::TraceRecord::from_json("not json").has_value());
+  EXPECT_FALSE(cs::TraceRecord::from_json("[1,2]").has_value());
+  EXPECT_FALSE(
+      cs::TraceRecord::from_json(R"({"t":1,"kind":"bogus"})").has_value());
+}
+
+// ---------- critical path ----------
+
+cs::TraceRecord synthetic_record(double t, cs::TraceRecord::Kind kind,
+                                 const std::string& name, std::uint64_t job,
+                                 cs::RecordId id, cs::RecordId cause,
+                                 cs::SpanId span = 0,
+                                 const std::string& detail = "") {
+  cs::TraceRecord record;
+  record.t = t;
+  record.kind = kind;
+  record.name = name;
+  record.job = job;
+  record.id = id;
+  record.cause = cause;
+  record.span = span;
+  record.host = "h";
+  record.epoch = 1;
+  record.detail = detail;
+  return record;
+}
+
+TEST(CriticalPath, TilesTheWindowAcrossPhases) {
+  using Kind = cs::TraceRecord::Kind;
+  std::vector<cs::TraceRecord> records;
+  records.push_back(synthetic_record(0, Kind::kSpanBegin, "job", 7, 1, 0, 1));
+  records.push_back(
+      synthetic_record(2, Kind::kSpanBegin, "gram.submit", 7, 2, 1, 2));
+  records.push_back(synthetic_record(3, Kind::kEvent, "gk.auth", 7, 3, 2));
+  records.push_back(synthetic_record(4, Kind::kEvent, "jm.created", 7, 4, 3));
+  records.push_back(
+      synthetic_record(6, Kind::kSpanEnd, "gram.submit", 7, 5, 4, 2));
+  records.push_back(
+      synthetic_record(9, Kind::kEvent, "userlog.EXECUTE", 7, 6, 5));
+  records.push_back(synthetic_record(20, Kind::kSpanEnd, "job", 7, 7, 6, 1));
+
+  const cs::CriticalPath analysis(records);
+  EXPECT_EQ(analysis.jobs_seen(), 1u);
+  ASSERT_EQ(analysis.to_active().size(), 1u);
+  ASSERT_EQ(analysis.to_terminal().size(), 1u);
+  EXPECT_TRUE(analysis.self_check().empty());
+
+  const auto& active = analysis.to_active()[0];
+  EXPECT_DOUBLE_EQ(active.window, 9.0);
+  const auto phase = [](cs::Phase p) { return static_cast<std::size_t>(p); };
+  EXPECT_DOUBLE_EQ(active.phases[phase(cs::Phase::kScheddQueue)], 2.0);
+  EXPECT_DOUBLE_EQ(active.phases[phase(cs::Phase::kGramSubmitRtt)], 6.0);
+  EXPECT_DOUBLE_EQ(active.phases[phase(cs::Phase::kGatekeeperAuth)], 1.0);
+  EXPECT_DOUBLE_EQ(active.phases[phase(cs::Phase::kUnattributed)], 0.0);
+  EXPECT_DOUBLE_EQ(analysis.mean_time_to_active(), 9.0);
+  EXPECT_DOUBLE_EQ(analysis.attributed_share(), 1.0);
+
+  const auto& terminal = analysis.to_terminal()[0];
+  EXPECT_DOUBLE_EQ(terminal.window, 20.0);
+  EXPECT_DOUBLE_EQ(terminal.phases[phase(cs::Phase::kExecution)], 11.0);
+
+  const std::string folded = analysis.to_folded();
+  EXPECT_NE(folded.find("time-to-active;gram-submit-rtt 6000"),
+            std::string::npos);
+  EXPECT_NE(folded.find("to-terminal;execution 11000"), std::string::npos);
+  // Deterministic artifacts: identical input, identical bytes.
+  EXPECT_EQ(analysis.to_json(), cs::CriticalPath(records).to_json());
+}
+
+TEST(CriticalPath, OffChainCauseFallsBackToOwnRecords) {
+  using Kind = cs::TraceRecord::Kind;
+  std::vector<cs::TraceRecord> records;
+  records.push_back(synthetic_record(0, Kind::kSpanBegin, "job", 1, 1, 0, 1));
+  // Another job's record interleaves and becomes the (off-chain) cause of
+  // job 1's milestone — a batched-tick shape.
+  records.push_back(synthetic_record(3, Kind::kSpanBegin, "job", 2, 2, 0, 2));
+  records.push_back(
+      synthetic_record(5, Kind::kEvent, "userlog.EXECUTE", 1, 3, 2));
+  const cs::CriticalPath analysis(records);
+  ASSERT_EQ(analysis.to_active().size(), 1u);
+  const auto& active = analysis.to_active()[0];
+  EXPECT_DOUBLE_EQ(active.window, 5.0);
+  // The walk must refuse the job-2 cause and fall back to job 1's root, so
+  // the whole interval lands in one named phase — never double-counted.
+  EXPECT_TRUE(analysis.self_check().empty());
+  EXPECT_DOUBLE_EQ(analysis.attributed_share(), 1.0);
+}
+
+TEST(CriticalPath, EndToEndAttributesNearlyEverything) {
+  cw::GridTestbed testbed(7);
+  testbed.world().sim().tracer().set_enabled(true);
+  cw::SiteSpec spec;
+  spec.name = "pbs.anl.gov";
+  spec.cpus = 8;
+  testbed.add_site(spec);
+  testbed.add_submit_host("submit.wisc.edu");
+  core::CondorGAgent agent(testbed.world(), "submit.wisc.edu");
+  agent.set_site_chooser(core::make_static_chooser(testbed.gatekeepers()));
+  agent.start();
+  for (int i = 0; i < 6; ++i) {
+    core::JobDescription job;
+    job.universe = core::Universe::kGrid;
+    job.runtime_seconds = 600.0;
+    job.notify_email = false;
+    agent.submit(job);
+  }
+  while (!agent.schedd().all_terminal() && testbed.world().now() < 86400.0) {
+    testbed.world().sim().run_until(testbed.world().now() + 300.0);
+  }
+  ASSERT_TRUE(agent.schedd().all_terminal());
+
+  const cs::CriticalPath analysis(
+      testbed.world().sim().tracer().records());
+  EXPECT_EQ(analysis.jobs_seen(), 6u);
+  EXPECT_EQ(analysis.to_active().size(), 6u);
+  EXPECT_EQ(analysis.to_terminal().size(), 6u);
+  EXPECT_TRUE(analysis.self_check().empty());
+  EXPECT_GT(analysis.mean_time_to_active(), 0.0);
+  // The acceptance bar: ≥95% of time-to-ACTIVE lands in a named phase.
+  EXPECT_GE(analysis.attributed_share(), 0.95);
+}
+
+// Satellite: a job that crosses a GridManager restart (submit machine
+// reboot, failure type F3) must still form one connected causal DAG, with
+// the recovery.end record causally reachable from recovery.begin.
+TEST(CriticalPath, GridManagerRestartYieldsConnectedDagWithRecoveryEdge) {
+  cw::GridTestbed testbed(11);
+  testbed.world().sim().tracer().set_enabled(true);
+  cw::SiteSpec spec;
+  spec.name = "pbs.anl.gov";
+  spec.cpus = 8;
+  testbed.add_site(spec);
+  testbed.add_submit_host("submit.wisc.edu");
+  core::CondorGAgent agent(testbed.world(), "submit.wisc.edu");
+  agent.set_site_chooser(core::make_static_chooser(testbed.gatekeepers()));
+  agent.start();
+  core::JobDescription job;
+  job.universe = core::Universe::kGrid;
+  job.runtime_seconds = 3000.0;
+  job.notify_email = false;
+  const std::uint64_t id = agent.submit(job);
+  testbed.world().sim().run_until(1500.0);
+  ASSERT_EQ(agent.query(id)->status, core::JobStatus::kRunning);
+  // The outage must outlive the job's remote runtime (done ~t=3100): the
+  // remote side finishes while no GridManager exists, so the completion
+  // callback genuinely waits on recovery and the critical path must bill
+  // that wait to the recovery phase. A shorter outage is causally invisible
+  // — execution covers it — which is exactly what the taxonomy should say.
+  agent.host().crash();
+  testbed.world().sim().schedule_at(4500.0, [&] { agent.host().restart(); });
+  while (!agent.schedd().all_terminal() && testbed.world().now() < 80000.0) {
+    testbed.world().sim().run_until(testbed.world().now() + 300.0);
+  }
+  ASSERT_TRUE(agent.schedd().all_terminal());
+
+  const cs::Tracer& tracer = testbed.world().sim().tracer();
+  std::map<cs::RecordId, const cs::TraceRecord*> by_id;
+  const cs::TraceRecord* recovery_begin = nullptr;
+  const cs::TraceRecord* recovery_end = nullptr;
+  for (const cs::TraceRecord& record : tracer.records()) {
+    by_id[record.id] = &record;
+    if (record.job != id) continue;
+    if (record.name == "recovery.begin" && recovery_begin == nullptr) {
+      recovery_begin = &record;
+    }
+    if (record.name == "recovery.end") recovery_end = &record;
+  }
+  ASSERT_NE(recovery_begin, nullptr);
+  ASSERT_NE(recovery_end, nullptr);
+
+  // The recovery edge: walking causes back from recovery.end reaches
+  // recovery.begin — the probe/reattach chain is causally closed even
+  // though the GridManager process died in between.
+  bool reached_begin = false;
+  const cs::TraceRecord* cursor = recovery_end;
+  while (cursor != nullptr && cursor->cause != 0) {
+    const auto it = by_id.find(cursor->cause);
+    if (it == by_id.end()) break;
+    cursor = it->second;
+    if (cursor == recovery_begin) {
+      reached_begin = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(reached_begin);
+
+  // One connected DAG: every record of the job either is a root cause or
+  // links (via cause or span parent) to another known record.
+  for (const cs::TraceRecord& record : tracer.records()) {
+    if (record.job != id) continue;
+    if (record.cause != 0) {
+      EXPECT_TRUE(by_id.count(record.cause)) << record.to_json();
+    }
+  }
+
+  // JSONL round-trip preserves the edge ids byte-for-byte.
+  for (const cs::TraceRecord& record : tracer.records()) {
+    const auto parsed = cs::TraceRecord::from_json(record.to_json());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->to_json(), record.to_json());
+  }
+
+  // The analysis stays sound across the restart. Note the outage itself is
+  // billed to the stage-out phase here, not recovery: the JobManager's PUT
+  // retry loop (begun before the crash, completed after the reboot) is what
+  // causally delivered completion — the GridManager's reattach is a side
+  // branch. That is the causal model being honest, not a gap.
+  const cs::CriticalPath analysis(tracer.records());
+  ASSERT_EQ(analysis.to_terminal().size(), 1u);
+  EXPECT_GT(analysis.to_terminal()[0].phases[static_cast<std::size_t>(
+                cs::Phase::kStageOut)],
+            1000.0);
+  EXPECT_TRUE(analysis.self_check().empty());
+}
+
+// The counterpart where recovery IS the critical path: kill the JobManager
+// process (failure type F1) while the job runs. Completion can only reach
+// the client after the GridManager detects the silent JobManager and
+// restarts it, so the detection-plus-reattach window must be billed to the
+// recovery phase.
+TEST(CriticalPath, JobManagerKillBillsRecoveryOnCriticalPath) {
+  cw::GridTestbed testbed(13);
+  testbed.world().sim().tracer().set_enabled(true);
+  cw::SiteSpec spec;
+  spec.name = "pbs.anl.gov";
+  spec.cpus = 8;
+  testbed.add_site(spec);
+  testbed.add_submit_host("submit.wisc.edu");
+  core::CondorGAgent agent(testbed.world(), "submit.wisc.edu");
+  agent.set_site_chooser(core::make_static_chooser(testbed.gatekeepers()));
+  agent.start();
+  core::JobDescription job;
+  job.universe = core::Universe::kGrid;
+  job.runtime_seconds = 3000.0;
+  job.notify_email = false;
+  const std::uint64_t id = agent.submit(job);
+  testbed.world().sim().run_until(1500.0);
+  ASSERT_EQ(agent.query(id)->status, core::JobStatus::kRunning);
+  const std::string contact = agent.query(id)->gram_contact;
+  ASSERT_TRUE(testbed.site(0).gatekeeper->kill_jobmanager(contact));
+  while (!agent.schedd().all_terminal() && testbed.world().now() < 80000.0) {
+    testbed.world().sim().run_until(testbed.world().now() + 300.0);
+  }
+  ASSERT_TRUE(agent.schedd().all_terminal());
+  ASSERT_EQ(agent.query(id)->status, core::JobStatus::kCompleted);
+
+  const cs::CriticalPath analysis(
+      testbed.world().sim().tracer().records());
+  ASSERT_EQ(analysis.to_terminal().size(), 1u);
+  EXPECT_GT(analysis.to_terminal()[0].phases[static_cast<std::size_t>(
+                cs::Phase::kRecovery)],
+            0.0);
+  EXPECT_TRUE(analysis.self_check().empty());
+}
+
+// ---------- kernel profiler ----------
+
+TEST(Profiler, DaemonFamilyFoldsPerContactServices) {
+  EXPECT_EQ(cs::Profiler::daemon_family("gram.jm.pbs.anl.gov:17"), "gram.jm");
+  EXPECT_EQ(cs::Profiler::daemon_family("gram.gatekeeper"),
+            "gram.gatekeeper");
+  EXPECT_EQ(cs::Profiler::daemon_family("schedd"), "schedd");
+}
+
+TEST(Profiler, AggregatesMessagesAndFoldsSelfLoopsOut) {
+  cs::Profiler profiler;
+  profiler.set_enabled(true);
+  cs::Message m1;
+  m1.from = {"a", "schedd"};
+  m1.to = {"b", "gram.gatekeeper"};
+  m1.type = "gram.submit";
+  m1.size_bytes = 100;
+  cs::Message m2 = m1;
+  m2.size_bytes = 50;
+  cs::Message local;
+  local.from = {"a", "schedd"};
+  local.to = {"a", "gass.server"};
+  local.type = "file.get";
+  local.size_bytes = 7;
+  profiler.record_message(m1, 10);
+  profiler.record_message(m2, 20);
+  profiler.record_message(local, 30);
+  profiler.record_timer("a", 5);
+
+  const auto cross = profiler.cross_host_types();
+  ASSERT_EQ(cross.size(), 1u);  // the same-host file.get is not in the cut
+  EXPECT_EQ(cross.at("gram.submit").count, 2u);
+  EXPECT_EQ(cross.at("gram.submit").bytes, 150u);
+
+  const std::string stable = profiler.to_json(false).dump();
+  EXPECT_EQ(stable.find("wall_ns"), std::string::npos);
+  EXPECT_NE(profiler.to_json(true).dump().find("wall_ns"),
+            std::string::npos);
+  // Deterministic fields are independent of measured handler cost.
+  cs::Profiler again;
+  again.set_enabled(true);
+  again.record_message(m1, 999);
+  again.record_message(m2, 1);
+  again.record_message(local, 123456);
+  again.record_timer("a", 77);
+  EXPECT_EQ(again.to_json(false).dump(), stable);
+}
+
+TEST(Profiler, MeasuresACampaignDeterministically) {
+  const auto profile_run = [] {
+    cw::GridTestbed testbed(5);
+    testbed.world().sim().profiler().set_enabled(true);
+    cw::SiteSpec spec;
+    spec.name = "pbs.anl.gov";
+    spec.cpus = 4;
+    testbed.add_site(spec);
+    testbed.add_submit_host("submit.wisc.edu");
+    core::CondorGAgent agent(testbed.world(), "submit.wisc.edu");
+    agent.set_site_chooser(core::make_static_chooser(testbed.gatekeepers()));
+    agent.start();
+    for (int i = 0; i < 3; ++i) {
+      core::JobDescription job;
+      job.universe = core::Universe::kGrid;
+      job.runtime_seconds = 600.0;
+      job.notify_email = false;
+      agent.submit(job);
+    }
+    while (!agent.schedd().all_terminal() &&
+           testbed.world().now() < 86400.0) {
+      testbed.world().sim().run_until(testbed.world().now() + 300.0);
+    }
+    EXPECT_TRUE(agent.schedd().all_terminal());
+    return testbed.world().sim().profiler().to_json(false).dump();
+  };
+  const std::string a = profile_run();
+  EXPECT_EQ(a, profile_run());
+  // The grid protocols must show up in the cross-host traffic.
+  EXPECT_NE(a.find("gram.submit"), std::string::npos);
+  EXPECT_NE(a.find("file.get"), std::string::npos);
+  EXPECT_NE(a.find("\"traffic_matrix\""), std::string::npos);
 }
 
 }  // namespace

@@ -7,6 +7,14 @@ bench/baselines/, committed) against a freshly produced tree (e.g.
 build/bench/) and flags any benchmark whose real time regressed by more than
 --threshold (default 10%).
 
+Reports may also carry a "latency_attribution" object (bench_phase_profile.h):
+per-phase p99 time-to-ACTIVE from a traced campaign, plus the attributed
+share. Those are gated too: a per-phase p99 that grows past the threshold
+(and by more than one simulated second, so near-zero phases don't flap) is a
+regression, and so is an attributed_share that *drops* by more than 0.02 —
+losing attribution means daemons stopped stamping the records the
+critical-path walker needs.
+
 Exit status: 0 when no benchmark regressed past the threshold, 1 otherwise.
 Benchmarks present on only one side are reported but are not failures — the
 suite grows over time and baselines may lag a PR by design.
@@ -59,6 +67,72 @@ def load_tree(root: pathlib.Path, strict: bool = False) -> dict[str, float]:
     return out
 
 
+def load_attribution(root: pathlib.Path) -> dict[str, float]:
+    """Map 'FILE:attribution.<field>' -> value for every report that carries
+    a latency_attribution object. Parse errors are already handled (or
+    raised) by load_tree, so this pass just skips what it cannot read."""
+    out: dict[str, float] = {}
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        attribution = doc.get("latency_attribution")
+        if not isinstance(attribution, dict):
+            continue
+        prefix = f"{path.name}:attribution"
+        for field in ("attributed_share", "mean_time_to_active_seconds"):
+            value = attribution.get(field)
+            if isinstance(value, (int, float)):
+                out[f"{prefix}.{field}"] = float(value)
+        phases = attribution.get("phase_p99_seconds")
+        if isinstance(phases, dict):
+            for phase, value in sorted(phases.items()):
+                if isinstance(value, (int, float)):
+                    out[f"{prefix}.p99.{phase}"] = float(value)
+    return out
+
+
+def compare_attribution(baseline: dict[str, float],
+                        current: dict[str, float],
+                        threshold: float) -> int:
+    """Diff latency-attribution fields; return the number of regressions.
+
+    Latency fields regress when they grow past the relative threshold AND
+    by more than 1 simulated second (absolute floor: a 0.2s -> 0.3s phase
+    is not a finding). attributed_share regresses when it drops by > 0.02
+    — the direction is inverted, smaller is worse.
+    """
+    regressions = 0
+    for key in sorted(baseline.keys() | current.keys()):
+        base = baseline.get(key)
+        cur = current.get(key)
+        if base is None:
+            print(f"  NEW       {key}  {cur:.4f}")
+            continue
+        if cur is None:
+            print(f"  MISSING   {key}  (baseline {base:.4f})")
+            continue
+        if key.endswith("attributed_share"):
+            regressed = cur < base - 0.02
+            tag = "REGRESSED" if regressed else "ok       "
+            print(f"  {tag} {key}  {base:.4f} -> {cur:.4f} "
+                  f"({cur - base:+.4f})")
+        else:
+            delta = (cur - base) / base if base > 0 else 0.0
+            regressed = cur > base * (1 + threshold) and cur - base > 1.0
+            if regressed:
+                tag = "REGRESSED"
+            elif delta < -threshold and base - cur > 1.0:
+                tag = "IMPROVED "
+            else:
+                tag = "ok       "
+            print(f"  {tag} {key}  {base:.3f}s -> {cur:.3f}s "
+                  f"({delta:+.1%})")
+        regressions += int(regressed)
+    return regressions
+
+
 def fmt_ns(ns: float) -> str:
     if ns >= 1e6:
         return f"{ns / 1e6:9.3f} ms"
@@ -101,6 +175,18 @@ def self_test() -> int:
              "iterations": 1} for name, ns in times.items()]}
         (root / "BENCH_T.json").write_text(json.dumps(doc))
 
+    def make_attributed_tree(root: pathlib.Path, share: float,
+                             poll_p99: float, rtt_p99: float) -> None:
+        doc = {"bench": "A", "benchmarks": [
+            {"name": "campaign", "real_time_ns": 100.0,
+             "cpu_time_ns": 100.0, "iterations": 1}],
+            "latency_attribution": {
+                "attributed_share": share,
+                "mean_time_to_active_seconds": 500.0,
+                "phase_p99_seconds": {"poll-wait": poll_p99,
+                                      "gram-submit-rtt": rtt_p99}}}
+        (root / "BENCH_A.json").write_text(json.dumps(doc))
+
     failures = []
     with tempfile.TemporaryDirectory() as tmp:
         base_dir = pathlib.Path(tmp) / "base"
@@ -111,6 +197,28 @@ def self_test() -> int:
                              "slower": 100.0, "gone": 100.0})
         make_tree(cur_dir, {"steady": 104.0, "faster": 50.0,
                             "slower": 150.0, "fresh": 100.0})
+
+        # Attribution gate: a phase p99 growing 600s -> 900s and the
+        # attributed share dropping 1.0 -> 0.9 are both regressions; the
+        # sub-second rtt wobble (0.2s -> 0.3s, +50% but tiny) is not.
+        make_attributed_tree(base_dir, share=1.0, poll_p99=600.0,
+                             rtt_p99=0.2)
+        make_attributed_tree(cur_dir, share=0.9, poll_p99=900.0,
+                             rtt_p99=0.3)
+        attribution_base = load_attribution(base_dir)
+        attribution_cur = load_attribution(cur_dir)
+        if len(attribution_base) != 4:
+            failures.append("load_attribution returned wrong entry count")
+        hits = compare_attribution(attribution_base, attribution_cur,
+                                   threshold=0.10)
+        if hits != 2:
+            failures.append(
+                f"expected 2 attribution regressions, got {hits}")
+        if compare_attribution(attribution_base, attribution_base,
+                               threshold=0.10) != 0:
+            failures.append("identical attribution must not regress")
+        (base_dir / "BENCH_A.json").unlink()
+        (cur_dir / "BENCH_A.json").unlink()
         baseline = load_tree(base_dir)
         current = load_tree(cur_dir)
         if len(baseline) != 4 or len(current) != 4:
@@ -185,6 +293,10 @@ def main() -> int:
     print(f"comparing {args.current} against {args.baseline} "
           f"(threshold {args.threshold:.0%})")
     regressions = compare(baseline, current, args.threshold)
+    regressions += compare_attribution(load_attribution(base_root),
+                                       load_attribution(
+                                           pathlib.Path(args.current)),
+                                       args.threshold)
     if regressions:
         print(f"{regressions} benchmark(s) regressed more than "
               f"{args.threshold:.0%}")

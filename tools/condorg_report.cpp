@@ -7,16 +7,24 @@
 //   condorg_report --trace run.jsonl                 # trace overview
 //   condorg_report --trace run.jsonl --job 7         # one job's timeline
 //   condorg_report --trace run.jsonl --recovery      # recovery percentiles
+//   condorg_report --trace run.jsonl --critical-path # per-phase latency JSON
+//   condorg_report --trace run.jsonl --flame         # folded flamegraph
 //   condorg_report --metrics run.json                # metric tables
+//   condorg_report --profile prof.json --traffic-matrix  # kernel profiler
 //   condorg_report --trace run.jsonl --self-check    # structural validation
 //
 // --self-check exits non-zero when the trace is structurally unsound (parse
 // failures, span ends without begins, double-closed spans, time running
 // backwards) and is wired into scripts/check.sh so a broken exporter fails
-// the repo's checks, not just a human eyeball.
+// the repo's checks, not just a human eyeball. --critical-path applies the
+// same discipline to the causal analysis: it prints sim::CriticalPath's
+// deterministic JSON on stdout and fails when any job's phase attributions
+// do not tile its window.
 //
-// This is a leaf tool: it parses files and prints; it never links the
-// simulator, so it works on traces from any run, any machine.
+// This tool parses files and prints; it links the simulator's offline
+// analysis classes (TraceRecord::from_json, sim::CriticalPath) but never
+// runs a simulation, so it works on artifacts from any run, any machine.
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <map>
@@ -25,7 +33,10 @@
 #include <string>
 #include <vector>
 
+#include "condorg/sim/critical_path.h"
+#include "condorg/sim/tracer.h"
 #include "condorg/util/json.h"
+#include "condorg/util/metrics.h"
 #include "condorg/util/stats.h"
 #include "condorg/util/table.h"
 
@@ -46,6 +57,8 @@ struct Record {
   std::uint64_t epoch = 0;
   std::string status;
   std::string detail;
+  std::uint64_t id = 0;
+  std::uint64_t cause = 0;
 };
 
 struct Trace {
@@ -97,6 +110,8 @@ Trace load_trace(const std::string& path) {
     record.epoch = static_cast<std::uint64_t>(parsed->number_at("epoch"));
     record.status = field(*parsed, "status");
     record.detail = field(*parsed, "detail");
+    record.id = static_cast<std::uint64_t>(parsed->number_at("id"));
+    record.cause = static_cast<std::uint64_t>(parsed->number_at("cause"));
 
     if (record.t < last_time) {
       trace.problems.push_back("line " + std::to_string(line_number) +
@@ -157,18 +172,44 @@ void print_overview(const Trace& trace) {
   std::fputs(table.render("records by name").c_str(), stdout);
 }
 
+/// Sort rank so same-timestamp records render in causal reading order:
+/// spans open before the events inside them and close after.
+int kind_rank(const std::string& kind) {
+  if (kind == "span_begin") return 0;
+  if (kind == "event") return 1;
+  return 2;  // span_end (and anything unknown sinks to the bottom)
+}
+
 void print_job_timeline(const Trace& trace, std::uint64_t job) {
-  Table table({"t", "kind", "name", "host", "epoch", "status / detail"});
-  std::size_t rows = 0;
+  // Stable-sort by (t, span id, record kind): a tracer interleaving records
+  // of several spans at one timestamp (a batched GridManager tick) still
+  // renders each span's records contiguously, and the stability keeps file
+  // order as the final tie-break so same-key records never flip between
+  // runs.
+  std::vector<const Record*> rows_sorted;
   for (const Record& record : trace.records) {
-    if (record.job != job) continue;
-    std::string tail = record.status;
-    if (!record.detail.empty()) {
+    if (record.job == job) rows_sorted.push_back(&record);
+  }
+  std::stable_sort(rows_sorted.begin(), rows_sorted.end(),
+                   [](const Record* a, const Record* b) {
+                     if (a->t != b->t) return a->t < b->t;
+                     if (a->span != b->span) return a->span < b->span;
+                     return kind_rank(a->kind) < kind_rank(b->kind);
+                   });
+  Table table(
+      {"t", "kind", "name", "host", "epoch", "id", "cause", "status / detail"});
+  std::size_t rows = 0;
+  for (const Record* record : rows_sorted) {
+    std::string tail = record->status;
+    if (!record->detail.empty()) {
       if (!tail.empty()) tail += " — ";
-      tail += record.detail;
+      tail += record->detail;
     }
-    table.add_row({format_number(record.t), record.kind, record.name,
-                   record.host, std::to_string(record.epoch), tail});
+    table.add_row({format_number(record->t), record->kind, record->name,
+                   record->host, std::to_string(record->epoch),
+                   record->id != 0 ? std::to_string(record->id) : "",
+                   record->cause != 0 ? std::to_string(record->cause) : "",
+                   tail});
     ++rows;
   }
   if (rows == 0) {
@@ -267,15 +308,25 @@ int print_metrics(const std::string& path) {
 }
 
 /// Family name of a serialized metric key (`name{k=v,...}` -> `name`).
+/// Goes through util::parse_metric_key so escaped structural characters in
+/// label values (`\,`, `\=`, `\}`) cannot truncate the name.
 std::string metric_family(const std::string& key) {
-  return key.substr(0, key.find('{'));
+  return condorg::util::parse_metric_key(key).name;
 }
 
-/// Label block of a serialized metric key (`name{k=v,...}` -> `k=v,...`).
+/// Label block of a serialized metric key, values unescaped for display
+/// (`name{k=a\,b}` -> `k=a,b`).
 std::string metric_labels(const std::string& key) {
-  const auto open = key.find('{');
-  if (open == std::string::npos) return "";
-  return key.substr(open + 1, key.size() - open - 2);
+  const condorg::util::ParsedMetricKey parsed =
+      condorg::util::parse_metric_key(key);
+  std::string out;
+  for (const auto& [label, value] : parsed.labels) {
+    if (!out.empty()) out += ", ";
+    out += label;
+    out.push_back('=');
+    out += value;
+  }
+  return out;
 }
 
 /// Submission-pipeline health at a glance: per-site staging-cache hit
@@ -356,17 +407,134 @@ int print_pipeline_overview(const std::string& path) {
   return 0;
 }
 
+/// Re-parse the trace through the simulator's own record parser; the
+/// critical-path walker wants real TraceRecords (typed kinds, cause edges),
+/// not the report tool's loose Record rows.
+std::vector<condorg::sim::TraceRecord> load_sim_records(
+    const std::string& path, std::size_t& parse_failures) {
+  std::vector<condorg::sim::TraceRecord> records;
+  parse_failures = 0;
+  const std::optional<std::string> text = condorg::util::read_text_file(path);
+  if (!text) return records;
+  std::size_t start = 0;
+  while (start < text->size()) {
+    std::size_t end = text->find('\n', start);
+    if (end == std::string::npos) end = text->size();
+    const std::string_view line(text->data() + start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    if (auto record = condorg::sim::TraceRecord::from_json(line)) {
+      records.push_back(std::move(*record));
+    } else {
+      ++parse_failures;
+    }
+  }
+  return records;
+}
+
+/// --critical-path / --flame: stdout carries exactly the deterministic
+/// artifact (JSON or folded stacks) so check.sh can byte-compare same-seed
+/// runs; diagnostics go to stderr and any tiling violation fails the run.
+int print_critical_path(const std::string& path, bool flame) {
+  std::size_t parse_failures = 0;
+  const std::vector<condorg::sim::TraceRecord> records =
+      load_sim_records(path, parse_failures);
+  if (records.empty()) {
+    std::fprintf(stderr, "no parseable trace records in %s\n", path.c_str());
+    return 1;
+  }
+  const condorg::sim::CriticalPath analysis(records);
+  if (flame) {
+    std::fputs(analysis.to_folded().c_str(), stdout);
+  } else {
+    std::printf("%s\n", analysis.to_json().c_str());
+  }
+  int rc = 0;
+  if (parse_failures != 0) {
+    std::fprintf(stderr, "critical-path: %zu unparseable lines in %s\n",
+                 parse_failures, path.c_str());
+    rc = 1;
+  }
+  for (const std::string& problem : analysis.self_check()) {
+    std::fprintf(stderr, "critical-path: %s\n", problem.c_str());
+    rc = 1;
+  }
+  return rc;
+}
+
+/// --traffic-matrix: render the kernel profiler's cross-host view (written
+/// by Profiler::to_json) as from/to/type rows plus a per-type rollup.
+int print_traffic_matrix(const std::string& path) {
+  const std::optional<std::string> text = condorg::util::read_text_file(path);
+  if (!text) {
+    std::fprintf(stderr, "cannot open profile file: %s\n", path.c_str());
+    return 1;
+  }
+  const std::optional<JsonValue> parsed = JsonValue::parse(*text);
+  if (!parsed || !parsed->is_object()) {
+    std::fprintf(stderr, "profile file is not a JSON object: %s\n",
+                 path.c_str());
+    return 1;
+  }
+  const JsonValue* matrix = parsed->find("traffic_matrix");
+  if (matrix == nullptr || !matrix->is_object()) {
+    std::fprintf(stderr, "profile has no traffic_matrix: %s\n", path.c_str());
+    return 1;
+  }
+  Table table({"from", "to", "type", "messages", "bytes"});
+  std::map<std::string, std::pair<double, double>> by_type;  // cross-host only
+  std::size_t rows = 0;
+  for (const auto& [from, dests] : matrix->members()) {
+    if (!dests.is_object()) continue;
+    for (const auto& [to, types] : dests.members()) {
+      if (!types.is_object()) continue;
+      for (const auto& [type, cell] : types.members()) {
+        const double count = cell.number_at("count");
+        const double bytes = cell.number_at("bytes");
+        table.add_row({from, to, type, format_number(count),
+                       format_number(bytes)});
+        ++rows;
+        if (from != to) {
+          by_type[type].first += count;
+          by_type[type].second += bytes;
+        }
+      }
+    }
+  }
+  if (rows == 0) {
+    std::printf("traffic matrix is empty (profiler disarmed?)\n");
+    return 0;
+  }
+  std::fputs(table.render("traffic matrix").c_str(), stdout);
+  Table rollup({"type", "cross-host messages", "bytes"});
+  for (const auto& [type, totals] : by_type) {
+    rollup.add_row({type, format_number(totals.first),
+                    format_number(totals.second)});
+  }
+  std::fputs(rollup.render("cross-host types (island cut)").c_str(), stdout);
+  return 0;
+}
+
 int usage() {
   std::fputs(
-      "usage: condorg_report [--trace FILE] [--metrics FILE]\n"
+      "usage: condorg_report [--trace FILE] [--metrics FILE] "
+      "[--profile FILE]\n"
       "                      [--job N] [--recovery] [--overview] "
       "[--self-check]\n"
-      "  --trace FILE    trace JSONL written via CONDORG_TRACE\n"
-      "  --metrics FILE  metrics JSON written via CONDORG_METRICS\n"
-      "  --job N         print one job's timeline (needs --trace)\n"
-      "  --recovery      recovery-latency percentiles (needs --trace)\n"
-      "  --overview      submission-pipeline summary (needs --metrics)\n"
-      "  --self-check    validate trace structure; non-zero exit on damage\n",
+      "                      [--critical-path] [--flame] [--traffic-matrix]\n"
+      "  --trace FILE      trace JSONL written via CONDORG_TRACE\n"
+      "  --metrics FILE    metrics JSON written via CONDORG_METRICS\n"
+      "  --profile FILE    kernel-profiler JSON (sim::Profiler::to_json)\n"
+      "  --job N           print one job's timeline (needs --trace)\n"
+      "  --recovery        recovery-latency percentiles (needs --trace)\n"
+      "  --overview        submission-pipeline summary (needs --metrics)\n"
+      "  --critical-path   per-phase latency attribution JSON (needs "
+      "--trace)\n"
+      "  --flame           folded stacks for flamegraph tools (needs "
+      "--trace)\n"
+      "  --traffic-matrix  cross-host traffic tables (needs --profile)\n"
+      "  --self-check      validate trace structure; non-zero exit on "
+      "damage\n",
       stderr);
   return 2;
 }
@@ -376,10 +544,14 @@ int usage() {
 int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
+  std::string profile_path;
   std::optional<std::uint64_t> job;
   bool recovery = false;
   bool overview = false;
   bool self_check = false;
+  bool critical_path = false;
+  bool flame = false;
+  bool traffic_matrix = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -387,6 +559,8 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (arg == "--metrics" && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (arg == "--profile" && i + 1 < argc) {
+      profile_path = argv[++i];
     } else if (arg == "--job" && i + 1 < argc) {
       job = std::stoull(argv[++i]);
     } else if (arg == "--recovery") {
@@ -395,13 +569,26 @@ int main(int argc, char** argv) {
       overview = true;
     } else if (arg == "--self-check") {
       self_check = true;
+    } else if (arg == "--critical-path") {
+      critical_path = true;
+    } else if (arg == "--flame") {
+      flame = true;
+    } else if (arg == "--traffic-matrix") {
+      traffic_matrix = true;
     } else {
       return usage();
     }
   }
-  if (trace_path.empty() && metrics_path.empty()) return usage();
+  if (trace_path.empty() && metrics_path.empty() && profile_path.empty()) {
+    return usage();
+  }
+  if ((critical_path || flame) && trace_path.empty()) return usage();
+  if (traffic_matrix && profile_path.empty()) return usage();
 
   int rc = 0;
+  if (critical_path || flame) {
+    return print_critical_path(trace_path, flame);
+  }
   if (!trace_path.empty()) {
     const Trace trace = load_trace(trace_path);
     if (self_check) {
@@ -431,6 +618,9 @@ int main(int argc, char** argv) {
   if (!metrics_path.empty()) {
     rc = overview ? print_pipeline_overview(metrics_path)
                   : print_metrics(metrics_path);
+  }
+  if (!profile_path.empty() && rc == 0) {
+    rc = print_traffic_matrix(profile_path);
   }
   return rc;
 }

@@ -40,6 +40,15 @@ guarantee or the paper's exactly-once protocol:
                          util::Logger (levelled, capturable, deterministic);
                          direct stdio belongs to benches, examples, and the
                          report tool (which is allowlisted).
+  unbalanced-span        a tracer begin_span whose SpanId is discarded, or is
+                         assigned to a variable that no end_span(<same
+                         variable>) in the file ever closes; likewise a file
+                         calling begin_job with no end_job. An unclosed span
+                         corrupts every downstream trace consumer (the
+                         critical-path walker sees a window that never ends).
+                         Line-based: "no matching end on any path" is
+                         approximated as "no matching end anywhere in the
+                         file", which all legitimate sites satisfy.
 
 Suppressions, in order of preference:
   1. Fix the code.
@@ -109,6 +118,14 @@ VIRTUAL_DECL = re.compile(r"^\s*virtual\b")
 
 DECL_FUNCTION_OBJ = re.compile(
     r"\bstd::function\s*<[^;]*>\s+([A-Za-z_]\w*)\s*[;={(]")
+# Tracer span lifecycle. Only qualified calls (".begin_span" / "->begin_span")
+# count, so the Tracer's own implementation is out of scope; the optional
+# leading group captures the lvalue the SpanId is assigned to.
+BEGIN_SPAN_CALL = re.compile(
+    r"(?:([A-Za-z_][\w.\[\]>-]*)\s*=\s*)?[\w.\]()>-]*(?:\.|->)\s*"
+    r"begin_span\s*\(")
+BEGIN_JOB_CALL = re.compile(r"(?:\.|->)\s*begin_job\s*\(")
+END_JOB_CALL = re.compile(r"(?:\.|->)\s*end_job\s*\(")
 # Trace/JSON emission inside a loop body: the tracer, anything emit-like, or
 # any json helper. Scanned against noise-stripped lines, so string literals
 # cannot fake a hit.
@@ -271,6 +288,29 @@ def lint_file(path, rel, file_allows, root, header_cache):
                    "derived-class member uses 'virtual'; say 'override' "
                    "(or lint-allow a genuinely new virtual)")
 
+        m = BEGIN_SPAN_CALL.search(line)
+        if m:
+            lvalue = m.group(1)
+            if lvalue is None:
+                if "return" not in line:
+                    report(idx, "unbalanced-span",
+                           "begin_span result discarded — nothing can ever "
+                           "close this span; assign the SpanId and end_span "
+                           "it on every path")
+            else:
+                span_var = lvalue.split(".")[-1].split("->")[-1]
+                if not re.search(
+                        rf"end_span\s*\(\s*[\w.\[\]>-]*\b"
+                        rf"{re.escape(span_var)}\b", joined):
+                    report(idx, "unbalanced-span",
+                           f"begin_span id '{span_var}' has no matching "
+                           "end_span in this file; an unclosed span breaks "
+                           "the critical-path walk")
+        if BEGIN_JOB_CALL.search(line) and not END_JOB_CALL.search(joined):
+            report(idx, "unbalanced-span",
+                   "begin_job with no end_job anywhere in this file; the "
+                   "job root span can never close")
+
         for name in function_names:
             if name in checked_functions:
                 continue
@@ -346,7 +386,7 @@ def self_test(root):
     want = sorted(["banned-rand", "wall-clock", "unordered-iteration",
                    "unordered-trace-emit", "virtual-in-derived",
                    "unchecked-function-call", "direct-io",
-                   "schedd-full-scan"])
+                   "schedd-full-scan", "unbalanced-span"])
     ok = got == want
     # The inline-allowed std::rand at the bottom must NOT be reported twice.
     rand_hits = sum(1 for v in found if v.rule == "banned-rand")
@@ -354,10 +394,15 @@ def self_test(root):
     # The plain (no-emission) unordered loop must not trip the emit rule.
     emit_hits = [v for v in found if v.rule == "unordered-trace-emit"]
     ok = ok and len(emit_hits) == 1
+    # Exactly the leaked + discarded spans and the end-less begin_job must
+    # trip; the balanced begin/end pair in the fixture must NOT.
+    span_hits = sum(1 for v in found if v.rule == "unbalanced-span")
+    ok = ok and span_hits == 3
     if not ok:
         print(f"condorg_lint self-test FAILED: rules hit {got}, "
               f"wanted {want}; banned-rand hits {rand_hits} (want 1); "
-              f"unordered-trace-emit hits {len(emit_hits)} (want 1)")
+              f"unordered-trace-emit hits {len(emit_hits)} (want 1); "
+              f"unbalanced-span hits {span_hits} (want 3)")
         for v in found:
             print(f"  {v}")
         return 1

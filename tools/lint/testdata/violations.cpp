@@ -58,6 +58,23 @@ int drain(Queue& schedd) {
   return n;
 }
 
+// unbalanced-span: spans that are opened but can never be closed.
+struct FixtureTracer {
+  int begin_span(const char* name);
+  void end_span(int span);
+  int begin_job(int job);
+  void end_job(int job);
+};
+void span_lifecycle(FixtureTracer& t) {
+  int orphan = t.begin_span("leaked");                 // unbalanced-span
+  (void)orphan;
+  t.begin_span("dropped");                             // unbalanced-span
+  t.begin_job(1);                                      // unbalanced-span
+  // A balanced pair must NOT trip the rule:
+  int paired = t.begin_span("balanced");
+  t.end_span(paired);
+}
+
 // Suppression forms must keep working:
 int allowed_noise() {
   // lint-allow(banned-rand): fixture proves inline allows suppress
