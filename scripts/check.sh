@@ -69,6 +69,22 @@ CONDORG_MUTATE_CROSS_HOST=1 ./build/tools/condorg_explore \
   --scenario quickstart --expect-violation >/dev/null
 stage_end
 
+stage_begin "kernel.parallel_digest (island kernel, N-independence)"
+# The island kernel must produce byte-identical results whatever the
+# worker count. Full scenario output (job tables, recovery epilogue) is
+# the proxy here; the digest/tracer/explorer matrix is
+# tests/parallel_digest_test.cpp, and bench_k1_island_scale gates the
+# same property on a campaign 100x this size.
+pd_dir="$(mktemp -d)"
+CONDORG_PARALLEL=1 ./build/examples/quickstart > "${pd_dir}/q1.out"
+CONDORG_PARALLEL=8 ./build/examples/quickstart > "${pd_dir}/q8.out"
+cmp "${pd_dir}/q1.out" "${pd_dir}/q8.out"
+CONDORG_PARALLEL=2 ./build/examples/fault_drill > "${pd_dir}/f2.out"
+CONDORG_PARALLEL=4 ./build/examples/fault_drill > "${pd_dir}/f4.out"
+cmp "${pd_dir}/f2.out" "${pd_dir}/f4.out"
+rm -rf "${pd_dir}"
+stage_end
+
 stage_begin "trace determinism + report self-check"
 # Two same-seed quickstart runs must export byte-identical trace JSONL, and
 # the report tool must find no structural problems in it.
@@ -129,6 +145,17 @@ stage_begin "ASan+UBSan build + tests (auditor enabled)"
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "${jobs}"
 ctest --preset asan -j "${jobs}"
+stage_end
+
+stage_begin "TSan island kernel (racy-by-construction suite)"
+# The windowed executor really runs worker threads, so the digest tests
+# double as the race harness: build just the island suites under
+# ThreadSanitizer and run them with an 8-thread budget.
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "${jobs}" \
+  --target island_test parallel_digest_test
+CONDORG_PARALLEL=8 ./build-tsan/tests/island_test
+./build-tsan/tests/parallel_digest_test
 stage_end
 
 echo "ALL CHECKS PASSED"

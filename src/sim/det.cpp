@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 #include "condorg/sim/host.h"
 
@@ -12,14 +13,24 @@ namespace {
 // first kMaxRecorded is enough to diagnose while bounding memory.
 constexpr std::size_t kMaxRecorded = 256;
 
+// Guards storage() and g_count: island workers can record violations
+// concurrently. Harvesting (take_violations/report) happens only from
+// quiescent harness code. A violating run's *recording order* may vary
+// with the interleaving — the clean-run contract (count == 0), which is
+// what the digest tests assert, is interleaving-independent.
+std::mutex& storage_mu() {
+  // lint-allow(mutable-global): detsan's own lock, see above
+  static std::mutex mu;
+  return mu;
+}
+
 std::vector<Violation>& storage() {
-  // The sanitizer's own recording buffer; single-writer today, sharded
-  // per worker by the island scheduler.
+  // The sanitizer's own recording buffer; guarded by storage_mu().
   // lint-allow(mutable-global): detsan's own state, see above
   static std::vector<Violation> v;
   return v;
 }
-// lint-allow(mutable-global): see storage() above.
+// lint-allow(mutable-global): see storage() above; guarded by storage_mu().
 std::size_t g_count = 0;
 
 // Per-thread stamp of the host whose event is being dispatched. Kept
@@ -29,14 +40,15 @@ std::size_t g_count = 0;
 thread_local const sim::Host* g_current = nullptr;
 
 void record(const sim::Host* owner, const char* label) {
-  ++g_count;
-  std::vector<Violation>& v = storage();
-  if (v.size() >= kMaxRecorded) return;
   Violation violation;
   violation.when = owner != nullptr ? owner->now() : 0.0;
   violation.owner = owner != nullptr ? owner->name() : "<null>";
   violation.accessor = g_current != nullptr ? g_current->name() : "<null>";
   violation.label = label != nullptr ? label : "<unlabelled>";
+  std::lock_guard<std::mutex> lock(storage_mu());
+  ++g_count;
+  std::vector<Violation>& v = storage();
+  if (v.size() >= kMaxRecorded) return;
   v.push_back(std::move(violation));
 }
 
@@ -87,16 +99,21 @@ bool arm_from_env() {
 }
 
 std::vector<Violation> take_violations() {
+  std::lock_guard<std::mutex> lock(storage_mu());
   std::vector<Violation> out = std::move(storage());
   storage().clear();
   g_count = 0;
   return out;
 }
 
-std::size_t violation_count() { return g_count; }
+std::size_t violation_count() {
+  std::lock_guard<std::mutex> lock(storage_mu());
+  const std::size_t count = g_count;
+  return count;
+}
 
 std::size_t report(const char* what) {
-  const std::size_t count = g_count;
+  const std::size_t count = violation_count();
   const std::vector<Violation> violations = take_violations();
   for (const Violation& v : violations) {
     // lint-allow(direct-io): report() is the CLI epilogue; stderr is the

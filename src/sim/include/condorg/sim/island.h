@@ -1,0 +1,65 @@
+// Island partitioning for the parallel deterministic kernel.
+//
+// The grid in the paper is partitionable by construction (see det.h): each
+// host's daemons touch only host-local state and interact through
+// sim::Network messages, whose links carry latency. The kernel exploits
+// that: every Host owns its own calendar queue, hosts joined by a
+// zero-latency link are grouped into one *island*, and islands advance in
+// parallel under conservative lookahead — an island may execute every event
+// strictly below the current global window edge because no message from
+// another island can arrive below it (cross-island latency >= the plan's
+// lookahead). PR 6's partition analyzer and DetSan prove the state side of
+// this contract; the IslandPlanner here derives the execution side from the
+// live topology.
+//
+// The plan is rebuilt by a hook (installed by sim::World) whenever hosts or
+// links changed, always at a global synchronization point, so the grouping
+// is a deterministic function of scenario code — identical for every
+// CONDORG_PARALLEL thread count, which is what keeps the trace digest
+// byte-identical across N.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "condorg/sim/types.h"
+
+namespace condorg::sim {
+
+class Network;
+
+/// The island grouping of the kernel's event queues. Queue 0 is the
+/// control queue (driver/harness events scheduled outside any host
+/// context); it always forms island 0 of its own and executes at global
+/// barriers because control events may touch any state (fault injection,
+/// probes). Host queues are 1..N in host-creation order.
+struct IslandPlan {
+  /// Island id per kernel queue; index = queue id. island_of_queue[0] == 0.
+  std::vector<std::uint32_t> island_of_queue;
+  /// Number of islands, including control island 0.
+  std::uint32_t island_count = 1;
+  /// Conservative lookahead: the minimum one-way latency of any link that
+  /// can carry a cross-island message. An island may run every event with
+  /// timestamp < window_start + lookahead without synchronizing. A value
+  /// <= 0 collapses execution to one island (no safe window exists).
+  Time lookahead = 0.0;
+};
+
+/// Builds an IslandPlan from the live topology.
+class IslandPlanner {
+ public:
+  /// `queue_of_host[i]` is the kernel queue of the i-th host (any order);
+  /// host pairs whose configured link latency is <= merge_threshold are
+  /// grouped into the same island (a zero-latency link offers no lookahead,
+  /// so its endpoints must advance in lockstep). The lookahead is the
+  /// minimum latency over the remaining cross-island links, bounded by the
+  /// network's default link config (any host pair may communicate at the
+  /// default latency).
+  static IslandPlan build(const Network& net,
+                          const std::vector<std::uint32_t>& queue_of_host,
+                          const std::vector<std::string>& host_names,
+                          double merge_threshold = 0.0);
+};
+
+}  // namespace condorg::sim

@@ -21,8 +21,10 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "condorg/sim/message.h"
 #include "condorg/util/json.h"
@@ -70,15 +72,35 @@ class Profiler {
   /// host pairs — the dynamic side of the island-cut classification.
   std::map<std::string, Cell> cross_host_types() const;
 
+  /// One row per island of the parallel kernel, pushed by the Simulation
+  /// when a windowed run finishes. events/inbox/epochs are deterministic;
+  /// the blocked/busy columns are wall clock and gated on include_wall.
+  struct IslandRow {
+    std::uint64_t events = 0;
+    std::uint64_t inbox_messages = 0;
+    std::uint64_t epochs = 0;
+    std::uint64_t blocked_ns = 0;
+    std::uint64_t busy_ns = 0;
+  };
+  void set_island_rows(std::vector<IslandRow> rows);
+  const std::vector<IslandRow>& island_rows() const { return island_rows_; }
+
   /// Full export: dispatch table per (host, daemon, type), timer table per
   /// host, and the from->to traffic matrix. Deterministic unless
   /// include_wall adds the measured nanosecond columns.
   util::JsonValue to_json(bool include_wall) const;
 
  private:
+  // Island workers record concurrently; the lock is taken only on the
+  // armed path (CONDORG_PROFILE=1). Aggregation is commutative sums into
+  // ordered maps, so the final tables are identical for every worker
+  // interleaving — the determinism contract of to_json(false) survives
+  // parallel runs. Readers (accessors, to_json) run quiescent.
+  mutable std::mutex mu_;
   bool enabled_ = false;
   std::map<MessageKey, Cell> messages_;
   std::map<std::string, Cell> timers_;
+  std::vector<IslandRow> island_rows_;  // written quiescent (run epilogue)
 };
 
 }  // namespace condorg::sim

@@ -1,0 +1,94 @@
+#include "condorg/sim/island.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "condorg/sim/network.h"
+
+namespace condorg::sim {
+namespace {
+// Union-find over host indices; path-halving, union by index order (the
+// smaller root wins) so the resulting components are independent of merge
+// order — the plan must be a pure function of the topology.
+std::size_t find_root(std::vector<std::size_t>& parent, std::size_t i) {
+  while (parent[i] != i) {
+    parent[i] = parent[parent[i]];
+    i = parent[i];
+  }
+  return i;
+}
+
+void unite(std::vector<std::size_t>& parent, std::size_t a, std::size_t b) {
+  a = find_root(parent, a);
+  b = find_root(parent, b);
+  if (a == b) return;
+  if (b < a) std::swap(a, b);
+  parent[b] = a;
+}
+}  // namespace
+
+IslandPlan IslandPlanner::build(const Network& net,
+                                const std::vector<std::uint32_t>& queue_of_host,
+                                const std::vector<std::string>& host_names,
+                                double merge_threshold) {
+  const std::size_t hosts = host_names.size();
+  IslandPlan plan;
+  std::uint32_t max_queue = 0;
+  for (const std::uint32_t q : queue_of_host) max_queue = std::max(max_queue, q);
+  plan.island_of_queue.assign(static_cast<std::size_t>(max_queue) + 1, 0);
+
+  std::unordered_map<std::string, std::size_t> index_of;
+  index_of.reserve(hosts);
+  for (std::size_t i = 0; i < hosts; ++i) index_of.emplace(host_names[i], i);
+
+  // Hosts joined by a link that offers no lookahead must advance in
+  // lockstep: group them. Only explicitly configured links can undercut the
+  // threshold — the default link config applies to every unconfigured pair,
+  // so if *it* offers no lookahead there is no safe cut anywhere.
+  std::vector<std::size_t> parent(hosts);
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  const bool default_merges = net.default_link().latency <= merge_threshold;
+  if (default_merges) {
+    for (std::size_t i = 1; i < hosts; ++i) unite(parent, 0, i);
+  } else {
+    for (const auto& [pair, cfg] : net.links()) {
+      if (cfg.latency > merge_threshold) continue;
+      const auto a = index_of.find(pair.first);
+      const auto b = index_of.find(pair.second);
+      if (a == index_of.end() || b == index_of.end()) continue;
+      unite(parent, a->second, b->second);
+    }
+  }
+
+  // Number islands 1..K in first-appearance order over the (sorted, hence
+  // deterministic) host list; island 0 stays the control queue's.
+  std::vector<std::uint32_t> island_of_host(hosts, 0);
+  std::unordered_map<std::size_t, std::uint32_t> island_of_root;
+  std::uint32_t next_island = 1;
+  for (std::size_t i = 0; i < hosts; ++i) {
+    const std::size_t root = find_root(parent, i);
+    const auto [it, inserted] = island_of_root.emplace(root, next_island);
+    if (inserted) ++next_island;
+    island_of_host[i] = it->second;
+    plan.island_of_queue[queue_of_host[i]] = it->second;
+  }
+  plan.island_count = next_island;
+
+  // Conservative lookahead: the minimum latency any cross-island message
+  // can experience. Every unconfigured pair may talk at the default link,
+  // so that is the ceiling; explicit cross-island links may undercut it.
+  Time lookahead = net.default_link().latency;
+  for (const auto& [pair, cfg] : net.links()) {
+    const auto a = index_of.find(pair.first);
+    const auto b = index_of.find(pair.second);
+    if (a == index_of.end() || b == index_of.end()) continue;
+    if (island_of_host[a->second] == island_of_host[b->second]) continue;
+    lookahead = std::min(lookahead, cfg.latency);
+  }
+  plan.lookahead = plan.island_count > 2 ? lookahead : net.default_link().latency;
+  if (!(plan.lookahead > 0.0)) plan.lookahead = 0.0;  // engine goes serial
+  return plan;
+}
+
+}  // namespace condorg::sim

@@ -13,8 +13,10 @@
 // byte-identical across executions.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -45,14 +47,20 @@ struct ParsedMetricKey {
 /// bare name.
 ParsedMetricKey parse_metric_key(std::string_view key);
 
-/// Monotonically increasing event count.
+/// Monotonically increasing event count. Relaxed atomic: counters shared
+/// across hosts (network totals, agent aggregates) may be bumped from
+/// concurrent island workers; the final sum is interleaving-independent.
 class Counter {
  public:
-  void inc(std::uint64_t by = 1) { value_ += by; }
-  std::uint64_t value() const { return value_; }
+  void inc(std::uint64_t by = 1) {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Piecewise-constant value over simulated time (queue depth, CPUs busy).
@@ -113,6 +121,13 @@ class MetricsRegistry {
   std::string to_json(double end_time) const { return snapshot(end_time).dump(); }
 
  private:
+  // Guards the map *structure* only: lookup-or-create can race when two
+  // islands first touch distinct metrics. The returned references are
+  // node-stable, so cached references stay valid. Gauge and histogram
+  // *objects* are not internally synchronized — they must stay host-local
+  // (per-host labels), which is exactly the state discipline DetSan and the
+  // partition analyzer enforce; cross-host tallies belong in Counters.
+  mutable std::mutex mu_;
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, HistogramMetric, std::less<>> histograms_;

@@ -81,31 +81,37 @@ ParsedMetricKey parse_metric_key(std::string_view key) {
 
 Counter& MetricsRegistry::counter(std::string_view name,
                                   const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
   return counters_[metric_key(name, labels)];
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name,
                               const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
   return gauges_[metric_key(name, labels)];
 }
 
 HistogramMetric& MetricsRegistry::histogram(std::string_view name,
                                             const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
   return histograms_[metric_key(name, labels)];
 }
 
 const Counter* MetricsRegistry::find_counter(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(key);
   return it == counters_.end() ? nullptr : &it->second;
 }
 
 const Gauge* MetricsRegistry::find_gauge(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = gauges_.find(key);
   return it == gauges_.end() ? nullptr : &it->second;
 }
 
 const HistogramMetric* MetricsRegistry::find_histogram(
     std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = histograms_.find(key);
   return it == histograms_.end() ? nullptr : &it->second;
 }
@@ -116,6 +122,7 @@ std::uint64_t MetricsRegistry::counter_value(std::string_view key) const {
 }
 
 JsonValue MetricsRegistry::snapshot(double end_time) const {
+  std::lock_guard<std::mutex> lock(mu_);
   JsonValue root = JsonValue::object();
   root["end_time"] = end_time;
 

@@ -20,6 +20,12 @@ namespace {
 // harvesting) is identical, and identical matters — replay equality is
 // byte-for-byte over the formatted violations.
 struct ExploreWorld {
+  // Declared before the testbed: exploration is controller-driven and
+  // must run the legacy sequential kernel whatever CONDORG_PARALLEL says
+  // (set_controller rejects island mode), so the Worlds built below are
+  // forced to legacy while this guard lives. Replay shares the scenario,
+  // hence counterexamples stay byte-stable across environments.
+  sim::World::ScopedParallelOverride force_legacy{0};
   GridTestbed testbed{/*seed=*/2001};
   std::unique_ptr<core::CondorGAgent> agent;
   std::unique_ptr<core::StandardAuditor> auditor;

@@ -40,6 +40,14 @@ guarantee or the paper's exactly-once protocol:
                          util::Logger (levelled, capturable, deterministic);
                          direct stdio belongs to benches, examples, and the
                          report tool (which is allowlisted).
+  raw-threading          std::thread / std::mutex / std::atomic (and friends)
+                         outside src/sim/ — the island kernel owns all
+                         concurrency; daemon code must stay single-threaded
+                         per island so determinism proofs stay local to the
+                         kernel. Infrastructure that is genuinely shared
+                         across island workers (the logger sink, metric
+                         counters) is allowlisted with its synchronization
+                         story.
   unbalanced-span        a tracer begin_span whose SpanId is discarded, or is
                          assigned to a variable that no end_span(<same
                          variable>) in the file ever closes; likewise a file
@@ -102,6 +110,20 @@ LINE_RULES = [
         "log through util::Logger; direct stdio is for tools/benches only",
     ),
 ]
+
+# Concurrency primitives are the island kernel's business only (src/sim/).
+# Everything else runs single-threaded within its island; a stray mutex or
+# thread elsewhere either hides a data race or silently serializes islands.
+RAW_THREADING = re.compile(
+    r"\bstd::(?:jthread|thread\b|mutex|recursive_mutex|timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable|atomic\w*|"
+    r"lock_guard|scoped_lock|unique_lock|shared_lock|call_once|once_flag|"
+    r"promise\s*<|future\s*<|shared_future|async\s*\(|latch|barrier\s*<|"
+    r"counting_semaphore|binary_semaphore)|"
+    r"#\s*include\s*<(?:thread|mutex|shared_mutex|atomic|"
+    r"condition_variable|future|semaphore|latch|barrier|stop_token)>")
+# Directory prefix where RAW_THREADING is legal (the kernel itself).
+THREADING_HOME = "src/sim/"
 
 DECL_UNORDERED = re.compile(
     r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<")
@@ -263,6 +285,13 @@ def lint_file(path, rel, file_allows, root, header_cache):
             if pattern.search(line):
                 report(idx, rule, message)
 
+        if not rel.replace(os.sep, "/").startswith(THREADING_HOME) \
+                and RAW_THREADING.search(line):
+            report(idx, "raw-threading",
+                   "concurrency primitive outside src/sim/ — the island "
+                   "kernel owns threading; daemon code is single-threaded "
+                   "per island")
+
         m = RANGE_FOR.search(line)
         if m and m.group(1).split(".")[0].split("->")[0] in unordered_names:
             report(idx, "unordered-iteration",
@@ -386,11 +415,15 @@ def self_test(root):
     want = sorted(["banned-rand", "wall-clock", "unordered-iteration",
                    "unordered-trace-emit", "virtual-in-derived",
                    "unchecked-function-call", "direct-io",
-                   "schedd-full-scan", "unbalanced-span"])
+                   "schedd-full-scan", "unbalanced-span", "raw-threading"])
     ok = got == want
     # The inline-allowed std::rand at the bottom must NOT be reported twice.
     rand_hits = sum(1 for v in found if v.rule == "banned-rand")
     ok = ok and rand_hits == 1
+    # The fixture's one std::mutex member is the only threading hit; the
+    # rule must not fire on comment mentions of the primitives.
+    threading_hits = sum(1 for v in found if v.rule == "raw-threading")
+    ok = ok and threading_hits == 1
     # The plain (no-emission) unordered loop must not trip the emit rule.
     emit_hits = [v for v in found if v.rule == "unordered-trace-emit"]
     ok = ok and len(emit_hits) == 1
@@ -402,7 +435,8 @@ def self_test(root):
         print(f"condorg_lint self-test FAILED: rules hit {got}, "
               f"wanted {want}; banned-rand hits {rand_hits} (want 1); "
               f"unordered-trace-emit hits {len(emit_hits)} (want 1); "
-              f"unbalanced-span hits {span_hits} (want 3)")
+              f"unbalanced-span hits {span_hits} (want 3); "
+              f"raw-threading hits {threading_hits} (want 1)")
         for v in found:
             print(f"  {v}")
         return 1

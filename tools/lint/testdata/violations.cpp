@@ -75,6 +75,12 @@ void span_lifecycle(FixtureTracer& t) {
   t.end_span(paired);
 }
 
+// raw-threading: concurrency primitives outside src/sim/. One hit only —
+// the rule must fire on the primitive, not on mentions in comments.
+struct Cache {
+  std::mutex mu_;                                      // raw-threading
+};
+
 // Suppression forms must keep working:
 int allowed_noise() {
   // lint-allow(banned-rand): fixture proves inline allows suppress
