@@ -33,6 +33,18 @@ python3 tools/analyze/condorg_partition.py --root . --build-dir build \
 python3 tools/analyze/condorg_partition.py --self-test
 stage_end
 
+stage_begin "analyze.proto (protocol-conformance report + rule self-test)"
+# The spec-checked message graph: every island-cut message type must carry
+# a spec entry (sender, receiver, reply, timeout owner, durability), every
+# handler must reply on all paths, every durable transition's crash points
+# must exist in code AND in the Explorer's enumerated table, and every
+# protocol timer must re-arm. Zero unallowlisted findings; the report is
+# archived next to the partition report for the three-way profile gate.
+python3 tools/analyze/condorg_proto.py --root . --build-dir build \
+  --report build/proto_report.json
+python3 tools/analyze/condorg_proto.py --self-test
+stage_end
+
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 stage_begin "dev build (warnings are errors) + tests"
@@ -117,11 +129,13 @@ cmp "${trace_dir}/cp1.json" "${trace_dir}/cp2.json"
 cmp "${trace_dir}/cp1.folded" "${trace_dir}/cp2.folded"
 stage_end
 
-stage_begin "profile.traffic_matrix (dynamic vs static island cut)"
-# The kernel profiler's measured cross-partition traffic matrix must agree
-# with the analyzer's static cut classification on the set of message
-# types, and the dumped profile must render through the report CLI.
+stage_begin "profile.traffic_matrix (spec == static cut ⊇ dynamic)"
+# The three-way gate: the protocol spec's cut types must equal the
+# partition analyzer's static classification, the kernel profiler's
+# measured cross-partition traffic must stay inside the spec, and the
+# dumped profile must render through the report CLI.
 ./build/tools/condorg_profile_check build/partition_report.json \
+  --proto build/proto_report.json \
   --dump build/profile.json
 ./build/tools/condorg_report --profile build/profile.json \
   --traffic-matrix >/dev/null

@@ -56,6 +56,12 @@ void Collector::on_message(const sim::Message& message) {
     entries_->erase(message.body.get("name"));
     return;
   }
+  // Advertise traffic is one-way (UDP-like), so there is no error reply to
+  // send; count the drop instead of losing it silently.
+  host_.metrics()
+      .counter("unknown_message",
+               {{"daemon", "collector"}, {"type", message.type}})
+      .inc();
 }
 
 void Collector::prune() const {

@@ -63,6 +63,9 @@ void Shadow::start() {
 }
 
 void Shadow::on_message(const sim::Message& message) {
+  // Stale-claim messages are dropped on purpose: the startd's bounded
+  // retries give up, and the claim whose shadow would have acked is gone.
+  // lint-allow(reply-on-all-paths): deliberate drop of stale-claim traffic
   if (message.body.get("claim_id") != claim_id_) return;  // stale sender
 
   if (message.type == "shadow.io") {
@@ -95,6 +98,12 @@ void Shadow::on_message(const sim::Message& message) {
     finish(Outcome::kRequeued, message.body.get("reason"));
     return;
   }
+  // Already acked above (so the startd stops retrying) but nobody handled
+  // it: protocol drift the auditor's no-unknown-messages check surfaces.
+  host_.metrics()
+      .counter("unknown_message",
+               {{"daemon", "shadow"}, {"type", message.type}})
+      .inc();
 }
 
 void Shadow::poll() {

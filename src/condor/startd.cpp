@@ -179,6 +179,13 @@ void Startd::on_message(const sim::Message& message) {
     shutdown("requested");
     return;
   }
+  host_.metrics()
+      .counter("unknown_message",
+               {{"daemon", "startd"}, {"type", message.type}})
+      .inc();
+  reply.set_bool("ok", false);
+  reply.set("why", "unknown operation: " + message.type);
+  sim::rpc_reply(network_, message, address(), std::move(reply));
 }
 
 void Startd::activate(const sim::Message& message) {
@@ -219,7 +226,15 @@ void Startd::activate(const sim::Message& message) {
       if (!self) return;
       sim::Payload record;
       record.set_uint("bytes", options_.io_bytes_per_op);
-      notify_shadow("shadow.io", std::move(record));
+      // One-way: the shadow never acks io records, so the retrying
+      // notify_shadow path would time out and resend, double-counting io
+      // in the shadow's accounting. A lost record only skews stats.
+      if (claim_) {
+        record.set("claim_id", claim_->claim_id);
+        record.set("job_id", claim_->job_id);
+        record.set("slot", slot_name_);
+        rpc_.notify(claim_->shadow, "shadow.io", std::move(record));
+      }
       io_event_ =
           host_.post(options_.io_interval, life_.wrap([self] { (*self)(); }));
     };

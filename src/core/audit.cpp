@@ -41,6 +41,23 @@ StandardAuditor::StandardAuditor(sim::Simulation& sim, std::uint64_t period)
         }
       });
   auditor_.add_check(
+      "cross/no-unknown-messages", [this](std::vector<std::string>& out) {
+        // Every dispatch tail counts messages it had no arm for into
+        // unknown_message{daemon,type}. A nonzero series means protocol
+        // drift: a sender ships a type the receiver no longer (or never)
+        // handles, and retries/timeouts are masking it. Deliberately
+        // unhandled types must be listed here with a justification.
+        static const std::map<std::string, std::string> ignored = {
+            // {"unknown_message{daemon=X,type=Y}", "why it is ignored"}
+        };
+        sim_.metrics().for_each_counter(
+            "unknown_message", [&](std::string_view key, std::uint64_t n) {
+              if (n == 0 || ignored.count(std::string(key))) return;
+              out.push_back(std::string(key) + " = " + std::to_string(n) +
+                            " (message reached a daemon with no handler)");
+            });
+      });
+  auditor_.add_check(
       "cross/seq-monotonic", [this](std::vector<std::string>& out) {
         // allocate_seq() persists the bumped allocator before handing a seq
         // out, so a queue entry at or above the allocator carries a sequence

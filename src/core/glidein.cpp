@@ -22,7 +22,13 @@ GlideInManager::GlideInManager(Schedd& schedd, sim::Network& network,
   // Condor executables from a central repository".
   gass_.store().put(kBootstrapPath, "#!/bin/sh glidein_startup", 64 * 1024);
   host_.register_service(kCallbackService, [this](const sim::Message& m) {
-    if (m.type != "gram.callback") return;
+    if (m.type != "gram.callback") {
+      host_.metrics()
+          .counter("unknown_message",
+                   {{"daemon", "glidein"}, {"type", m.type}})
+          .inc();
+      return;
+    }
     const std::string contact = m.body.get("contact");
     const std::string state = m.body.get("state");
     const auto it = contact_site_.find(contact);

@@ -31,16 +31,10 @@ GridManager::GridManager(Schedd& schedd, sim::Network& network,
       repump_(host_, "gridmanager.repump"),
       artifacts_(host_, "gridmanager.artifacts") {
   host_.register_service("gridmanager." + user_,
-                         [this](const sim::Message& m) {
-                           if (m.type == "gram.callback") on_gram_callback(m);
-                         });
+                         [this](const sim::Message& m) { dispatch(m); });
   boot_id_ = host_.add_boot([this] {
     host_.register_service("gridmanager." + user_,
-                           [this](const sim::Message& m) {
-                             if (m.type == "gram.callback") {
-                               on_gram_callback(m);
-                             }
-                           });
+                           [this](const sim::Message& m) { dispatch(m); });
     if (started_) recover_after_boot();
   });
 }
@@ -429,6 +423,19 @@ void GridManager::submit_to(std::uint64_t job_id,
                      [this, job_id] { probe(job_id); });
         }
       });
+}
+
+void GridManager::dispatch(const sim::Message& message) {
+  if (message.type == "gram.callback") {
+    on_gram_callback(message);
+    return;
+  }
+  // gram.callback is the only notify aimed at this service; anything else
+  // is drift (callbacks are one-way, so there is no error reply to send).
+  host_.metrics()
+      .counter("unknown_message",
+               {{"daemon", "gridmanager"}, {"type", message.type}})
+      .inc();
 }
 
 void GridManager::on_gram_callback(const sim::Message& message) {

@@ -160,6 +160,7 @@ class GridManager {
   std::string make_exe_content(const std::string& name) const;
   void submit_job(std::uint64_t job_id);
   void submit_to(std::uint64_t job_id, const sim::Address& gatekeeper);
+  void dispatch(const sim::Message& message);
   void on_gram_callback(const sim::Message& message);
   void probe(std::uint64_t job_id);
   void handle_remote_state(std::uint64_t job_id, const std::string& state,

@@ -178,6 +178,10 @@ void FileService::on_message(const sim::Message& message) {
     return;
   }
 
+  host_.metrics()
+      .counter("unknown_message",
+               {{"daemon", "file_service"}, {"type", message.type}})
+      .inc();
   reply.set("why", "unknown operation: " + message.type);
   sim::rpc_reply(network_, message, address(), std::move(reply));
 }

@@ -181,6 +181,10 @@ void Gatekeeper::on_message(const sim::Message& message) {
     handle_restart(message);
     return;
   }
+  host_.metrics()
+      .counter("unknown_message",
+               {{"daemon", "gatekeeper"}, {"type", message.type}})
+      .inc();
   reply.set("why", "unknown operation: " + message.type);
   sim::rpc_reply(network_, message, address(), std::move(reply));
 }

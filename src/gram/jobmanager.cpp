@@ -215,6 +215,9 @@ void JobManager::audit(std::vector<std::string>& out) const {
 }
 
 void JobManager::on_message(const sim::Message& message) {
+  // A dead JobManager process cannot reply; the GRAM client recovers via
+  // its own timeout followed by gram.restart_jobmanager.
+  // lint-allow(reply-on-all-paths): dead process, client restarts via GRAM
   if (!process_alive_) return;
   sim::Payload reply;
   reply.set_bool("ok", true);
@@ -235,6 +238,9 @@ void JobManager::on_message(const sim::Message& message) {
     return;
   }
   if (message.type == "jm.cancel") {
+    // Crash point: cancel received, not yet acted on — the GridManager's
+    // retry must find either a cancelled job or a restartable JobManager.
+    if (host_.crash_point("jobmanager.cancel_recv")) return;
     if (!is_terminal(state_)) {
       if (local_job_id_ != 0) scheduler_.cancel(local_job_id_);
       // on_local_terminal fires via the job handler for running jobs; for
@@ -247,6 +253,9 @@ void JobManager::on_message(const sim::Message& message) {
     return;
   }
   if (message.type == "jm.refresh_credential") {
+    // Crash point: refreshed proxy received but not persisted — the sender
+    // retries, and until then we keep running on the old (shorter) proxy.
+    if (host_.crash_point("jobmanager.refresh_recv")) return;
     // §4.3: the client re-forwards a refreshed proxy; our GASS traffic
     // switches to it immediately.
     forwarded_credential_ = message.body.get("credential");
@@ -256,6 +265,10 @@ void JobManager::on_message(const sim::Message& message) {
     return;
   }
   if (message.type == "jm.update_gass") {
+    // Crash point: new GASS address received but the spec file not yet
+    // rewritten — a restart must come back with the old URL and the
+    // GridManager's retry must converge on the new one.
+    if (host_.crash_point("jobmanager.update_gass_recv")) return;
     // "If the address of the GASS server should change ... the GridManager
     // requests the JobManager to update the file with the new address."
     spec_.gass_url = message.body.get("gass_url");
@@ -267,6 +280,10 @@ void JobManager::on_message(const sim::Message& message) {
     restream_output();
     return;
   }
+  host_.metrics()
+      .counter("unknown_message",
+               {{"daemon", "jobmanager"}, {"type", message.type}})
+      .inc();
   reply.set_bool("ok", false);
   reply.set("why", "unknown operation: " + message.type);
   sim::rpc_reply(network_, message, address(), std::move(reply));

@@ -44,6 +44,9 @@ void MyProxyServer::on_message(const sim::Message& message) {
   const std::string digest = passphrase_digest(message.body.get("passphrase"));
 
   if (message.type == "myproxy.store") {
+    // Crash point: store request received, credential not yet on disk —
+    // the client retries and the retried store is a plain overwrite.
+    if (host_.crash_point("myproxy.store_recv")) return;
     const auto credential =
         Credential::deserialize(message.body.get("credential"));
     if (!credential || user.empty()) {
@@ -78,6 +81,10 @@ void MyProxyServer::on_message(const sim::Message& message) {
       }
     }
   } else {
+    host_.metrics()
+        .counter("unknown_message",
+                 {{"daemon", "myproxy"}, {"type", message.type}})
+        .inc();
     reply.set_bool("ok", false);
     reply.set("why", "unknown operation");
   }

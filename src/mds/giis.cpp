@@ -138,6 +138,10 @@ void GiisServer::on_message(const sim::Message& message) {
     return;
   }
 
+  host_.metrics()
+      .counter("unknown_message",
+               {{"daemon", "giis"}, {"type", message.type}})
+      .inc();
   reply.set("why", "unknown operation: " + message.type);
   sim::rpc_reply(network_, message, address(), std::move(reply));
 }

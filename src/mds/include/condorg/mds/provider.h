@@ -53,6 +53,11 @@ class InfoProvider {
   /// reboot via a boot function).
   void start();
 
+  /// Stop the loop and send a courtesy grrp.unregister to every directory
+  /// so the entry disappears immediately; if the unregister is lost, TTL
+  /// expiry still removes it after a bounded delay.
+  void stop();
+
   std::uint64_t registrations_sent() const { return sent_; }
 
  private:

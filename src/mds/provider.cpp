@@ -27,7 +27,22 @@ void InfoProvider::start() {
   tick();
 }
 
+void InfoProvider::stop() {
+  if (!started_) return;
+  started_ = false;
+  for (const sim::Address& giis : directories_) {
+    sim::Payload payload;
+    payload.set("name", name_);
+    if (!credential_.empty()) payload.set("credential", credential_);
+    // Same delivery contract as register: fire-and-forget, TTL is the
+    // backstop if this never arrives.
+    rpc_.call(giis, "grrp.unregister", std::move(payload), 30.0,
+              [](bool, const sim::Payload&) {});
+  }
+}
+
 void InfoProvider::tick() {
+  if (!started_) return;
   const classad::ClassAd ad = snapshot_();
   for (const sim::Address& giis : directories_) {
     sim::Payload payload;

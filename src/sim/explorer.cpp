@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
 #include <set>
 #include <utility>
 
@@ -14,7 +15,31 @@ namespace {
 const char* kind_name(ExploreChoice::Kind kind) {
   return kind == ExploreChoice::Kind::kCrash ? "crash" : "event";
 }
+
+// Sorted. Kept in lockstep with the Host::crash_point call sites and the
+// crash_points claims in src/proto/protocols.json; condorg_proto.py scrapes
+// this initializer by name, so keep one string literal per line.
+constexpr const char* kEnumeratedCrashPoints[] = {
+    "gatekeeper.restart_recv",
+    "gatekeeper.submit_accepted",
+    "gatekeeper.submit_recv",
+    "gram.client.commit_send",
+    "gram.client.contact_persist",
+    "gram.client.submit_send",
+    "gridmanager.submit_ack",
+    "jobmanager.cancel_recv",
+    "jobmanager.commit_recv",
+    "jobmanager.refresh_recv",
+    "jobmanager.update_gass_recv",
+    "myproxy.store_recv",
+};
 }  // namespace
+
+const std::vector<std::string>& enumerated_crash_points() {
+  static const std::vector<std::string> points(std::begin(kEnumeratedCrashPoints),
+                                               std::end(kEnumeratedCrashPoints));
+  return points;
+}
 
 // --- ScheduleTrace ---------------------------------------------------------
 
@@ -126,6 +151,17 @@ std::size_t ScheduleOracle::pick_event(Time when, std::size_t count) {
 
 bool ScheduleOracle::inject_crash(const std::string& host, const char* point,
                                   double* downtime) {
+  const std::vector<std::string>& known = enumerated_crash_points();
+  if (!std::binary_search(known.begin(), known.end(), point)) {
+    // Record the drift whether or not we crash here: the point exists in
+    // code but not in the table, so the DFS cannot claim fault coverage.
+    if (!std::binary_search(unknown_points_.begin(), unknown_points_.end(),
+                            point)) {
+      unknown_points_.insert(std::lower_bound(unknown_points_.begin(),
+                                              unknown_points_.end(), point),
+                             point);
+    }
+  }
   if (crashes_injected_ >= config_.crash_budget) return false;
   const std::optional<std::uint32_t> forced = next_forced(
       ExploreChoice::Kind::kCrash);
@@ -162,6 +198,11 @@ Explorer::RunRecord Explorer::run_one(
   if (random_tail != nullptr) oracle.set_random_tail(*random_tail);
   RunRecord run;
   run.outcome = scenario_(oracle);
+  for (const std::string& point : oracle.unknown_points()) {
+    run.outcome.violations.push_back(
+        "explorer/unenumerated-crash-point: code offered crash point \"" +
+        point + "\" that is missing from kEnumeratedCrashPoints");
+  }
   run.record = oracle.record();
   return run;
 }

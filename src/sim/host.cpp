@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <utility>
 
 #include "condorg/sim/det.h"
@@ -143,6 +144,13 @@ void Host::remove_crash_listener(int id) {
 }
 
 void Host::register_service(const std::string& service, Handler handler) {
+  // Two live daemons behind one service name would silently steal each
+  // other's traffic; a crash clears services_ and destructors unregister,
+  // so a collision is always a wiring bug, never a recovery race.
+  if (services_.count(service) != 0) {
+    throw std::logic_error("host " + name_ + ": service '" + service +
+                           "' is already registered");
+  }
   services_[service] = std::move(handler);
 }
 

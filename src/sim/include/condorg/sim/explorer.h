@@ -24,6 +24,14 @@
 
 namespace condorg::sim {
 
+/// Every Host::crash_point site in the tree, sorted. This is the explorer's
+/// ground truth for fault coverage: the protocol spec
+/// (src/proto/protocols.json) claims these points per durable message, and
+/// tools/analyze/condorg_proto.py cross-checks spec <-> code site <-> this
+/// table, so a new crash_point() call that is not added here fails
+/// `analyze.proto`. `condorg_explore --list-crash-points` dumps it.
+const std::vector<std::string>& enumerated_crash_points();
+
 /// One recorded decision. `state_hash` is the scenario's world-state hash
 /// taken just before the decision; equal hashes mean "same state reached by
 /// a different history", which is what lets the explorer prune prefixes.
@@ -87,6 +95,13 @@ class ScheduleOracle : public ScheduleController {
   const std::vector<ExploreChoice>& record() const { return record_; }
   std::size_t crashes_injected() const { return crashes_injected_; }
 
+  /// Crash points offered to inject_crash that are absent from
+  /// enumerated_crash_points() — a code/table drift the Explorer folds into
+  /// every run's violations (sorted, deduplicated).
+  const std::vector<std::string>& unknown_points() const {
+    return unknown_points_;
+  }
+
   // ScheduleController:
   std::size_t pick_event(Time when, std::size_t count) override;
   bool inject_crash(const std::string& host, const char* point,
@@ -103,6 +118,7 @@ class ScheduleOracle : public ScheduleController {
   std::vector<ExploreChoice> record_;
   std::function<std::uint64_t()> probe_;
   std::optional<util::Rng> random_;
+  std::vector<std::string> unknown_points_;
   std::size_t cursor_ = 0;
   std::size_t crashes_injected_ = 0;
 };

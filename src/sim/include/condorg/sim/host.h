@@ -101,6 +101,8 @@ class Host {
 
   /// Install a handler for a named service on this host. Handlers are
   /// volatile: a crash removes them; boot functions must re-register.
+  /// Throws std::logic_error if the name is already taken by a live
+  /// handler — per-host service names are an address space, not a stack.
   void register_service(const std::string& service, Handler handler);
   void unregister_service(const std::string& service);
   const Handler* find_service(const std::string& service) const;

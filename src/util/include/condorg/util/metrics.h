@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -110,6 +111,13 @@ class MetricsRegistry {
 
   /// Convenience: counter value by canonical key, 0 when absent.
   std::uint64_t counter_value(std::string_view key) const;
+
+  /// Visit every counter whose canonical key starts with `prefix`, in key
+  /// order. Lets checks sweep a labelled family (e.g. every
+  /// unknown_message{...} series) without knowing the label values.
+  void for_each_counter(
+      std::string_view prefix,
+      const std::function<void(std::string_view, std::uint64_t)>& fn) const;
 
   std::size_t size() const {
     return counters_.size() + gauges_.size() + histograms_.size();

@@ -121,6 +121,16 @@ std::uint64_t MetricsRegistry::counter_value(std::string_view key) const {
   return counter ? counter->value() : 0;
 }
 
+void MetricsRegistry::for_each_counter(
+    std::string_view prefix,
+    const std::function<void(std::string_view, std::uint64_t)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    if (!std::string_view(it->first).starts_with(prefix)) break;
+    fn(it->first, it->second.value());
+  }
+}
+
 JsonValue MetricsRegistry::snapshot(double end_time) const {
   std::lock_guard<std::mutex> lock(mu_);
   JsonValue root = JsonValue::object();

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -216,6 +217,22 @@ TEST(ScheduleOracle, CrashBudgetIsEnforced) {
   // Budget spent: further requests refuse even with a forced "crash".
   EXPECT_FALSE(oracle.inject_crash("h", "p", &downtime));
   EXPECT_EQ(oracle.crashes_injected(), 1u);
+}
+
+TEST(ScheduleOracle, UnknownCrashPointIsRecorded) {
+  // kEnumeratedCrashPoints is the explorer's fault-coverage ground truth:
+  // binary_search needs it sorted, and any point offered from code that is
+  // missing from it must surface (once) through unknown_points().
+  EXPECT_TRUE(std::is_sorted(cs::enumerated_crash_points().begin(),
+                             cs::enumerated_crash_points().end()));
+  cs::ScheduleOracle::Config config;
+  cs::ScheduleOracle oracle(config, {});
+  double downtime = 0.0;
+  oracle.inject_crash("h", "jobmanager.commit_recv", &downtime);
+  oracle.inject_crash("h", "not.in.table", &downtime);
+  oracle.inject_crash("h", "not.in.table", &downtime);
+  ASSERT_EQ(oracle.unknown_points().size(), 1u);
+  EXPECT_EQ(oracle.unknown_points()[0], "not.in.table");
 }
 
 TEST(ScheduleOracle, ChoicePointBudgetStopsRecording) {

@@ -68,6 +68,23 @@ TEST_F(MdsFixture, RegisterAndLookup) {
   EXPECT_EQ(ad->eval_string("Arch"), "X86_64");
 }
 
+TEST_F(MdsFixture, StopUnregistersImmediately) {
+  int free_a = 10;
+  auto provider = make_provider(site_a, "pbs.anl.gov", 64, &free_a);
+  provider->start();
+  world.sim().run_until(10.0);
+  EXPECT_EQ(giis.live_count(), 1u);
+
+  // stop() sends a courtesy grrp.unregister: the directory entry vanishes
+  // well before the registration TTL (60s * 2.5) would age it out, and the
+  // periodic re-register loop stays quiet afterwards.
+  provider->stop();
+  world.sim().run_until(20.0);
+  EXPECT_EQ(giis.live_count(), 0u);
+  world.sim().run_until(200.0);
+  EXPECT_EQ(giis.live_count(), 0u);
+}
+
 TEST_F(MdsFixture, QueryWithConstraint) {
   int free_a = 10, free_b = 0;
   auto pa = make_provider(site_a, "pbs.anl.gov", 64, &free_a);

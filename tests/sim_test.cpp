@@ -711,6 +711,47 @@ TEST(Rpc, LateReplyAfterTimeoutIsIgnored) {
   EXPECT_FALSE(ok_result);
 }
 
+TEST(Rpc, DuplicateReplyDeliversCallbackOnce) {
+  cs::World world;
+  cs::Host& client_host = world.add_host("client");
+  cs::Host& server_host = world.add_host("server");
+  // A server that acks every request twice (a retransmit-happy peer).
+  server_host.register_service("echo", [&](const cs::Message& m) {
+    for (int i = 0; i < 2; ++i) {
+      cs::Payload reply;
+      reply.set_bool("pong", true);
+      cs::rpc_reply(world.net(), m, cs::Address{"server", "echo"},
+                    std::move(reply));
+    }
+  });
+  cs::RpcClient rpc(client_host, world.net(), "cli.rpc");
+  int calls = 0;
+  rpc.call(cs::Address{"server", "echo"}, "echo", {}, 30.0,
+           [&](bool ok, const cs::Payload&) {
+             ++calls;
+             EXPECT_TRUE(ok);
+           });
+  world.sim().run();
+  // The first reply settles the call and erases the pending entry; the
+  // duplicate must be dropped, not double-fire the callback.
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(rpc.pending(), 0u);
+}
+
+TEST(Rpc, ServiceNameCollisionThrows) {
+  cs::World world;
+  cs::Host& host = world.add_host("node");
+  host.register_service("svc", [](const cs::Message&) {});
+  EXPECT_THROW(host.register_service("svc", [](const cs::Message&) {}),
+               std::logic_error);
+  // Unregistering frees the name; so does a crash (services are volatile).
+  host.unregister_service("svc");
+  host.register_service("svc", [](const cs::Message&) {});
+  host.crash();
+  host.restart();
+  host.register_service("svc", [](const cs::Message&) {});
+}
+
 // ---------- FailureInjector ----------
 
 TEST(FailureInjector, OneShotCrashAndRecovery) {

@@ -38,7 +38,10 @@ Suppressions use the lint's format (one allowlist grammar everywhere):
   inline:      // lint-allow(<rule>): <why>
   file-level:  tools/analyze/allowlist.txt   <relpath>:<rule>  # why
 Partition rules additionally accept `det-local(<field>)` comments on
-daemon members that are deliberately raw (see rule 3).
+daemon members that are deliberately raw (see rule 3). A file-level entry
+for a partition rule that no longer suppresses anything is itself an error
+(rule: stale-suppression) — tidy.sh's burn-down policy, shared with the
+lint and the proto analyzer.
 
 Exit status: 0 = clean, 1 = violations or missing coverage, 2 = usage.
 """
@@ -78,6 +81,13 @@ PROTOCOLS = {
                "from": "user", "to": "user"},
 }
 REQUIRED_PROTOCOLS = ("GRAM", "GASS", "MDS", "GSI")
+
+# The rules this analyzer owns (stale-suppression detection judges only
+# these: tools/analyze/allowlist.txt is shared with condorg_proto.py).
+PARTITION_RULES = frozenset({
+    "mutable-global", "cross-partition-ref", "cross-partition-call",
+    "unannotated-daemon-field",
+})
 
 ANNOTATION = re.compile(r'CONDORG_HOST_LOCAL\("(\w+)"\)')
 CLASS_DECL = re.compile(r"\b(?:class|struct)\s+([A-Za-z_]\w*)\s*(?:final\s*)?"
@@ -120,6 +130,7 @@ class Analysis:
         self.violations = []        # lint.Violation
         self.mutable_globals = []   # dicts for the report
         self.edges = {}             # protocol -> edge dict
+        self.used_allows = set()    # (relpath, rule) file-level suppressions
 
 
 def iter_src_files(root):
@@ -186,6 +197,7 @@ def scan_file(analysis, path, allows):
 
     def report(idx, rule, message):
         if rule in file_allows:
+            analysis.used_allows.add((rel, rule))
             return
         if rule in lint.inline_allows(lines, idx):
             return
@@ -506,6 +518,11 @@ def main():
     build_dir = args.build_dir if os.path.isabs(args.build_dir) \
         else os.path.join(root, args.build_dir)
     engine = try_libclang_pass(analysis, root, build_dir)
+    # tidy.sh's burn-down policy: a partition-rule entry in the (shared)
+    # allowlist that suppressed nothing must be deleted. Proto-rule entries
+    # in the same file are condorg_proto.py's to police.
+    analysis.violations.extend(lint.stale_allow_violations(
+        allowlist_path, root, analysis.used_allows, PARTITION_RULES))
 
     analysis.violations.sort(key=lambda v: (v.path, v.line_no, v.rule))
     coverage_problems = check_coverage(analysis)
@@ -518,10 +535,7 @@ def main():
             fh.write("\n")
 
     if args.json:
-        print(json.dumps([{
-            "file": v.path, "line": v.line_no, "rule": v.rule,
-            "message": v.message,
-        } for v in analysis.violations], indent=2))
+        print(lint.diagnostics_json(analysis.violations))
     else:
         for v in analysis.violations:
             print(v)

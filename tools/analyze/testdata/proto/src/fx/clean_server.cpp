@@ -1,0 +1,28 @@
+// Fixture clean daemon: handles fx.ok by the book (crash point inside the
+// durable window, reply on every path, unknown-operation tail) and its
+// periodic tick re-arms. Must contribute ZERO diagnostics — this is the
+// self-test's noise floor. Never compiled.
+#include "condorg/fx/clean_server.h"
+
+namespace condorg::fx {
+
+void FxCleanServer::on_message(const sim::Message& message) {
+  sim::Payload reply;
+  if (message.type == "fx.ok") {
+    if (host_.crash_point("fixture.persist_ok")) return;
+    host_.disk().put("fx_record", message.body.get("record"));
+    reply.set_bool("ok", true);
+    sim::rpc_reply(network_, message, address(), std::move(reply));
+    return;
+  }
+  reply.set_bool("ok", false);
+  reply.set("error", "unknown operation: " + message.type);
+  sim::rpc_reply(network_, message, address(), std::move(reply));
+}
+
+void FxCleanServer::tick() {
+  publish();
+  host_.post(interval_, [this] { tick(); });
+}
+
+}  // namespace condorg::fx

@@ -1,0 +1,20 @@
+// Fixture client: declared sender for every fx request type. Scanned by
+// condorg_proto.py --self-test only; never compiled.
+#include "condorg/fx/client.h"
+
+namespace condorg::fx {
+
+void FxClient::send_all() {
+  sim::Payload payload;
+  payload.set("record", "r1");
+  rpc_->call(server_, "fx.ok", payload, kTimeout,
+             [](bool, const sim::Payload&) {});
+  rpc_->call(server_, "fx.noreply", payload, kTimeout,
+             [](bool, const sim::Payload&) {});
+  rpc_->call(server_, "fx.missing_handler", payload, kTimeout,
+             [](bool, const sim::Payload&) {});
+  rpc_->call(server_, "fx.durable_nocp", payload, kTimeout,
+             [](bool, const sim::Payload&) {});
+}
+
+}  // namespace condorg::fx

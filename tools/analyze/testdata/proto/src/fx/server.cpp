@@ -1,0 +1,42 @@
+// Fixture server seeding one violation per proto rule (plus the spec-side
+// seeds in protocols.json). Scanned by --self-test only; never compiled.
+//
+//   reply-on-all-paths    the "deny" guard in the fx.noreply arm drops the
+//                         request without replying
+//   ghost-message         the fx.ghost arm has no spec entry
+//   crash-point-coverage  crash_point("fixture.orphan") is claimed by no
+//                         spec entry and enumerated in no Explorer table
+//   timer-re-arm          FxServer::tick never re-arms itself
+//   spec-coverage         fx.missing_handler has no arm here (seeded by
+//                         omission — the spec names this file as receiver)
+#include "condorg/fx/server.h"
+
+namespace condorg::fx {
+
+void FxServer::on_message(const sim::Message& message) {
+  sim::Payload reply;
+  if (message.type == "fx.noreply") {
+    if (message.body.get("deny") == "1") return;
+    reply.set_bool("ok", true);
+    sim::rpc_reply(network_, message, address(), std::move(reply));
+    return;
+  }
+  if (message.type == "fx.durable_nocp") {
+    host_.disk().put("fx_record", message.body.get("record"));
+    reply.set_bool("ok", true);
+    sim::rpc_reply(network_, message, address(), std::move(reply));
+    return;
+  }
+  if (message.type == "fx.ghost") {
+    if (host_.crash_point("fixture.orphan")) return;
+    reply.set_bool("ok", true);
+    sim::rpc_reply(network_, message, address(), std::move(reply));
+    return;
+  }
+}
+
+void FxServer::tick() {
+  refresh_registry();
+}
+
+}  // namespace condorg::fx

@@ -1,0 +1,11 @@
+// Fixture mirror of the real Explorer's enumerated crash-point table. The
+// "fixture.stale" entry has no code site — seeded crash-point-coverage
+// violation (stale table entry). Never compiled.
+namespace condorg::sim {
+
+constexpr const char* kEnumeratedCrashPoints[] = {
+    "fixture.persist_ok",
+    "fixture.stale",
+};
+
+}  // namespace condorg::sim

@@ -45,6 +45,7 @@ struct Options {
   bool require_exhausted = false;
   bool expect_violation = false;
   bool list = false;
+  bool list_crash_points = false;
 };
 
 int usage(const char* argv0) {
@@ -55,7 +56,7 @@ int usage(const char* argv0) {
       "          [--seed N] [--require-distinct N] [--require-exhausted]\n"
       "          [--expect-violation] [--dump DIR]\n"
       "       %s --replay FILE [--scenario NAME]\n"
-      "       %s --list\n",
+      "       %s --list | --list-crash-points\n",
       argv0, argv0, argv0);
   return 2;
 }
@@ -171,6 +172,8 @@ int main(int argc, char** argv) {
     const bool has_value = i + 1 < argc;
     if (std::strcmp(arg, "--list") == 0) {
       options.list = true;
+    } else if (std::strcmp(arg, "--list-crash-points") == 0) {
+      options.list_crash_points = true;
     } else if (std::strcmp(arg, "--require-exhausted") == 0) {
       options.require_exhausted = true;
     } else if (std::strcmp(arg, "--expect-violation") == 0) {
@@ -210,6 +213,17 @@ int main(int argc, char** argv) {
     for (const std::string& name : cw::explore_scenario_names()) {
       std::printf("%s\n", name.c_str());
     }
+    return 0;
+  }
+  if (options.list_crash_points) {
+    // JSON so condorg_proto.py (or any harness) can diff the built binary's
+    // table against the spec without scraping the source.
+    std::printf("[");
+    const auto& points = condorg::sim::enumerated_crash_points();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::printf("%s\"%s\"", i == 0 ? "" : ", ", points[i].c_str());
+    }
+    std::printf("]\n");
     return 0;
   }
   if (!options.replay_path.empty()) return run_replay(options);

@@ -17,7 +17,18 @@
 //   * a type observed but never classified means the static analyzer
 //     missed a cut message — the exact bug it exists to prevent.
 //
-// Usage: condorg_profile_check <partition_report.json> [--dump profile.json]
+// With --proto, the gate becomes three-way: the checked-in protocol spec
+// (src/proto/protocols.json, exported by tools/analyze/condorg_proto.py
+// into proto_report.json) must equal the static cut, and the dynamic
+// matrix must be a subset of the spec:
+//
+//     spec == static extraction ⊇ dynamic matrix
+//
+// so a message type cannot enter the island cut without a spec entry, and
+// a spec entry cannot outlive the code that sends it.
+//
+// Usage: condorg_profile_check <partition_report.json>
+//            [--proto proto_report.json] [--dump profile.json]
 // Exit:  0 = sets agree, 1 = mismatch (details on stderr),
 //        77 = report missing (ctest SKIP_RETURN_CODE).
 
@@ -240,22 +251,25 @@ Observation run_scenario(std::vector<std::string>& problems) {
 
 int main(int argc, char** argv) {
   std::string report_path;
+  std::string proto_path;
   std::string dump_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--dump" && i + 1 < argc) {
       dump_path = argv[++i];
+    } else if (arg == "--proto" && i + 1 < argc) {
+      proto_path = argv[++i];
     } else if (report_path.empty()) {
       report_path = arg;
     } else {
       std::cerr << "usage: condorg_profile_check <partition_report.json>"
-                   " [--dump profile.json]\n";
+                   " [--proto proto_report.json] [--dump profile.json]\n";
       return 2;
     }
   }
   if (report_path.empty()) {
     std::cerr << "usage: condorg_profile_check <partition_report.json>"
-                 " [--dump profile.json]\n";
+                 " [--proto proto_report.json] [--dump profile.json]\n";
     return 2;
   }
 
@@ -275,7 +289,62 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> problems;
   const std::set<std::string> classified = static_cut(*report, problems);
+
+  // Spec leg of the triangle (optional, third analyzer's report).
+  bool have_spec = false;
+  std::set<std::string> spec;
+  if (!proto_path.empty()) {
+    std::ifstream proto_in(proto_path);
+    if (!proto_in) {
+      std::cout << "SKIP: " << proto_path
+                << " not found (run the analyze.proto stage first)\n";
+      return 77;
+    }
+    std::stringstream proto_buffer;
+    proto_buffer << proto_in.rdbuf();
+    const auto proto = util::JsonValue::parse(proto_buffer.str());
+    if (!proto) {
+      std::cerr << "FAIL: " << proto_path << " is not valid JSON\n";
+      return 1;
+    }
+    const util::JsonValue* cut_types = proto->find("cut_types");
+    if (cut_types == nullptr) {
+      std::cerr << "FAIL: " << proto_path << " has no cut_types\n";
+      return 1;
+    }
+    have_spec = true;
+    for (const util::JsonValue& type : cut_types->items()) {
+      spec.insert(type.as_string());
+    }
+    // spec == static: every spec'd cut type must be classified as crossing
+    // by the partition analyzer, and vice versa.
+    for (const std::string& type : spec) {
+      if (classified.count(type) == 0) {
+        problems.push_back(
+            "in protocol spec but not in the static cut: " + type);
+      }
+    }
+    for (const std::string& type : classified) {
+      if (spec.count(type) == 0) {
+        problems.push_back(
+            "in the static cut but missing from the protocol spec: " + type);
+      }
+    }
+  }
+
   const Observation observed = run_scenario(problems);
+
+  // spec ⊇ dynamic: nothing may cross the cut without a spec entry. (The
+  // reverse is not required here — spec == static already ties the spec to
+  // the code, and static == dynamic is checked below.)
+  if (have_spec) {
+    for (const std::string& type : observed.cross_partition) {
+      if (spec.count(type) == 0) {
+        problems.push_back(
+            "observed crossing but missing from the protocol spec: " + type);
+      }
+    }
+  }
 
   for (const std::string& type : classified) {
     if (observed.cross_partition.count(type) == 0) {
@@ -295,13 +364,17 @@ int main(int argc, char** argv) {
 
   std::cout << "classified cut types: " << classified.size()
             << ", observed cross-partition types: "
-            << observed.cross_partition.size() << "\n";
+            << observed.cross_partition.size();
+  if (have_spec) std::cout << ", spec cut types: " << spec.size();
+  std::cout << "\n";
   if (!problems.empty()) {
     for (const std::string& problem : problems) {
       std::cerr << "FAIL: " << problem << "\n";
     }
     return 1;
   }
-  std::cout << "OK: traffic matrix agrees with the static cut\n";
+  std::cout << (have_spec
+                    ? "OK: spec == static cut ⊇ dynamic traffic matrix\n"
+                    : "OK: traffic matrix agrees with the static cut\n");
   return 0;
 }

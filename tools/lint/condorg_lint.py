@@ -65,6 +65,11 @@ Suppressions, in order of preference:
   3. File-level, in tools/lint/allowlist.txt:   <relpath>:<rule>  # why
      for rules that are structurally fine in that one file.
 
+A file-level entry that no longer suppresses anything is itself an error
+(rule: stale-suppression) on full-tree runs — the same burn-down policy as
+scripts/tidy.sh: stale entries must be deleted, or they silently swallow
+the next genuine finding in that file.
+
 Exit status: 0 = clean, 1 = unallowlisted violations, 2 = usage error.
 """
 
@@ -75,6 +80,15 @@ import re
 import sys
 
 SRC_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+
+# Every rule this engine can emit (stale-suppression detection judges only
+# its own rules: the shared tools/analyze/allowlist.txt also carries
+# partition- and proto-rule entries policed by those analyzers).
+LINT_RULES = frozenset({
+    "banned-rand", "wall-clock", "schedd-full-scan", "direct-io",
+    "raw-threading", "unordered-iteration", "unordered-trace-emit",
+    "virtual-in-derived", "unchecked-function-call", "unbalanced-span",
+})
 
 # ---------------------------------------------------------------------------
 # Simple single-line rules: (rule, regex, message)
@@ -235,7 +249,7 @@ def _collect_decls(lines):
     return unordered_names, function_names
 
 
-def lint_file(path, rel, file_allows, root, header_cache):
+def lint_file(path, rel, file_allows, root, header_cache, used_allows=None):
     with open(path, encoding="utf-8", errors="replace") as fh:
         lines = fh.read().splitlines()
 
@@ -243,6 +257,8 @@ def lint_file(path, rel, file_allows, root, header_cache):
 
     def report(idx, rule, message):
         if rule in file_allows:
+            if used_allows is not None:
+                used_allows.add((rel, rule))
             return
         if rule in inline_allows(lines, idx):
             return
@@ -385,13 +401,14 @@ def _skip_template(text):
     return text
 
 
-def load_allowlist(path):
-    """Map relpath -> set of allowed rules."""
-    allows = {}
+def allowlist_entries(path):
+    """Parse an allowlist into (relpath, rule, line_no) tuples — the line
+    number anchors stale-suppression diagnostics on the entry itself."""
+    entries = []
     if not os.path.exists(path):
-        return allows
+        return entries
     with open(path, encoding="utf-8") as fh:
-        for raw in fh:
+        for line_no, raw in enumerate(fh, start=1):
             line = raw.split("#", 1)[0].strip()
             if not line:
                 continue
@@ -400,8 +417,43 @@ def load_allowlist(path):
                       file=sys.stderr)
                 sys.exit(2)
             rel, rule = line.rsplit(":", 1)
-            allows.setdefault(rel.strip(), set()).add(rule.strip())
+            entries.append((rel.strip(), rule.strip(), line_no))
+    return entries
+
+
+def load_allowlist(path):
+    """Map relpath -> set of allowed rules."""
+    allows = {}
+    for rel, rule, _ in allowlist_entries(path):
+        allows.setdefault(rel, set()).add(rule)
     return allows
+
+
+def stale_allow_violations(allowlist_path, root, used_allows, rule_set):
+    """tidy.sh's burn-down policy, ported: on a full-tree run, a file-level
+    entry (for a rule in rule_set) that suppressed nothing is debt that
+    outlived its finding and must be deleted."""
+    rel = os.path.relpath(allowlist_path, root)
+    stale = []
+    for entry_rel, rule, line_no in allowlist_entries(allowlist_path):
+        if rule not in rule_set:
+            continue
+        if (entry_rel, rule) not in used_allows:
+            stale.append(Violation(
+                rel, line_no, "stale-suppression",
+                f"allowlist entry {entry_rel}:{rule} matched no diagnostic "
+                "— delete it (suppressions must burn down, not linger)"))
+    return stale
+
+
+def diagnostics_json(violations):
+    """The one --json schema all three analyzers share: a JSON array sorted
+    by (file, line, rule)."""
+    ordered = sorted(violations, key=lambda v: (v.path, v.line_no, v.rule))
+    return json.dumps([{
+        "file": v.path, "line": v.line_no, "rule": v.rule,
+        "message": v.message,
+    } for v in ordered], indent=2)
 
 
 def self_test(root):
@@ -492,19 +544,23 @@ def main():
 
     violations = []
     header_cache = {}
+    used_allows = set()
     for path in files:
         rel = os.path.relpath(path, root)
         violations.extend(
-            lint_file(path, rel, allows.get(rel, set()), root, header_cache))
+            lint_file(path, rel, allows.get(rel, set()), root, header_cache,
+                      used_allows))
+    # Stale suppressions fail the gate too — but only on full-tree runs;
+    # a restricted scan cannot tell "stale" from "not scanned this time".
+    if not args.paths:
+        violations.extend(stale_allow_violations(
+            allowlist_path, root, used_allows, LINT_RULES))
     # Deterministic output order regardless of scan order: diffable across
     # runs and machines, and what the partition analyzer merges against.
     violations.sort(key=lambda v: (v.path, v.line_no, v.rule))
 
     if args.json:
-        print(json.dumps([{
-            "file": v.path, "line": v.line_no, "rule": v.rule,
-            "message": v.message,
-        } for v in violations], indent=2))
+        print(diagnostics_json(violations))
         return 1 if violations else 0
 
     for v in violations:
