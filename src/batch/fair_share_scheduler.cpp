@@ -1,8 +1,75 @@
 #include "condorg/batch/fair_share_scheduler.h"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 
 namespace condorg::batch {
+
+void FairShareTable::note_user(const std::string& user) {
+  users_.try_emplace(user);
+}
+
+void FairShareTable::charge(const std::string& user, double amount,
+                            double now) {
+  UserState& state = users_[user];
+  state.usage = decayed(state, now) + amount;
+  state.usage_as_of = now;
+}
+
+void FairShareTable::note_starved(const std::string& user) {
+  ++users_[user].starvation;
+}
+
+void FairShareTable::note_served(const std::string& user) {
+  users_[user].starvation = 0;
+}
+
+double FairShareTable::effective_usage(const std::string& user,
+                                       double now) const {
+  const auto it = users_.find(user);
+  return it == users_.end() ? 0.0 : decayed(it->second, now);
+}
+
+int FairShareTable::starvation(const std::string& user) const {
+  const auto it = users_.find(user);
+  return it == users_.end() ? 0 : it->second.starvation;
+}
+
+double FairShareTable::decayed(const UserState& state, double now) const {
+  if (state.usage == 0.0) return 0.0;
+  const double dt = now - state.usage_as_of;
+  if (dt <= 0.0 || options_.half_life <= 0.0) return state.usage;
+  return state.usage * std::exp2(-dt / options_.half_life);
+}
+
+std::vector<std::string> FairShareTable::priority_order(double now) const {
+  struct Row {
+    const std::string* name;
+    double usage;
+    int starvation;
+  };
+  std::vector<Row> rows;
+  rows.reserve(users_.size());
+  for (const auto& [name, state] : users_) {
+    rows.push_back(Row{&name, decayed(state, now), state.starvation});
+  }
+  const int threshold = options_.starvation_threshold;
+  std::stable_sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
+    const bool a_starved = a.starvation >= threshold;
+    const bool b_starved = b.starvation >= threshold;
+    if (a_starved != b_starved) return a_starved;
+    if (a_starved && b_starved && a.starvation != b.starvation) {
+      return a.starvation > b.starvation;
+    }
+    if (a.usage != b.usage) return a.usage < b.usage;
+    return *a.name < *b.name;
+  });
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) out.push_back(*row.name);
+  return out;
+}
 
 std::size_t FairShareScheduler::pick_next(int free) const {
   const auto& q = queue();

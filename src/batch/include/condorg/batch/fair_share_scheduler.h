@@ -1,9 +1,69 @@
 // LSF/LoadLeveler-style fair-share scheduler.
 #pragma once
 
+#include <map>
+#include <string>
+#include <vector>
+
 #include "condorg/batch/local_scheduler.h"
 
 namespace condorg::batch {
+
+/// Cross-user fair-share accounting for negotiation-time fairness.
+///
+/// The per-site FairShareScheduler below orders one cluster's queue by raw
+/// accumulated usage; this table is the pool-wide generalization the
+/// Negotiator consults each cycle. Usage decays exponentially (half-life),
+/// so a user's past consumption stops counting against them over time, and
+/// users whose idle jobs keep losing cycles accrue a starvation count that
+/// eventually promotes them ahead of everyone else — the classic
+/// effective-usage + aging hybrid.
+class FairShareTable {
+ public:
+  struct Options {
+    /// Effective usage halves every this many simulated seconds.
+    double half_life = 3600.0;
+    /// Cycles a user may sit with pending-but-unmatched jobs before being
+    /// promoted ahead of the usage order.
+    int starvation_threshold = 8;
+  };
+
+  FairShareTable() = default;
+  explicit FairShareTable(Options options) : options_(options) {}
+
+  /// Make `user` known to the table (idempotent). priority_order() is a
+  /// permutation of exactly the users noted so far.
+  void note_user(const std::string& user);
+
+  /// Charge `amount` (slot-seconds, or simply matches) of usage at `now`.
+  void charge(const std::string& user, double amount, double now);
+
+  /// The user had pending jobs this cycle and none matched / at least one
+  /// matched. Served resets the starvation count.
+  void note_starved(const std::string& user);
+  void note_served(const std::string& user);
+
+  /// Usage decayed to `now`.
+  double effective_usage(const std::string& user, double now) const;
+  int starvation(const std::string& user) const;
+  std::size_t user_count() const { return users_.size(); }
+
+  /// The cross-user negotiation order: starving users first (most starved
+  /// wins, name breaks ties), then everyone else by ascending effective
+  /// usage (name breaks ties). Always a permutation of the noted users.
+  std::vector<std::string> priority_order(double now) const;
+
+ private:
+  struct UserState {
+    double usage = 0.0;
+    double usage_as_of = 0.0;
+    int starvation = 0;
+  };
+  double decayed(const UserState& state, double now) const;
+
+  Options options_;
+  std::map<std::string, UserState> users_;
+};
 
 /// Dispatches the oldest queued job of the *least-served* owner (by
 /// accumulated CPU-seconds), so one user cannot monopolize the cluster —

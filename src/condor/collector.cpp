@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "condorg/classad/parser.h"
+#include "condorg/util/rng.h"
 
 namespace condorg::condor {
 
@@ -11,12 +12,24 @@ Collector::Collector(sim::Host& host, sim::Network& network)
     : host_(host),
       network_(network),
       entries_(host, "collector.entries"),
-      expiry_heap_(host, "collector.expiry_heap") {
+      expiry_heap_(host, "collector.expiry_heap"),
+      shards_(host, "collector.shards"),
+      delta_log_(host, "collector.delta_log"),
+      change_seq_(host, "collector.change_seq", 0),
+      noop_updates_(host, "collector.noop_updates", 0),
+      noop_counter_(host.metrics().counter("collector_noop_updates",
+                                           {{"host", host.name()}})) {
   install();
   boot_id_ = host_.add_boot([this] { install(); });
   crash_listener_ = host_.add_crash_listener([this] {
     entries_->clear();
     expiry_heap_->clear();
+    shards_->clear();
+    delta_log_->clear();
+    // Sequence resets with the incarnation: a subscriber holding a larger
+    // sequence number learns it must resync instead of trusting "no new
+    // deltas" from an empty reborn pool.
+    *change_seq_ = 0;
   });
 }
 
@@ -31,20 +44,84 @@ void Collector::install() {
                          [this](const sim::Message& m) { on_message(m); });
 }
 
+std::string Collector::shard_of(const classad::ClassAd& ad) {
+  if (const auto universe = ad.eval_string("JobUniverse")) {
+    const auto status = ad.eval_string("JobStatus");
+    return "job/" + *universe + "/" + (status ? *status : "Idle");
+  }
+  if (const auto state = ad.eval_string("State")) {
+    return "machine/" + *state;
+  }
+  return "other";
+}
+
+void Collector::record_delta(const std::string& name, const std::string& shard,
+                             AdPtr ad, std::uint64_t checksum) const {
+  ++*change_seq_;
+  delta_log_->push_back(
+      Delta{*change_seq_, name, shard, std::move(ad), checksum});
+  if (delta_log_->size() > kDeltaLogCap) {
+    // Drop the older half in one move; readers that fall behind the floor
+    // resync from a full query.
+    delta_log_->erase(delta_log_->begin(),
+                      delta_log_->begin() + kDeltaLogCap / 2);
+  }
+}
+
+void Collector::drop_entry(const std::string& name, const Entry& entry) const {
+  const auto shard_it = shards_->find(entry.shard);
+  if (shard_it != shards_->end()) {
+    shard_it->second.erase(name);
+    if (shard_it->second.empty()) shards_->erase(shard_it);
+  }
+  record_delta(name, entry.shard, nullptr, 0);
+}
+
 void Collector::on_message(const sim::Message& message) {
   if (message.type == "collector.advertise") {
     const std::string name = message.body.get("name");
     if (name.empty()) return;
-    try {
-      Entry entry;
-      entry.ad = std::make_shared<const classad::ClassAd>(
-          classad::parse_ad(message.body.get("ad")));
-      entry.expires_at = host_.now() + message.body.get_double("ttl", 900.0);
-      expiry_heap_->push_back(Deadline{entry.expires_at, name});
+    const std::string raw = message.body.get("ad");
+    const std::uint64_t checksum = util::fnv1a(raw);
+    const sim::Time expires_at =
+        host_.now() + message.body.get_double("ttl", 900.0);
+    const auto push_deadline = [this](sim::Time when, const std::string& n) {
+      expiry_heap_->push_back(Deadline{when, n});
       std::push_heap(expiry_heap_->begin(), expiry_heap_->end(),
                      [](const Deadline& a, const Deadline& b) {
                        return a.after(b);
                      });
+    };
+    const auto it = entries_->find(name);
+    if (it != entries_->end() && it->second.checksum == checksum) {
+      // Content-identical re-publish: refresh the lease, leave the views
+      // and the change sequence alone.
+      it->second.expires_at = expires_at;
+      push_deadline(expires_at, name);
+      ++*noop_updates_;
+      noop_counter_.inc();
+      ++ads_received_;
+      return;
+    }
+    try {
+      Entry entry;
+      entry.ad = std::make_shared<const classad::ClassAd>(
+          classad::parse_ad(raw));
+      entry.expires_at = expires_at;
+      entry.checksum = checksum;
+      entry.shard = shard_of(*entry.ad);
+      if (it != entries_->end() && it->second.shard != entry.shard) {
+        // The ad migrated shards (e.g. Unclaimed -> Claimed): retire it
+        // from the old view before the new one records the change.
+        const auto old_it = shards_->find(it->second.shard);
+        if (old_it != shards_->end()) {
+          old_it->second.erase(name);
+          if (old_it->second.empty()) shards_->erase(old_it);
+        }
+      }
+      (*shards_)[entry.shard].insert(name);
+      record_delta(name, entry.shard, entry.ad, entry.checksum);
+      push_deadline(expires_at, name);
       (*entries_)[name] = std::move(entry);
       ++ads_received_;
     } catch (const classad::ParseError&) {
@@ -53,7 +130,7 @@ void Collector::on_message(const sim::Message& message) {
     return;
   }
   if (message.type == "collector.invalidate") {
-    entries_->erase(message.body.get("name"));
+    invalidate(message.body.get("name"));
     return;
   }
   // Advertise traffic is one-way (UDP-like), so there is no error reply to
@@ -77,6 +154,7 @@ void Collector::prune() const {
     // Stale node if the name was re-advertised with a later deadline (the
     // newer node is still in the heap) or explicitly invalidated.
     if (it != entries_->end() && it->second.expires_at <= now) {
+      drop_entry(it->first, it->second);
       entries_->erase(it);
     }
   }
@@ -97,11 +175,71 @@ std::vector<Collector::AdPtr> Collector::query(
   return out;
 }
 
+bool Collector::query_delta(std::uint64_t since,
+                            std::vector<Delta>& out) const {
+  prune();  // expiries become tombstone deltas before the replay
+  if (since > *change_seq_) return false;  // a previous incarnation's seq
+  if (since == *change_seq_) return true;  // fully caught up
+  if (delta_log_->empty() || delta_log_->front().seq > since + 1) {
+    return false;  // log truncated past the subscriber's position
+  }
+  for (const Delta& delta : *delta_log_) {
+    if (delta.seq > since) out.push_back(delta);
+  }
+  return true;
+}
+
+std::vector<Collector::AdPtr> Collector::query_shard(
+    const std::string& shard) const {
+  prune();
+  std::vector<AdPtr> out;
+  const auto it = shards_->find(shard);
+  if (it == shards_->end()) return out;
+  out.reserve(it->second.size());
+  for (const std::string& name : it->second) {
+    const auto entry = entries_->find(name);
+    if (entry != entries_->end()) out.push_back(entry->second.ad);
+  }
+  return out;
+}
+
+std::vector<std::string> Collector::shard_names() const {
+  prune();
+  std::vector<std::string> out;
+  out.reserve(shards_->size());
+  for (const auto& [shard, names] : *shards_) out.push_back(shard);
+  return out;
+}
+
+std::size_t Collector::shard_size(const std::string& shard) const {
+  prune();
+  const auto it = shards_->find(shard);
+  return it == shards_->end() ? 0 : it->second.size();
+}
+
+std::map<std::string, std::uint64_t> Collector::checksums() const {
+  prune();
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, entry] : *entries_) out[name] = entry.checksum;
+  return out;
+}
+
+Collector::AdPtr Collector::lookup(const std::string& name) const {
+  prune();
+  const auto it = entries_->find(name);
+  return it == entries_->end() ? nullptr : it->second.ad;
+}
+
 std::size_t Collector::live_count() const {
   prune();
   return entries_->size();
 }
 
-void Collector::invalidate(const std::string& name) { entries_->erase(name); }
+void Collector::invalidate(const std::string& name) {
+  const auto it = entries_->find(name);
+  if (it == entries_->end()) return;
+  drop_entry(it->first, it->second);
+  entries_->erase(it);
+}
 
 }  // namespace condorg::condor

@@ -1,0 +1,198 @@
+// Pool-wide incremental (delta) Negotiator.
+//
+// The personal Negotiator (negotiator.h) re-reads the whole pool every
+// cycle — fine for one user's private Collector, fatal at the portal scale
+// of ROADMAP item 1 (thousands of agents sharing one central pool). This
+// daemon colocates with the central Collector and subscribes to its change
+// sequence instead: each cycle replays only the ads that changed since the
+// last cycle, so the steady-state cost tracks churn, not pool size. Jobs
+// enter the pool as *job ads* published by each user's PoolRunner; matches
+// go back to the owning runner as a `negotiator.match` notify.
+//
+// Soundness of the restriction: a pending job that failed against every
+// then-eligible slot can, while both sides stay unchanged, never start
+// matching — so a *clean* job need only be retried against slots that
+// changed, while a *dirty* job (its ad changed) retries everything. A
+// periodic anti-entropy sweep proves it: the mirror is checksum-compared
+// against a full Collector read and the delta-restricted matcher's output
+// is compared against the retained full-scan reference matcher on the same
+// state. Divergence surfaces through audit() as an invariant violation.
+//
+// Cross-user fairness is enforced here, at negotiation time: candidate
+// jobs are ordered by batch::FairShareTable (decayed effective usage,
+// starvation promotion) before the greedy matcher runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "condorg/batch/fair_share_scheduler.h"
+#include "condorg/classad/classad.h"
+#include "condorg/condor/collector.h"
+#include "condorg/condor/negotiator.h"
+#include "condorg/sim/det.h"
+#include "condorg/sim/host.h"
+#include "condorg/sim/rpc.h"
+#include "condorg/util/metrics.h"
+
+namespace condorg::condor {
+
+struct PoolNegotiatorOptions {
+  double cycle_period = 60.0;
+  /// Selects negotiable machine ads out of the mirror.
+  std::string slot_constraint = "State == \"Unclaimed\"";
+  /// Anti-entropy: every Nth cycle re-reads the full pool, checksum-audits
+  /// the mirror, and cross-checks the delta matcher against the full-scan
+  /// reference. 0 disables (tests only).
+  int full_sweep_every = 16;
+  /// A match puts a local hold on both sides until the claim shows up as an
+  /// ad change; a lost claim lapses after this long and both sides re-enter
+  /// negotiation as changed.
+  double hold_timeout = 180.0;
+  batch::FairShareTable::Options fair_share;
+};
+
+class PoolNegotiator {
+ public:
+  /// Central-manager daemon, same host as the pool Collector.
+  CONDORG_HOST_LOCAL("central");
+
+  static constexpr const char* kService = "condor.pool_negotiator";
+
+  using Options = PoolNegotiatorOptions;
+  /// Wall-clock source for benchmark timing; unset (the default) means no
+  /// timing is taken — simulation behavior never depends on it.
+  using Clock = std::function<std::uint64_t()>;
+
+  PoolNegotiator(sim::Host& host, sim::Network& network, Collector& collector,
+                 Options options = {});
+  ~PoolNegotiator();
+
+  PoolNegotiator(const PoolNegotiator&) = delete;
+  PoolNegotiator& operator=(const PoolNegotiator&) = delete;
+
+  /// Begin periodic cycles.
+  void start();
+
+  /// Run one cycle immediately; returns matches made.
+  std::size_t negotiate_once();
+
+  /// Run the retained full-requery reference path once, with no
+  /// side-effects on the pool: full Collector query plus full-scan
+  /// reference matcher over every pending job. Returns the matches it
+  /// would have made. This is the baseline the delta path is benchmarked
+  /// (and audited) against.
+  std::vector<Match> reference_matches();
+
+  // --- statistics ---
+  std::uint64_t cycles() const { return *cycles_; }
+  std::uint64_t matches_made() const { return *matches_; }
+  std::uint64_t skipped_cycles() const { return *skipped_cycles_; }
+  std::uint64_t full_resyncs() const { return *full_resyncs_; }
+  std::uint64_t sweeps() const { return *sweeps_; }
+  std::uint64_t divergences() const { return *divergences_; }
+  const std::map<std::string, std::uint64_t>& matched_by_user() const {
+    return *matched_by_user_;
+  }
+  std::size_t mirror_size() const { return mirror_->size(); }
+  batch::FairShareTable& fair_share() { return *fair_share_; }
+
+  /// Invariant-audit hook: appends one line per recorded anti-entropy
+  /// divergence or delta-vs-reference matcher disagreement.
+  void audit(std::vector<std::string>& out) const;
+
+  // --- benchmark timing (inert unless a clock is injected) ---
+  void set_clock(Clock clock) { clock_ = std::move(clock); }
+  const std::vector<std::uint64_t>& delta_cycle_ns() const {
+    return delta_cycle_ns_;
+  }
+  const std::vector<std::uint64_t>& reference_cycle_ns() const {
+    return reference_cycle_ns_;
+  }
+
+ private:
+  struct MirrorEntry {
+    Collector::AdPtr ad;
+    std::uint64_t checksum = 0;
+    bool is_job = false;
+    std::string user;         // job ads only
+    double hold_until = -1.0;  // >= now: matched, claim in flight
+  };
+  /// A job or slot eligible for this cycle's matcher.
+  struct Candidate {
+    const std::string* name = nullptr;
+    const MirrorEntry* entry = nullptr;
+    bool changed = false;
+  };
+
+  void cycle();
+  /// Throw away the mirror and rebuild it from a full Collector read.
+  void resync();
+  /// Apply this cycle's deltas; returns the set of changed ad names.
+  /// Sets `resynced` when the log could not serve us and a full rebuild
+  /// happened instead.
+  std::vector<std::string> ingest_deltas(bool& resynced);
+  static bool classify_job(const classad::ClassAd& ad, std::string& user);
+  bool slot_eligible(const MirrorEntry& entry, double now) const;
+  bool job_pending(const MirrorEntry& entry, double now) const;
+  /// Greedy fair-share matcher: `jobs` in priority order, each tried
+  /// against every unheld slot (dirty jobs) or only changed slots (clean
+  /// jobs). Byte-equivalent to the reference matcher under the delta
+  /// invariant (the sweep enforces this).
+  std::vector<Match> match_candidates(const std::vector<Candidate>& jobs,
+                                      const std::vector<Candidate>& slots,
+                                      bool everything_changed) const;
+  /// Order pending jobs: FairShareTable user order, then ad name.
+  std::vector<Candidate> ordered_pending_jobs(
+      const std::vector<std::string>& changed, bool all_changed, double now);
+  std::vector<Candidate> eligible_slots(const std::vector<std::string>& changed,
+                                        bool all_changed, double now) const;
+  void record_violation(const std::string& text);
+  void run_sweep(const std::vector<Match>& delta_matches,
+                 const std::vector<Candidate>& jobs,
+                 const std::vector<Candidate>& slots);
+
+  sim::Host& host_;
+  Collector& collector_;
+  Options options_;
+  classad::ExprPtr slot_constraint_;
+  sim::RpcClient rpc_;
+  Clock clock_;
+
+  det::HostLocal<std::map<std::string, MirrorEntry>> mirror_;
+  /// Names (jobs and slots) with an active match hold: exactly the mirror
+  /// entries whose hold_until >= 0. Indexed separately so the per-cycle
+  /// lapse check costs O(active holds), not O(pool).
+  det::HostLocal<std::map<std::string, double>> holds_;
+  det::HostLocal<std::uint64_t> last_seq_;
+  det::HostLocal<batch::FairShareTable> fair_share_;
+  det::HostLocal<std::map<std::string, std::uint64_t>> matched_by_user_;
+  det::HostLocal<std::vector<std::string>> violations_;
+
+  det::HostLocal<std::uint64_t> cycles_;
+  det::HostLocal<std::uint64_t> matches_;
+  det::HostLocal<std::uint64_t> skipped_cycles_;
+  det::HostLocal<std::uint64_t> full_resyncs_;
+  det::HostLocal<std::uint64_t> sweeps_;
+  det::HostLocal<std::uint64_t> divergences_;
+
+  util::Counter& cycles_counter_;
+  util::Counter& matches_counter_;
+  util::Counter& skipped_counter_;
+  util::Counter& divergence_counter_;
+
+  // det-local(delta_cycle_ns_): bench-only wall timings, written and read
+  // solely by the benchmark harness; simulation behavior never reads them.
+  std::vector<std::uint64_t> delta_cycle_ns_;
+  // det-local(reference_cycle_ns_): same bench-only timing side channel.
+  std::vector<std::uint64_t> reference_cycle_ns_;
+
+  bool started_ = false;
+  int boot_id_ = 0;
+  int crash_listener_ = 0;
+};
+
+}  // namespace condorg::condor

@@ -78,7 +78,10 @@ void Startd::send_ad() {
   ad.insert_string("Name", slot_name_);
   ad.insert_string("MyAddress", address().str());
   ad.insert_string("State", to_string(state_));
-  ad.insert_real("MyCurrentTime", host_.now());
+  // Deliberately no heartbeat timestamp: liveness is the TTL refresh, and a
+  // content-stable ad lets the Collector's checksum no-op path absorb the
+  // periodic re-advertise instead of fanning it out as a delta to every
+  // subscriber.
   sim::Payload payload;
   payload.set("name", slot_name_);
   payload.set("ad", ad.unparse());

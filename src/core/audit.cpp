@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "condorg/condor/pool_negotiator.h"
 #include "condorg/core/agent.h"
 #include "condorg/core/credential_manager.h"
 #include "condorg/core/gridmanager.h"
@@ -149,6 +150,16 @@ StandardAuditor::StandardAuditor(sim::Simulation& sim, std::uint64_t period)
           }
         }
       });
+  auditor_.add_check(
+      "cross/metric-cardinality", [this](std::vector<std::string>& out) {
+        // The registry's label-cardinality guard must actually hold: no
+        // metric family may carry more distinct non-`other` label sets than
+        // the cap. A violation means series were minted behind the guard's
+        // back (e.g. a direct map insert bypassing the capped lookup).
+        for (std::string& line : sim_.metrics().cardinality_violations()) {
+          out.push_back(std::move(line));
+        }
+      });
   sim_.attach_auditor(&auditor_, period);
 }
 
@@ -185,6 +196,15 @@ void StandardAuditor::attach_gatekeeper(gram::Gatekeeper& gatekeeper) {
   auditor_.add_check("gatekeeper/" + gatekeeper.host().name(),
                      [&gatekeeper](std::vector<std::string>& out) {
                        gatekeeper.audit(out);
+                     });
+}
+
+void StandardAuditor::attach_pool_negotiator(
+    condor::PoolNegotiator& negotiator) {
+  auditor_.add_check("pool_negotiator/#" +
+                         std::to_string(auditor_.check_count()),
+                     [&negotiator](std::vector<std::string>& out) {
+                       negotiator.audit(out);
                      });
 }
 

@@ -1,0 +1,114 @@
+// Per-user pool runner: the agent-side half of the shared-pool scale-out.
+//
+// Where VanillaRunner runs a *personal* Negotiator against a *personal*
+// Collector, the PoolRunner participates in one shared central pool: it
+// accepts admitted job batches from the Portal (`portal.deliver`, with a
+// persisted dedup marker so redelivery is idempotent), publishes a window
+// of the user's idle jobs as *job ads* to the central Collector, and acts
+// on `negotiator.match` notifications from the pool Negotiator by spawning
+// a Shadow against the matched slot — the same claim protocol as
+// VanillaRunner, different matchmaking topology.
+//
+// The publish window is one job ad at a time: the central pool sees one
+// pending ad per user (keeping the shared Collector proportional to the
+// community, not the backlog), and each completion rolls the window
+// forward. A delivery that would push the Schedd past `max_active` live
+// jobs is rejected "busy" and stays queued at the portal — backpressure
+// instead of a million-record queue.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "condorg/condor/shadow.h"
+#include "condorg/core/schedd.h"
+#include "condorg/sim/host.h"
+#include "condorg/sim/lifetime.h"
+#include "condorg/sim/network.h"
+#include "condorg/sim/rpc.h"
+
+namespace condorg::core {
+
+struct PoolRunnerOptions {
+  /// The shared central Collector job ads are published to.
+  sim::Address collector;
+  /// TTL-refresh period for the published ad; an unchanged re-publish is a
+  /// no-op at the Collector (checksum match), so this is cheap.
+  double advertise_period = 300.0;
+  double ad_ttl_factor = 3.0;
+  /// Schedd admission cap: deliveries that would exceed this many live
+  /// (idle+running+held) jobs are rejected "busy" back to the portal.
+  std::size_t max_active = 8;
+  condor::ShadowOptions shadow;
+};
+
+class PoolRunner {
+ public:
+  /// Runs on the user's submit host, next to their Schedd.
+  CONDORG_HOST_LOCAL("user");
+
+  static constexpr const char* kService = "pool_runner";
+
+  using Options = PoolRunnerOptions;
+
+  PoolRunner(Schedd& schedd, sim::Network& network, Options options);
+  ~PoolRunner();
+
+  PoolRunner(const PoolRunner&) = delete;
+  PoolRunner& operator=(const PoolRunner&) = delete;
+
+  sim::Address address() const { return {host_.name(), kService}; }
+
+  /// Begin advertising (and re-advertising) the publish window.
+  void start();
+
+  // --- statistics ---
+  std::uint64_t deliveries_accepted() const { return deliveries_accepted_; }
+  std::uint64_t duplicate_deliveries() const { return duplicate_deliveries_; }
+  std::uint64_t busy_rejections() const { return busy_rejections_; }
+  std::uint64_t matches_received() const { return matches_received_; }
+  std::uint64_t stale_matches() const { return stale_matches_; }
+  std::uint64_t shadows_spawned() const { return shadows_spawned_; }
+
+ private:
+  void install();
+  void on_message(const sim::Message& message);
+  void on_deliver(const sim::Message& message);
+  void on_match(const sim::Payload& body);
+  /// (Re-)advertise the first idle un-shadowed job; invalidate the old ad
+  /// when the window moved.
+  void publish();
+  void advertise_loop();
+  void invalidate_published();
+  std::string ad_name(std::uint64_t job_id) const;
+
+  Schedd& schedd_;
+  sim::Network& network_;
+  sim::Host& host_;
+  Options options_;
+  sim::RpcClient rpc_;
+  sim::Lifetime life_;
+
+  // det-local(shadows_): touched only from this host's own message and
+  // timer events, same ownership story as VanillaRunner's shadow table.
+  std::map<std::uint64_t, std::unique_ptr<condor::Shadow>> shadows_;
+  /// Currently published job (0 = none). Volatile: a crash drops it and the
+  /// ad ages out of the Collector by TTL; boot republishes.
+  std::uint64_t published_id_ = 0;
+  std::uint64_t claim_counter_ = 0;
+
+  std::uint64_t deliveries_accepted_ = 0;
+  std::uint64_t duplicate_deliveries_ = 0;
+  std::uint64_t busy_rejections_ = 0;
+  std::uint64_t matches_received_ = 0;
+  std::uint64_t stale_matches_ = 0;
+  std::uint64_t shadows_spawned_ = 0;
+
+  bool started_ = false;
+  int boot_id_ = 0;
+  int crash_listener_ = 0;
+};
+
+}  // namespace condorg::core

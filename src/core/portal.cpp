@@ -1,0 +1,175 @@
+#include "condorg/core/portal.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace condorg::core {
+
+Portal::Portal(sim::Host& host, sim::Network& network, Options options)
+    : host_(host),
+      network_(network),
+      options_(options),
+      rpc_(host, network, std::string(kService) + ".rpc"),
+      queue_(host, "portal.queue"),
+      submits_received_(host, "portal.submits_received", 0),
+      batches_admitted_(host, "portal.batches_admitted", 0),
+      jobs_admitted_(host, "portal.jobs_admitted", 0),
+      duplicate_submits_(host, "portal.duplicate_submits", 0),
+      busy_rejections_(host, "portal.busy_rejections", 0),
+      deliveries_acked_(host, "portal.deliveries_acked", 0),
+      admitted_counter_(host.metrics().counter("portal.batches_admitted",
+                                               {{"host", host.name()}})),
+      duplicate_counter_(host.metrics().counter("portal.duplicate_submits",
+                                                {{"host", host.name()}})),
+      busy_counter_(host.metrics().counter("portal.busy_rejections",
+                                           {{"host", host.name()}})),
+      depth_gauge_(host.metrics().gauge("portal.queue_depth",
+                                        {{"host", host.name()}})) {
+  install();
+  reload();
+  boot_id_ = host_.add_boot([this] {
+    install();
+    reload();
+    if (started_) flush();
+  });
+  // In-memory queue is volatile; the pending records on disk are the truth
+  // and reload() rebuilds from them at boot.
+  crash_listener_ = host_.add_crash_listener([this] { queue_->clear(); });
+}
+
+Portal::~Portal() {
+  host_.remove_boot(boot_id_);
+  host_.remove_crash_listener(crash_listener_);
+  if (host_.alive()) host_.unregister_service(kService);
+}
+
+void Portal::install() {
+  host_.register_service(kService,
+                         [this](const sim::Message& m) { on_message(m); });
+}
+
+void Portal::start() {
+  if (started_) return;
+  started_ = true;
+  flush();
+}
+
+std::string Portal::admitted_key(const std::string& user, std::uint64_t seq) {
+  return "portal/admitted/" + user + "/" + std::to_string(seq);
+}
+
+std::string Portal::pending_key(const std::string& user, std::uint64_t seq) {
+  return "portal/pending/" + user + "/" + std::to_string(seq);
+}
+
+void Portal::reload() {
+  queue_->clear();
+  for (const std::string& key : host_.disk().keys_with_prefix("portal/pending/")) {
+    const auto record = host_.disk().get(key);
+    if (!record) continue;
+    Admission admission;
+    admission.body = sim::Payload::deserialize(*record);
+    admission.user = admission.body.get("user");
+    admission.seq = admission.body.get_uint("seq");
+    queue_->push_back(std::move(admission));
+  }
+  depth_gauge_.set(host_.now(), static_cast<double>(queue_->size()));
+}
+
+void Portal::on_message(const sim::Message& message) {
+  if (message.type == "portal.submit") {
+    ++*submits_received_;
+    const std::string user = message.body.get("user");
+    const std::uint64_t seq = message.body.get_uint("seq");
+    const std::uint64_t count = message.body.get_uint("count", 1);
+    sim::Payload reply;
+    reply.set_uint("seq", seq);
+    if (user.empty() || seq == 0) {
+      reply.set("status", "error");
+      sim::rpc_reply(network_, message, address(), std::move(reply));
+      return;
+    }
+    if (host_.disk().contains(admitted_key(user, seq))) {
+      // Client retry after a lost ack: already admitted, just re-ack.
+      ++*duplicate_submits_;
+      duplicate_counter_.inc();
+      reply.set("status", "ok");
+      sim::rpc_reply(network_, message, address(), std::move(reply));
+      return;
+    }
+    if (queue_->size() >= options_.max_queue_depth) {
+      ++*busy_rejections_;
+      busy_counter_.inc();
+      reply.set("status", "busy");
+      sim::rpc_reply(network_, message, address(), std::move(reply));
+      return;
+    }
+    // Persist first, ack second: a crash in between leaves the admission
+    // durable and the client's retry lands in the duplicate path above.
+    host_.disk().put(admitted_key(user, seq), "1");
+    host_.disk().put(pending_key(user, seq), message.body.serialize());
+    if (host_.crash_point("portal.submit_recv")) return;
+    Admission admission;
+    admission.body = message.body;
+    admission.user = user;
+    admission.seq = seq;
+    queue_->push_back(std::move(admission));
+    ++*batches_admitted_;
+    admitted_counter_.inc();
+    *jobs_admitted_ += count;
+    // Per-user accounting: at community scale this family overflows the
+    // registry's label-cardinality cap and the tail lands in the "other"
+    // bucket by design.
+    host_.metrics().counter("portal.user_jobs", {{"user", user}}).inc(count);
+    depth_gauge_.set(host_.now(), static_cast<double>(queue_->size()));
+    reply.set("status", "ok");
+    sim::rpc_reply(network_, message, address(), std::move(reply));
+    return;
+  }
+  host_.metrics()
+      .counter("unknown_message",
+               {{"daemon", "portal"}, {"type", message.type}})
+      .inc();
+}
+
+void Portal::flush() {
+  std::size_t started = 0;
+  for (Admission& admission : *queue_) {
+    if (started >= options_.flush_batch) break;
+    if (admission.in_flight) continue;
+    deliver(admission);
+    ++started;
+  }
+  host_.post(options_.flush_period, life_.wrap([this] { flush(); }));
+}
+
+void Portal::deliver(Admission& admission) {
+  admission.in_flight = true;
+  const std::string user = admission.user;
+  const std::uint64_t seq = admission.seq;
+  const sim::Address to = sim::Address::parse(admission.body.get("deliver_to"));
+  sim::Payload payload = admission.body;
+  rpc_.call(to, "portal.deliver", std::move(payload),
+            options_.deliver_timeout,
+            [this, user, seq](bool ok, const sim::Payload& reply) {
+              const auto it = std::find_if(
+                  queue_->begin(), queue_->end(), [&](const Admission& a) {
+                    return a.user == user && a.seq == seq;
+                  });
+              if (it == queue_->end()) return;  // crashed + reloaded meanwhile
+              if (ok && reply.get("status") == "ok") {
+                host_.disk().erase(pending_key(user, seq));
+                queue_->erase(it);
+                ++*deliveries_acked_;
+                depth_gauge_.set(host_.now(),
+                                 static_cast<double>(queue_->size()));
+                return;
+              }
+              // Runner busy or delivery lost: leave it queued; the next
+              // flush retries (the runner's persisted marker absorbs any
+              // duplicate that did get through).
+              it->in_flight = false;
+            });
+}
+
+}  // namespace condorg::core

@@ -32,6 +32,8 @@ constexpr const char* kEnumeratedCrashPoints[] = {
     "jobmanager.refresh_recv",
     "jobmanager.update_gass_recv",
     "myproxy.store_recv",
+    "portal.deliver_recv",
+    "portal.submit_recv",
 };
 }  // namespace
 

@@ -414,13 +414,24 @@ struct IslandEngine {
   }
 
   // Fold one committed dispatch key into the digest, enforcing that the
-  // global stream is strictly key-ascending. A violation means an island
-  // executed past its lookahead — the run would not be reproducible — so it
-  // is a hard error, not a diagnostic.
+  // committed stream never moves backward in time. A time regression means
+  // an island executed past its lookahead (a smaller-time event surfaced
+  // after a larger one committed) — the run would not be reproducible — so
+  // it is a hard error, not a diagnostic.
+  //
+  // Equal-time key inversions, by contrast, are legitimate: a delivery
+  // handler that posts follow-up work at `now` creates a child with the
+  // same `when` but its own (origin, ctr) — which may sort below the
+  // parent's key even though it causally (and deterministically) executes
+  // after it. Both executors commit the greedy min-front order over the
+  // per-queue pop sequences, which is identical for every worker count, so
+  // same-time runs need no intra-key ordering check. Cross-island causality
+  // always advances time (positive link latency), so a genuine lookahead
+  // violation still manifests as the time regression checked here.
   void commit_key(const DigestKey& key) {
-    if (!(last_key < key)) {
+    if (key.when < last_key.when) {
       throw std::logic_error(
-          "island kernel: committed dispatch order is not key-ascending "
+          "island kernel: committed dispatch time moved backward "
           "(an island executed past its lookahead)");
     }
     last_key = key;
@@ -896,11 +907,14 @@ EventId Simulation::schedule_keyed(std::uint32_t queue, Time when,
     // already in key order — exactly the pre-island kernel's behavior.
     b.items.push_back(entry);
   } else {
-    // Island mode: keep the bucket (origin, ctr)-ascending. Appends still
-    // dominate (one live comparison); an insert before the tail happens
-    // when a barrier-integrated delivery from a higher-origin queue already
-    // sits at this timestamp. Positions before the drain cursor are
-    // untouchable — and unreachable: everything there has a smaller key.
+    // Island mode: keep the *unexecuted* tail of the bucket (origin, ctr)-
+    // ascending. Appends still dominate (one live comparison); an insert
+    // before the tail happens when a barrier-integrated delivery from a
+    // higher-origin queue already sits at this timestamp. Positions before
+    // the drain cursor are untouchable — stopping the slide there also
+    // places a same-time self-post (a handler posting follow-up work at
+    // `now`) after the already-executed event that caused it, which is the
+    // causal order both executors commit.
     std::size_t pos = b.items.size();
     while (pos > b.next) {
       const PendingEvent& prev = b.items[pos - 1];
@@ -920,6 +934,11 @@ EventId Simulation::schedule_keyed(std::uint32_t queue, Time when,
 }
 
 bool Simulation::cancel(EventId id) {
+  // kInvalidEvent carries no owning queue (it decodes to queue 0), so it
+  // must short-circuit before the island police below — daemons routinely
+  // cancel never-armed timer handles (e.g. a Startd whose io_interval is
+  // disabled).
+  if (id == kInvalidEvent) return false;
   if (island_mode_) {
     // Police before record_for: the owning queue is encoded in the id, and
     // even *reading* another island's slot array mid-window is a race. A

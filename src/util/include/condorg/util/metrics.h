@@ -97,12 +97,39 @@ class HistogramMetric {
 
 class MetricsRegistry {
  public:
+  /// Default per-family label-cardinality cap (distinct label sets per
+  /// metric name, per kind). At multi-user scale a per-user label would
+  /// otherwise mint one series per user; beyond the cap new label sets
+  /// collapse into a single `other` bucket (every label value rewritten to
+  /// "other") and the overflow is counted per family.
+  static constexpr std::size_t kDefaultLabelCardinalityCap = 64;
+
   /// Lookup-or-create. References stay valid for the registry's lifetime
-  /// (node-based map), so hot paths may cache them.
+  /// (node-based map), so hot paths may cache them. The first cap distinct
+  /// label sets of a family win their own series (first-come top-K); later
+  /// ones share the family's `other` bucket.
   Counter& counter(std::string_view name, const MetricLabels& labels = {});
   Gauge& gauge(std::string_view name, const MetricLabels& labels = {});
   HistogramMetric& histogram(std::string_view name,
                              const MetricLabels& labels = {});
+
+  /// Adjust the per-family cap (takes effect for series created after the
+  /// call; existing series are never evicted). A cap of 0 disables the
+  /// guard entirely.
+  void set_label_cardinality_cap(std::size_t cap);
+  std::size_t label_cardinality_cap() const;
+
+  /// Total lookups redirected into `other` buckets so far (one per access
+  /// through an over-cap label set, so it measures traffic absorbed by the
+  /// bucket). The same count is visible per family as the
+  /// `metrics.cardinality_overflow{family=<name>}` counter.
+  std::uint64_t cardinality_overflows() const;
+
+  /// Auditor hook: one line per metric family whose distinct non-`other`
+  /// series count exceeds the cap. With the guard in place this must stay
+  /// empty — a non-empty result means series were minted behind the cap's
+  /// back.
+  std::vector<std::string> cardinality_violations() const;
 
   /// Lookup by canonical key without creating; nullptr when absent.
   const Counter* find_counter(std::string_view key) const;
@@ -129,6 +156,13 @@ class MetricsRegistry {
   std::string to_json(double end_time) const { return snapshot(end_time).dump(); }
 
  private:
+  /// Resolve the key a labelled series lands under: its own canonical key
+  /// while the family is under the cap, the family's `other` bucket after.
+  /// Caller holds mu_. `kind` disambiguates counter/gauge/histogram
+  /// families that share a name.
+  std::string capped_key(char kind, std::string_view name,
+                         const MetricLabels& labels, bool exists);
+
   // Guards the map *structure* only: lookup-or-create can race when two
   // islands first touch distinct metrics. The returned references are
   // node-stable, so cached references stay valid. Gauge and histogram
@@ -139,6 +173,11 @@ class MetricsRegistry {
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, HistogramMetric, std::less<>> histograms_;
+  std::size_t label_cap_ = kDefaultLabelCardinalityCap;
+  /// Distinct labelled series per "<kind>:<family>" (the `other` bucket not
+  /// included, so the count is exactly the first-come winners).
+  std::map<std::string, std::size_t, std::less<>> family_series_;
+  std::uint64_t cardinality_overflows_ = 0;
 };
 
 }  // namespace condorg::util

@@ -79,22 +79,109 @@ ParsedMetricKey parse_metric_key(std::string_view key) {
   return out;
 }
 
+namespace {
+
+/// Rewrite every label value to "other": the family's single shared
+/// overflow bucket. Label *keys* are kept, so dashboards still see the
+/// family's schema.
+MetricLabels other_bucket(const MetricLabels& labels) {
+  MetricLabels out = labels;
+  for (auto& [key, value] : out) value = "other";
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::capped_key(char kind, std::string_view name,
+                                        const MetricLabels& labels,
+                                        bool exists) {
+  std::string key = metric_key(name, labels);
+  if (labels.empty() || label_cap_ == 0 || exists) return key;
+  std::string family{kind, ':'};
+  family += name;
+  std::size_t& series = family_series_[family];
+  if (series < label_cap_) {
+    ++series;
+    return key;
+  }
+  // Family at cap: collapse into the `other` bucket and count the overflow
+  // per family (inserted directly — the overflow family is itself bounded
+  // by the number of metric families, not by label values).
+  ++cardinality_overflows_;
+  counters_[metric_key("metrics.cardinality_overflow",
+                       {{"family", std::string(name)}})]
+      .inc();
+  return metric_key(name, other_bucket(labels));
+}
+
 Counter& MetricsRegistry::counter(std::string_view name,
                                   const MetricLabels& labels) {
   std::lock_guard<std::mutex> lock(mu_);
-  return counters_[metric_key(name, labels)];
+  const bool exists = counters_.count(metric_key(name, labels)) > 0;
+  return counters_[capped_key('c', name, labels, exists)];
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name,
                               const MetricLabels& labels) {
   std::lock_guard<std::mutex> lock(mu_);
-  return gauges_[metric_key(name, labels)];
+  const bool exists = gauges_.count(metric_key(name, labels)) > 0;
+  return gauges_[capped_key('g', name, labels, exists)];
 }
 
 HistogramMetric& MetricsRegistry::histogram(std::string_view name,
                                             const MetricLabels& labels) {
   std::lock_guard<std::mutex> lock(mu_);
-  return histograms_[metric_key(name, labels)];
+  const bool exists = histograms_.count(metric_key(name, labels)) > 0;
+  return histograms_[capped_key('h', name, labels, exists)];
+}
+
+void MetricsRegistry::set_label_cardinality_cap(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  label_cap_ = cap;
+}
+
+std::size_t MetricsRegistry::label_cardinality_cap() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return label_cap_;
+}
+
+std::uint64_t MetricsRegistry::cardinality_overflows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cardinality_overflows_;
+}
+
+std::vector<std::string> MetricsRegistry::cardinality_violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  if (label_cap_ == 0) return out;
+  // Recount from the maps themselves rather than trusting family_series_:
+  // the check exists to catch series minted behind the guard's back.
+  std::map<std::string, std::size_t> counts;
+  const auto sweep = [&](const auto& map, char kind) {
+    for (const auto& [key, unused] : map) {
+      (void)unused;
+      const ParsedMetricKey parsed = parse_metric_key(key);
+      if (parsed.labels.empty()) continue;
+      bool all_other = true;
+      for (const auto& [label, value] : parsed.labels) {
+        (void)label;
+        if (value != "other") all_other = false;
+      }
+      if (all_other) continue;  // the overflow bucket itself is exempt
+      ++counts[std::string{kind, ':'} + parsed.name];
+    }
+  };
+  sweep(counters_, 'c');
+  sweep(gauges_, 'g');
+  sweep(histograms_, 'h');
+  for (const auto& [family, n] : counts) {
+    if (n > label_cap_) {
+      out.push_back("metrics/cardinality: family '" + family.substr(2) +
+                    "' has " + std::to_string(n) +
+                    " labelled series, cap is " + std::to_string(label_cap_));
+    }
+  }
+  return out;
 }
 
 const Counter* MetricsRegistry::find_counter(std::string_view key) const {

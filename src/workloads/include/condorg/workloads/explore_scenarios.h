@@ -27,6 +27,12 @@ sim::Explorer::Scenario make_explore_scenario(const std::string& name);
 ///                   JobManager kill, an F2 front-end crash, and an F4
 ///                   partition window, on top of the oracle's own
 ///                   crash-point injection.
+///   "portal_storm" — two users submitting through one Portal into
+///                   per-user PoolRunners, matched by the delta
+///                   PoolNegotiator; the oracle crashes the portal and
+///                   runners at their admission crash points, and the
+///                   invariant is exactly-once admission (no user's queue
+///                   ever exceeds what that user submitted).
 std::vector<std::string> explore_scenario_names();
 
 }  // namespace condorg::workloads

@@ -1,0 +1,114 @@
+// Label-cardinality guard in the metrics registry.
+//
+// At portal scale a per-user label family would mint one series per user
+// (10k users = 10k map nodes per family); the registry caps each family at
+// a first-come top-K and collapses everything past the cap into a single
+// `other` bucket, counting the redirected traffic. The auditor-facing
+// cardinality_violations() hook recounts the maps, so a series minted
+// behind the guard's back is caught.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "condorg/util/metrics.h"
+
+namespace cu = condorg::util;
+
+namespace {
+
+TEST(CardinalityGuard, UnderCapEveryLabelSetGetsItsOwnSeries) {
+  cu::MetricsRegistry registry;
+  for (int i = 0; i < 10; ++i) {
+    registry.counter("portal.user_jobs",
+                     {{"user", "u" + std::to_string(i)}}).inc();
+  }
+  EXPECT_EQ(registry.cardinality_overflows(), 0u);
+  int seen = 0;
+  registry.for_each_counter("portal.user_jobs",
+                            [&](std::string_view, std::uint64_t n) {
+                              ++seen;
+                              EXPECT_EQ(n, 1u);
+                            });
+  EXPECT_EQ(seen, 10);
+}
+
+TEST(CardinalityGuard, OverCapLabelSetsCollapseIntoOther) {
+  cu::MetricsRegistry registry;
+  registry.set_label_cardinality_cap(2);
+  cu::Counter& u1 = registry.counter("jobs", {{"user", "u1"}});
+  cu::Counter& u2 = registry.counter("jobs", {{"user", "u2"}});
+  u1.inc();
+  u2.inc();
+  EXPECT_EQ(registry.cardinality_overflows(), 0u);
+
+  // Third and fourth distinct label sets land in the shared bucket.
+  registry.counter("jobs", {{"user", "u3"}}).inc();
+  registry.counter("jobs", {{"user", "u4"}}).inc(2);
+  EXPECT_EQ(registry.cardinality_overflows(), 2u);
+  EXPECT_EQ(registry.counter_value("jobs{user=other}"), 3u);
+  EXPECT_EQ(registry.counter_value("jobs{user=u3}"), 0u) << "never minted";
+
+  // The per-family overflow counter mirrors the redirected-lookup count.
+  EXPECT_EQ(registry.counter_value("metrics.cardinality_overflow{family=jobs}"),
+            2u);
+
+  // Established winners keep their own series and draw no overflow.
+  registry.counter("jobs", {{"user", "u1"}}).inc();
+  EXPECT_EQ(registry.counter_value("jobs{user=u1}"), 2u);
+  EXPECT_EQ(registry.cardinality_overflows(), 2u);
+}
+
+TEST(CardinalityGuard, CapIsPerFamilyAndPerKind) {
+  cu::MetricsRegistry registry;
+  registry.set_label_cardinality_cap(1);
+  registry.counter("a", {{"user", "u1"}}).inc();
+  registry.counter("b", {{"user", "u1"}}).inc();  // different family
+  registry.gauge("a", {{"user", "u1"}});          // different kind
+  EXPECT_EQ(registry.cardinality_overflows(), 0u);
+
+  registry.counter("a", {{"user", "u2"}}).inc();
+  EXPECT_EQ(registry.cardinality_overflows(), 1u);
+  registry.counter("b", {{"user", "u2"}}).inc();
+  EXPECT_EQ(registry.cardinality_overflows(), 2u);
+}
+
+TEST(CardinalityGuard, UnlabelledSeriesBypassTheCap) {
+  cu::MetricsRegistry registry;
+  registry.set_label_cardinality_cap(1);
+  registry.counter("x").inc();
+  registry.counter("y").inc();
+  registry.counter("z").inc();
+  EXPECT_EQ(registry.cardinality_overflows(), 0u);
+  EXPECT_TRUE(registry.cardinality_violations().empty());
+}
+
+TEST(CardinalityGuard, ViolationsStayEmptyWithTheGuardInPlace) {
+  cu::MetricsRegistry registry;
+  registry.set_label_cardinality_cap(3);
+  for (int i = 0; i < 50; ++i) {
+    registry.counter("portal.user_jobs",
+                     {{"user", "u" + std::to_string(i)}}).inc();
+  }
+  EXPECT_TRUE(registry.cardinality_violations().empty());
+  EXPECT_EQ(registry.cardinality_overflows(), 47u);
+}
+
+TEST(CardinalityGuard, ViolationsDetectSeriesMintedPastTheCap) {
+  cu::MetricsRegistry registry;
+  // Guard off: every label set mints a series (the "bypass" scenario).
+  registry.set_label_cardinality_cap(0);
+  for (int i = 0; i < 8; ++i) {
+    registry.counter("leaky", {{"user", "u" + std::to_string(i)}}).inc();
+  }
+  EXPECT_TRUE(registry.cardinality_violations().empty()) << "cap disabled";
+
+  // Re-arming a smaller cap exposes the over-minted family to the auditor.
+  registry.set_label_cardinality_cap(4);
+  const std::vector<std::string> violations =
+      registry.cardinality_violations();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("leaky"), std::string::npos);
+}
+
+}  // namespace

@@ -180,6 +180,68 @@ def check_island_scale(root: pathlib.Path,
     return failures
 
 
+def check_multiuser(root: pathlib.Path) -> int:
+    """Gate the multi-user storm report (BENCH_U1.json) in `root`.
+
+    Absolute properties of the current tree, mirroring the bench binary's
+    own exit gates so a skipped bench stage cannot hide a regression: the
+    delta negotiator must stay >= speedup_floor times faster per cycle
+    than the retained full-requery reference, fairness (Jain's index over
+    per-user matched jobs) must hold the floor, the campaign must drain,
+    the anti-entropy sweep must record zero divergences, and the
+    jitter-free outcome digest must be identical across the legacy and
+    island kernels. Returns the failure count; a tree without a multiuser
+    section passes vacuously.
+    """
+    failures = 0
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        storm = doc.get("multiuser")
+        if not isinstance(storm, dict):
+            continue
+        speedup = storm.get("delta_speedup", 0.0)
+        floor = storm.get("speedup_floor", 5.0)
+        if not isinstance(speedup, (int, float)) or speedup < floor:
+            print(f"  FAILED    {path.name}:multiuser delta speedup "
+                  f"{speedup} below floor {floor}")
+            failures += 1
+        else:
+            print(f"  ok        {path.name}:multiuser delta speedup "
+                  f"{speedup:.2f}x (floor {floor}x)")
+        jain = storm.get("jain", 0.0)
+        jain_floor = storm.get("jain_floor", 0.9)
+        if not isinstance(jain, (int, float)) or jain < jain_floor:
+            print(f"  FAILED    {path.name}:multiuser Jain index "
+                  f"{jain} below floor {jain_floor}")
+            failures += 1
+        else:
+            print(f"  ok        {path.name}:multiuser Jain index "
+                  f"{jain:.4f} (floor {jain_floor})")
+        if storm.get("drained") is not True:
+            print(f"  FAILED    {path.name}:multiuser campaign did not "
+                  f"drain ({storm.get('jobs_completed')} completed)")
+            failures += 1
+        divergences = storm.get("divergences")
+        if divergences != 0:
+            print(f"  FAILED    {path.name}:multiuser anti-entropy sweep "
+                  f"recorded {divergences} divergence(s)")
+            failures += 1
+        outcomes = {run.get("outcome_digest")
+                    for run in storm.get("digest_runs", [])
+                    if isinstance(run, dict)}
+        if storm.get("digests_identical") is not True or len(outcomes) > 1:
+            print(f"  FAILED    {path.name}:multiuser outcome digests "
+                  f"diverge across kernels: {sorted(map(str, outcomes))}")
+            failures += 1
+        else:
+            print(f"  ok        {path.name}:multiuser outcome digest stable "
+                  f"across {len(storm.get('digest_runs', []))} kernel runs")
+    return failures
+
+
 def fmt_ns(ns: float) -> str:
     if ns >= 1e6:
         return f"{ns / 1e6:9.3f} ms"
@@ -249,6 +311,23 @@ def self_test() -> int:
                          for n, d in zip((1, 2, 4, 8), digests)]}}
         (root / "BENCH_K.json").write_text(json.dumps(doc))
 
+    def make_multiuser_tree(root: pathlib.Path, speedup: float, jain: float,
+                            drained: bool = True, divergences: int = 0,
+                            outcomes: tuple[str, ...] = ("0x1",) * 3) -> None:
+        doc = {"bench": "U", "benchmarks": [
+            {"name": "BM_MultiUserStorm/legacy", "real_time_ns": 100.0,
+             "cpu_time_ns": 100.0, "iterations": 1}],
+            "multiuser": {
+                "delta_speedup": speedup, "speedup_floor": 5.0,
+                "jain": jain, "jain_floor": 0.9,
+                "drained": drained, "jobs_completed": 10,
+                "divergences": divergences,
+                "digests_identical": len(set(outcomes)) == 1,
+                "digest_runs": [
+                    {"mode": m, "outcome_digest": d, "kernel_digest": d}
+                    for m, d in zip(("legacy", "N1", "N8"), outcomes)]}}
+        (root / "BENCH_U.json").write_text(json.dumps(doc))
+
     failures = []
     with tempfile.TemporaryDirectory() as tmp:
         base_dir = pathlib.Path(tmp) / "base"
@@ -277,6 +356,32 @@ def self_test() -> int:
         if check_island_scale(scale_dir) != 0:
             failures.append("unenforced floor must not fail on speedup")
         (scale_dir / "BENCH_K.json").unlink()
+
+        # Multi-user gate: a healthy report passes; a sub-floor speedup, a
+        # sub-floor Jain index, an undrained campaign, a sweep divergence,
+        # and a cross-kernel outcome mismatch each fail exactly once.
+        storm_dir = pathlib.Path(tmp) / "storm"
+        storm_dir.mkdir()
+        make_multiuser_tree(storm_dir, speedup=8.0, jain=0.95)
+        if check_multiuser(storm_dir) != 0:
+            failures.append("healthy multiuser tree must pass")
+        make_multiuser_tree(storm_dir, speedup=3.0, jain=0.95)
+        if check_multiuser(storm_dir) != 1:
+            failures.append("sub-floor delta speedup must fail")
+        make_multiuser_tree(storm_dir, speedup=8.0, jain=0.5)
+        if check_multiuser(storm_dir) != 1:
+            failures.append("sub-floor Jain index must fail")
+        make_multiuser_tree(storm_dir, speedup=8.0, jain=0.95, drained=False)
+        if check_multiuser(storm_dir) != 1:
+            failures.append("undrained campaign must fail")
+        make_multiuser_tree(storm_dir, speedup=8.0, jain=0.95, divergences=2)
+        if check_multiuser(storm_dir) != 1:
+            failures.append("sweep divergences must fail")
+        make_multiuser_tree(storm_dir, speedup=8.0, jain=0.95,
+                            outcomes=("0x1", "0x1", "0x2"))
+        if check_multiuser(storm_dir) != 1:
+            failures.append("cross-kernel outcome divergence must fail")
+        (storm_dir / "BENCH_U.json").unlink()
         make_tree(base_dir, {"steady": 100.0, "faster": 100.0,
                              "slower": 100.0, "gone": 100.0})
         make_tree(cur_dir, {"steady": 104.0, "faster": 50.0,
@@ -382,6 +487,7 @@ def main() -> int:
                                            pathlib.Path(args.current)),
                                        args.threshold)
     regressions += check_island_scale(pathlib.Path(args.current))
+    regressions += check_multiuser(pathlib.Path(args.current))
     if regressions:
         print(f"{regressions} benchmark(s) regressed more than "
               f"{args.threshold:.0%}")
